@@ -1,0 +1,117 @@
+// Ablation — bandwidth aggregation (§3.1, Fig. 5).
+//
+// Doubling the total band while keeping per-device BW and SF doubles the
+// device capacity at the same per-device bitrate, and the receiver still
+// needs only ONE (2 * 2^SF)-point FFT instead of two band filters + two
+// FFTs. We verify correctness (all devices across both sub-bands decode
+// from one FFT) and compare the single-FFT demodulation cost against the
+// two-filter alternative.
+#include <chrono>
+#include <iostream>
+
+#include "netscatter/channel/awgn.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/phy/aggregation.hpp"
+#include "netscatter/phy/demodulator.hpp"
+#include "netscatter/util/rng.hpp"
+#include "netscatter/util/table.hpp"
+
+int main() {
+    ns::phy::aggregate_params agg;
+    agg.chirp = ns::phy::deployed_params();
+    agg.num_bands = 2;
+    ns::util::rng rng(25);
+
+    // 16 devices spread over both sub-bands, ON with random bits.
+    std::vector<std::pair<std::size_t, std::uint32_t>> devices;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        devices.emplace_back(i % 2, (i / 2) * 64 + 3);
+    }
+
+    const int symbols = 50;
+    int correct = 0, total = 0;
+    for (int s = 0; s < symbols; ++s) {
+        std::vector<bool> bits(devices.size());
+        ns::dsp::cvec rx(agg.samples_per_symbol(), ns::dsp::cplx{0.0, 0.0});
+        for (std::size_t d = 0; d < devices.size(); ++d) {
+            bits[d] = rng.bernoulli(0.5);
+            if (!bits[d]) continue;
+            ns::dsp::cvec chirp = ns::phy::make_aggregate_upchirp(
+                agg, devices[d].first, static_cast<double>(devices[d].second));
+            ns::dsp::scale(chirp, std::polar(1.0, rng.uniform(0.0, 6.2831)));
+            ns::dsp::accumulate(rx, chirp);
+        }
+        ns::channel::add_noise(rx, 1.0, rng);  // 0 dB per-device SNR
+
+        const auto power = ns::phy::aggregate_symbol_power_spectrum(agg, rx);
+        // Genie threshold at half the clean peak power.
+        const double n = static_cast<double>(agg.samples_per_symbol());
+        const double threshold = 0.5 * n * n;
+        for (std::size_t d = 0; d < devices.size(); ++d) {
+            const bool decided =
+                power[agg.bin_of(devices[d].first, devices[d].second)] > threshold;
+            if (decided == bits[d]) ++correct;
+            ++total;
+        }
+    }
+
+    ns::util::text_table table("Bandwidth aggregation (2 x 500 kHz, SF 9)",
+                               {"metric", "value"});
+    table.add_row({"aggregate capacity [bins]", std::to_string(agg.total_bins())});
+    table.add_row({"per-device bitrate [bps]",
+                   ns::util::format_double(agg.chirp.onoff_bitrate_bps(), 0)});
+    table.add_row({"OOK decisions correct",
+                   ns::util::format_double(100.0 * correct / total, 2) + " %"});
+
+    // Complexity comparison (§3.1): the alternative to the aggregate
+    // single FFT is to band-split the 2BW capture with two decimating
+    // filters and run two 2^SF FFTs. The filters dominate: a 64-tap FIR
+    // over 1024 samples per band is ~131k complex MACs per symbol.
+    const int reps = 1000;
+    ns::dsp::cvec agg_symbol = ns::phy::make_aggregate_upchirp(agg, 0, 5.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+        volatile auto sink =
+            ns::phy::aggregate_symbol_power_spectrum(agg, agg_symbol).front();
+        (void)sink;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Two-band alternative: 64-tap complex FIR + decimate-by-2 per band,
+    // then a 512-pt dechirp+FFT per band.
+    const ns::phy::demodulator sub(agg.chirp, 1);
+    constexpr int fir_taps = 64;
+    std::vector<ns::dsp::cplx> taps(fir_taps, ns::dsp::cplx{1.0 / fir_taps, 0.0});
+    const auto t2 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+        for (int band = 0; band < 2; ++band) {
+            ns::dsp::cvec filtered(agg_symbol.size() / 2);
+            for (std::size_t i = 0; i < filtered.size(); ++i) {
+                ns::dsp::cplx acc{0.0, 0.0};
+                const std::size_t base = 2 * i;
+                for (int t = 0; t < fir_taps; ++t) {
+                    const std::size_t idx = base >= static_cast<std::size_t>(t)
+                                                ? base - static_cast<std::size_t>(t)
+                                                : 0;
+                    acc += taps[static_cast<std::size_t>(t)] * agg_symbol[idx];
+                }
+                filtered[i] = acc;
+            }
+            volatile auto sink = sub.symbol_power_spectrum(filtered).front();
+            (void)sink;
+        }
+    }
+    const auto t3 = std::chrono::steady_clock::now();
+    const double one_fft_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / reps;
+    const double two_band_us =
+        std::chrono::duration<double, std::micro>(t3 - t2).count() / reps;
+    table.add_row({"aggregate demod: one 1024-pt FFT [us/symbol]",
+                   ns::util::format_double(one_fft_us, 1)});
+    table.add_row({"two-band demod: 2x(64-tap FIR + 512-pt FFT) [us/symbol]",
+                   ns::util::format_double(two_band_us, 1)});
+    table.print(std::cout);
+    std::cout << "\nSS3.1: the aggregate-band method needs no per-band filters and "
+                 "one FFT — lower total complexity than band-splitting\n";
+    return 0;
+}

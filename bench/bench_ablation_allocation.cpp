@@ -1,0 +1,39 @@
+// Ablation — the two near-far defenses of §3.2.3:
+//   (a) coarse-grained power-aware cyclic-shift assignment, and
+//   (b) fine-grained self-aware power adjustment,
+// each toggled independently on the same 128-device office deployment.
+#include <iostream>
+
+#include "netscatter/sim/deployment.hpp"
+#include "netscatter/sim/network_sim.hpp"
+#include "netscatter/util/table.hpp"
+
+int main() {
+    const std::size_t devices = 128, rounds = 3;
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, devices, 23);
+
+    ns::util::text_table table(
+        "Ablation: near-far defenses (128 devices)",
+        {"power-aware allocation", "power adaptation", "delivery rate", "BER"});
+
+    for (const bool aware : {true, false}) {
+        for (const bool adapt : {true, false}) {
+            ns::sim::sim_config config;
+            config.power_aware_allocation = aware;
+            config.power_adaptation = adapt;
+            config.rounds = rounds;
+            config.seed = 7;
+            config.zero_padding = 4;
+            ns::sim::network_simulator sim(dep, config);
+            const auto result = sim.run();
+            table.add_row({aware ? "on" : "off", adapt ? "on" : "off",
+                           ns::util::format_double(result.delivery_rate(), 3),
+                           ns::util::format_double(result.ber(), 4)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected: both defenses on performs best; power-agnostic "
+                 "allocation parks weak devices inside strong devices' side "
+                 "lobes and loses packets (§3.2.3, Fig. 8)\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation — signal-strength grouping (§3.3.3).
+//
+// A population whose near-far spread exceeds the decoder's ~35 dB
+// dynamic range (Fig. 15b) cannot be served in one concurrent round: the
+// strongest devices' side lobes bury the weakest. The AP's answer is to
+// group devices by signal strength and address one group per query.
+// This bench stretches the office deployment well past the dynamic range
+// and compares one-shot concurrency against 2-way grouping: delivery
+// recovers at the cost of one extra round of latency per group.
+#include <iostream>
+
+#include "netscatter/sim/grouped_sim.hpp"
+#include "netscatter/util/table.hpp"
+
+int main() {
+    // Stretch the deployment: closer minimum distance and a steeper
+    // exponent widen the uplink spread to ~50+ dB.
+    ns::sim::deployment_params dep_params;
+    dep_params.min_distance_m = 3.0;
+    dep_params.pathloss.exponent = 2.9;
+    dep_params.pathloss.wall_loss_db = 4.0;
+    const std::size_t devices = 192;
+    const ns::sim::deployment dep(dep_params, devices, 41);
+
+    double min_snr = 1e9, max_snr = -1e9;
+    for (const auto& device : dep.devices()) {
+        min_snr = std::min(min_snr, device.uplink_snr_db);
+        max_snr = std::max(max_snr, device.uplink_snr_db);
+    }
+    std::cout << "stretched deployment: " << devices << " devices, uplink SNR "
+              << ns::util::format_double(min_snr, 1) << " .. "
+              << ns::util::format_double(max_snr, 1) << " dB (spread "
+              << ns::util::format_double(max_snr - min_snr, 1) << " dB)\n\n";
+
+    ns::sim::sim_config config;
+    config.rounds = 2;
+    config.seed = 11;
+    config.zero_padding = 4;
+    const auto frame = config.frame;
+    const auto phy = config.phy;
+
+    ns::util::text_table table(
+        "Ablation: grouping by signal strength (SS3.3.3)",
+        {"scheme", "groups", "delivery rate", "latency [ms]", "link rate [kbps]"});
+
+    for (const double range_db : {200.0, 35.0, 20.0}) {
+        const auto grouped = ns::sim::run_grouped(
+            dep, config, {.group_capacity = 256, .max_dynamic_range_db = range_db});
+        const double latency_ms =
+            grouped.network_latency_s(frame, phy, ns::sim::query_config::config1) * 1e3;
+        const double rate_kbps =
+            grouped.linklayer_rate_bps(frame, phy, ns::sim::query_config::config1) / 1e3;
+        table.add_row({range_db > 100 ? "ungrouped (one round)"
+                                      : "grouped @ " + ns::util::format_double(range_db, 0) +
+                                            " dB",
+                       std::to_string(grouped.groups.size()),
+                       ns::util::format_double(grouped.delivery_rate(), 3),
+                       ns::util::format_double(latency_ms, 1),
+                       ns::util::format_double(rate_kbps, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected: the ungrouped round loses the weak half of the "
+                 "population to the near-far problem; grouping restores delivery "
+                 "at ~(number of groups)x the latency\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation — the SKIP guard bins (§3.2.1), evaluated at FULL capacity.
+//
+// SKIP trades concurrency for jitter margin: SKIP=1 packs 512 devices at
+// 1-bin spacing but hardware delay jitter (up to 3.5 us ~ 1.75 bins at
+// 500 kHz) makes neighbours bleed into each other; SKIP=2 — the deployed
+// point — carries 256 devices with a full guard bin; SKIP=4 is safer
+// still but halves capacity again. The interesting quantity is the
+// aggregate GOODPUT = capacity x delivery x 976 bps, which SKIP=2
+// maximizes under realistic jitter.
+#include <iostream>
+
+#include "netscatter/sim/deployment.hpp"
+#include "netscatter/sim/network_sim.hpp"
+#include "netscatter/util/table.hpp"
+
+int main() {
+    ns::util::text_table table(
+        "Ablation: SKIP at full capacity (jitter up to 3.5 us, 2 rounds)",
+        {"SKIP", "jitter", "devices", "delivery rate", "BER", "goodput [kbps]"});
+
+    struct setting {
+        std::uint32_t skip;
+        bool jitter;
+    };
+    for (const setting s : {setting{1, true}, setting{2, true}, setting{4, true},
+                            setting{1, false}, setting{2, false}}) {
+        const std::size_t devices = 512 / s.skip;
+        const ns::sim::deployment dep(ns::sim::deployment_params{}, devices, 21);
+        ns::sim::sim_config config;
+        config.skip = s.skip;
+        config.model_timing_jitter = s.jitter;
+        config.rounds = 2;
+        config.seed = 5;
+        config.zero_padding = 4;
+        ns::sim::network_simulator sim(dep, config);
+        const auto result = sim.run();
+        const double goodput_kbps =
+            result.delivery_rate() * static_cast<double>(devices) * 976.5625 / 1e3;
+        table.add_row({std::to_string(s.skip), s.jitter ? "on" : "off",
+                       std::to_string(devices),
+                       ns::util::format_double(result.delivery_rate(), 3),
+                       ns::util::format_double(result.ber(), 4),
+                       ns::util::format_double(goodput_kbps, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected: with jitter on, SKIP=1 collapses (no guard bin for "
+                 "~1-bin residuals, Fig. 14b) while SKIP=2 holds most of its 2x "
+                 "capacity advantage over SKIP=4 — the paper's design point\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+// Fig. 14 — residual frequency and timing offsets of the backscatter
+// fleet.
+//
+// (a) CDF of per-device frequency offsets: crystal tolerance at a <=3 MHz
+//     baseband keeps every device within ~150 Hz (0.15 bin at 500k/SF9).
+// (b) 1-CDF of the residual ΔFFTbin (hardware timing jitter + CFO) for
+//     the three Table-1 configurations with ~1 kbps bitrate; this is the
+//     measurement that justifies SKIP = 2.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "netscatter/channel/impairments.hpp"
+#include "netscatter/channel/superposition.hpp"
+#include "netscatter/phy/css_params.hpp"
+#include "netscatter/phy/modulator.hpp"
+#include "netscatter/rx/receiver.hpp"
+#include "netscatter/util/rng.hpp"
+#include "netscatter/util/stats.hpp"
+#include "netscatter/util/table.hpp"
+
+int main() {
+    ns::util::rng rng(14);
+
+    // --- (a) frequency offsets, measured THROUGH the receiver ------------
+    // The paper measures offsets "using the method described in §3.3.3":
+    // decode packets and read the residual from the preamble phase
+    // progression. We transmit concurrent rounds from 64 devices with
+    // crystal offsets and collect the receiver's per-device estimates.
+    const ns::channel::crystal_model crystal{.tolerance_ppm = 50.0,
+                                             .operating_frequency_hz = 3e6,
+                                             .drift_sigma_hz = 10.0};
+    const ns::phy::css_params phy_a = ns::phy::deployed_params();
+    ns::rx::receiver_params rxp;
+    rxp.phy = phy_a;
+    rxp.frame = ns::phy::linklayer_format();
+    rxp.zero_padding_factor = 4;
+    ns::rx::receiver receiver(rxp);
+
+    const int devices_a = 64;
+    std::vector<std::uint32_t> shifts;
+    std::vector<double> true_offsets;
+    for (int d = 0; d < devices_a; ++d) {
+        shifts.push_back(static_cast<std::uint32_t>(d * 8));
+        true_offsets.push_back(crystal.sample_static_offset_hz(rng));
+    }
+    receiver.set_registered_shifts(shifts);
+
+    std::vector<double> offsets;  // receiver-estimated, Hz
+    const int rounds = 16;
+    for (int round = 0; round < rounds; ++round) {
+        std::vector<ns::channel::tx_contribution> txs;
+        for (int d = 0; d < devices_a; ++d) {
+            ns::phy::distributed_modulator mod(phy_a, shifts[static_cast<std::size_t>(d)]);
+            ns::channel::tx_contribution tx;
+            tx.waveform = mod.modulate_packet(ns::phy::build_frame_bits(
+                rxp.frame, rng.bits(rxp.frame.payload_bits)));
+            tx.snr_db = 5.0;
+            tx.frequency_offset_hz = true_offsets[static_cast<std::size_t>(d)] +
+                                     crystal.sample_drift_hz(rng);
+            txs.push_back(std::move(tx));
+        }
+        ns::channel::channel_config config;
+        const std::size_t samples =
+            (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
+            phy_a.samples_per_symbol();
+        const auto stream = ns::channel::combine(txs, samples, phy_a, config, rng);
+        const auto result = receiver.decode(stream, 0);
+        for (const auto& report : result.reports) {
+            if (report.detected) offsets.push_back(report.estimated_tone_offset_hz);
+        }
+    }
+    ns::util::text_table cdf_a("Fig 14a: CDF of receiver-estimated frequency offsets (64 devices, 16 rounds)",
+                               {"frequency [Hz]", "CDF"});
+    for (double x : {-150.0, -100.0, -75.0, -50.0, -25.0, 0.0, 25.0, 50.0, 75.0,
+                     100.0, 150.0}) {
+        cdf_a.add_row({ns::util::format_double(x, 0),
+                       ns::util::format_double(ns::util::cdf_at(offsets, x), 3)});
+    }
+    cdf_a.print(std::cout);
+    std::cout << "paper shape: all offsets within +-150 Hz (~0.15 bin)\n\n";
+
+    // --- (b) residual DeltaFFTbin per configuration ----------------------
+    const std::vector<ns::phy::css_params> configs = {
+        {.bandwidth_hz = 500e3, .spreading_factor = 9},
+        {.bandwidth_hz = 250e3, .spreading_factor = 8},
+        {.bandwidth_hz = 125e3, .spreading_factor = 7},
+    };
+    const ns::channel::hardware_delay_model delay{};  // up to 3.5 us jitter
+
+    std::vector<std::vector<double>> residuals(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        for (int packet = 0; packet < 20000; ++packet) {
+            // Jitter relative to the mean (receivers sync to the average
+            // response latency during association).
+            const double dt = delay.sample_s(rng) - delay.mean_us * 1e-6;
+            const double df = crystal.sample_drift_hz(rng);
+            residuals[c].push_back(std::abs(configs[c].bins_from_time_offset(dt) +
+                                            configs[c].bins_from_frequency_offset(df)));
+        }
+    }
+
+    ns::util::text_table ccdf("Fig 14b: 1-CDF of residual DeltaFFTbin",
+                              {"DeltaFFTbin", "BW=500k,SF=9", "BW=250k,SF=8",
+                               "BW=125k,SF=7"});
+    for (double x : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}) {
+        std::vector<std::string> row{ns::util::format_double(x, 2)};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            row.push_back(
+                ns::util::format_double(ns::util::ccdf_at(residuals[c], x), 4));
+        }
+        ccdf.add_row(row);
+    }
+    ccdf.print(std::cout);
+    std::cout << "\npaper shape: wider BW shifts more probability mass toward "
+                 "larger DeltaFFTbin (DeltaFFTbin = Δt*BW), residuals stay under "
+                 "~1 bin -> one empty bin between devices (SKIP=2) suffices; the "
+                 "narrowest configuration is dominated by CFO instead.\n";
+    return 0;
+}

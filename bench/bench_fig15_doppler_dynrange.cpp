@@ -1,0 +1,126 @@
+// Fig. 15 — (a) Doppler effect on ΔFFTbin at walking speeds, and
+// (b) power dynamic range: the maximum power difference two concurrent
+// devices tolerate as a function of their FFT-bin separation.
+//
+// Paper shape: (a) Doppler at <=5 m/s is far below one bin and
+// indistinguishable from static; (b) tolerance grows from ~5 dB at
+// 2 bins to a ~35 dB plateau mid-band, symmetric around bin 256.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "netscatter/channel/awgn.hpp"
+#include "netscatter/channel/impairments.hpp"
+#include "netscatter/channel/superposition.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/mac/allocator.hpp"
+#include "netscatter/phy/frame.hpp"
+#include "netscatter/phy/modulator.hpp"
+#include "netscatter/rx/receiver.hpp"
+#include "netscatter/util/rng.hpp"
+#include "netscatter/util/stats.hpp"
+#include "netscatter/util/table.hpp"
+
+namespace {
+
+// True when the weak device delivers >= 9/10 packets at the given
+// separation and power offset (PER < ~10%; the paper uses PER < 1% with
+// many more trials — this keeps the bench fast while preserving shape).
+bool weak_device_survives(std::uint32_t separation, double strong_snr_db,
+                          double difference_db, ns::util::rng& rng) {
+    ns::rx::receiver_params rxp;
+    rxp.phy = ns::phy::deployed_params();
+    rxp.frame = ns::phy::linklayer_format();
+    rxp.zero_padding_factor = 4;
+    ns::rx::receiver rx(rxp);
+    const std::uint32_t weak_shift = separation % 512;
+    rx.set_registered_shifts({0, weak_shift});
+
+    int delivered = 0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<ns::channel::tx_contribution> txs;
+        std::vector<bool> weak_bits;
+        for (int device = 0; device < 2; ++device) {
+            const auto payload = rng.bits(rxp.frame.payload_bits);
+            const auto bits = ns::phy::build_frame_bits(rxp.frame, payload);
+            if (device == 1) weak_bits = bits;
+            ns::phy::distributed_modulator mod(rxp.phy, device == 0 ? 0 : weak_shift);
+            ns::channel::tx_contribution tx;
+            tx.waveform = mod.modulate_packet(bits);
+            tx.snr_db = device == 0 ? strong_snr_db : strong_snr_db - difference_db;
+            tx.timing_offset_s = rng.uniform(-0.5e-6, 0.5e-6);
+            txs.push_back(std::move(tx));
+        }
+        const std::size_t samples =
+            (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
+            rxp.phy.samples_per_symbol();
+        ns::channel::channel_config config;
+        const auto stream = ns::channel::combine(txs, samples, rxp.phy, config, rng);
+        const auto result = rx.decode(stream, 0);
+        if (result.reports[1].crc_ok && result.reports[1].bits == weak_bits) ++delivered;
+    }
+    return delivered >= 9;
+}
+
+}  // namespace
+
+int main() {
+    ns::util::rng rng(15);
+    const ns::phy::css_params phy = ns::phy::deployed_params();
+
+    // --- (a) Doppler ----------------------------------------------------
+    ns::util::text_table doppler("Fig 15a: 1-CDF of DeltaFFTbin under mobility",
+                                 {"DeltaFFTbin", "static", "1 m/s", "3 m/s", "5 m/s"});
+    std::vector<std::vector<double>> samples(4);
+    const double speeds[4] = {0.0, 1.0, 3.0, 5.0};
+    const ns::channel::hardware_delay_model delay{};
+    for (int s = 0; s < 4; ++s) {
+        for (int p = 0; p < 20000; ++p) {
+            const double dt = delay.sample_s(rng) - delay.mean_us * 1e-6;
+            const double df = ns::channel::sample_doppler_hz(speeds[s], 900e6, rng);
+            samples[static_cast<std::size_t>(s)].push_back(
+                std::abs(phy.bins_from_time_offset(dt) +
+                         phy.bins_from_frequency_offset(df)));
+        }
+    }
+    for (double x : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5}) {
+        std::vector<std::string> row{ns::util::format_double(x, 2)};
+        for (int s = 0; s < 4; ++s) {
+            row.push_back(ns::util::format_double(
+                ns::util::ccdf_at(samples[static_cast<std::size_t>(s)], x), 4));
+        }
+        doppler.add_row(row);
+    }
+    doppler.print(std::cout);
+    std::cout << "paper shape: all four speed curves overlap — Doppler (30 Hz at "
+                 "10 m/s) is negligible vs the ~1 kHz bin\n\n";
+
+    // --- (b) power dynamic range -----------------------------------------
+    ns::util::text_table dynrange(
+        "Fig 15b: max tolerable power difference vs FFT-bin separation",
+        {"separation [bins]", "measured [dB]", "model [dB]"});
+    const double strong_snr = 20.0;
+    for (std::uint32_t separation : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 384u,
+                                     448u, 480u, 496u, 504u, 508u, 510u}) {
+        // Coarse 5 dB search for the largest surviving difference.
+        double tolerated = 0.0;
+        for (double diff = 5.0; diff <= 45.0; diff += 5.0) {
+            if (weak_device_survives(separation, strong_snr, diff, rng)) {
+                tolerated = diff;
+            } else {
+                break;
+            }
+        }
+        dynrange.add_row(
+            {std::to_string(separation), ns::util::format_double(tolerated, 0),
+             ns::util::format_double(
+                 ns::mac::tolerable_power_difference_db(phy, std::min(separation,
+                                                                      512 - separation)),
+                 1)});
+    }
+    dynrange.print(std::cout);
+    std::cout << "\npaper shape: ~5 dB at 2 bins rising to a ~35 dB plateau "
+                 "mid-band, symmetric around bin 256 (aliasing)\n";
+    return 0;
+}

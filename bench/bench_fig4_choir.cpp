@@ -1,0 +1,104 @@
+// Fig. 4 + §2.2 — why Choir cannot scale to backscatter.
+//
+// (a) CDF of per-packet FFT-bin variation (ΔFFTbin) for backscatter
+//     devices (baseband <= 3 MHz) versus active LoRa radios (900 MHz
+//     carrier), BW = 500 kHz, SF = 9. The paper's Fig. 4: radios spread
+//     over 0..7 bins while backscatter stays under one-third of a bin.
+// (b) The two analytic scaling limits of §2.2: the probability that N
+//     devices have distinct tenth-bin fractional signatures, and the
+//     probability that two devices collide in the same cyclic shift.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "netscatter/baseline/choir.hpp"
+#include "netscatter/channel/impairments.hpp"
+#include "netscatter/phy/css_params.hpp"
+#include "netscatter/phy/sensitivity.hpp"
+#include "netscatter/util/rng.hpp"
+#include "netscatter/util/stats.hpp"
+#include "netscatter/util/table.hpp"
+
+int main() {
+    const ns::phy::css_params phy = ns::phy::deployed_params();
+    ns::util::rng rng(42);
+
+    // --- (a) ΔFFTbin distributions --------------------------------------
+    // Each device has a static crystal offset; packet-to-packet drift
+    // produces the observed FFT-bin variation relative to the device's
+    // reference. Radios: 900 MHz carrier; backscatter: 3 MHz baseband.
+    const ns::channel::crystal_model radio{.tolerance_ppm = 7.5,
+                                           .operating_frequency_hz = 900e6,
+                                           .drift_sigma_hz = 0.0};
+    const ns::channel::crystal_model tag{.tolerance_ppm = 50.0,
+                                         .operating_frequency_hz = 3e6,
+                                         .drift_sigma_hz = 15.0};
+
+    const int devices = 256, packets = 100;
+    std::vector<double> radio_bins, tag_bins;
+    for (int d = 0; d < devices; ++d) {
+        const double radio_offset = radio.sample_static_offset_hz(rng);
+        const double tag_offset = tag.sample_static_offset_hz(rng);
+        for (int p = 0; p < packets; ++p) {
+            radio_bins.push_back(
+                std::abs(phy.bins_from_frequency_offset(radio_offset)));
+            tag_bins.push_back(std::abs(phy.bins_from_frequency_offset(
+                tag_offset + tag.sample_drift_hz(rng))));
+        }
+    }
+
+    ns::util::text_table cdf("Fig 4: CDF of DeltaFFTbin (BW=500 kHz, SF=9)",
+                             {"DeltaFFTbin", "backscatter devices", "LoRa radios"});
+    for (double x : {0.1, 0.2, 0.33, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}) {
+        cdf.add_row({ns::util::format_double(x, 2),
+                     ns::util::format_double(ns::util::cdf_at(tag_bins, x), 3),
+                     ns::util::format_double(ns::util::cdf_at(radio_bins, x), 3)});
+    }
+    cdf.print(std::cout);
+    std::cout << "paper shape: backscatter CDF hits 1.0 by ~0.33 bins; radios "
+                 "spread across 0..7 bins\n\n";
+
+    // --- (b) §2.2 analytics ---------------------------------------------
+    ns::util::text_table analytics(
+        "SS2.2: Choir scaling limits (SF=9)",
+        {"N devices", "P[distinct 0.1-bin fractions]", "P[shift collision] exact",
+         "approx N(N-1)/2^(SF+1)"});
+    for (std::size_t n : {2u, 5u, 10u, 15u, 20u}) {
+        analytics.add_row(
+            {std::to_string(n),
+             ns::util::format_double(ns::baseline::choir_unique_fraction_probability(n), 4),
+             ns::util::format_double(
+                 ns::baseline::choir_symbol_collision_probability(n, 9), 4),
+             ns::util::format_double(
+                 ns::baseline::choir_symbol_collision_approximation(n, 9), 4)});
+    }
+    analytics.print(std::cout);
+    std::cout << "paper anchors: P[distinct]=30% at N=5; collision ~9% at N=10, "
+                 "~32% at N=20\n\n";
+
+    // --- multi-SF alternative (§2.2): distinct chirp slopes --------------
+    const auto slopes = ns::phy::analyze_concurrent_configs();
+    std::cout << "multi-SF alternative: " << slopes.distinct_slope_classes
+              << " distinct chirp slopes over the LoRa BW family x SF 6-12 "
+                 "(paper: 19); only "
+              << slopes.usable_classes
+              << " classes meet -123 dBm sensitivity and >=1 kbps (paper: 8) — "
+                 "far short of hundreds of concurrent devices\n\n";
+
+    // --- sample-level confirmation: Choir with compressed signatures ----
+    std::vector<ns::baseline::choir_device> compressed;
+    for (std::uint32_t d = 0; d < 5; ++d) {
+        compressed.push_back({.id = d,
+                              .fractional_offset_bins = rng.uniform(-0.15, 0.15),
+                              .snr_db = 10.0});
+    }
+    const auto result =
+        ns::baseline::simulate_choir_round(phy, compressed, 100, 1.0, rng);
+    std::cout << "sample-level: 5 backscatter-like devices (signatures within "
+                 "+-0.15 bin), Choir decoder attributes "
+              << ns::util::format_double(
+                     100.0 * static_cast<double>(result.correct) /
+                         static_cast<double>(result.transmitted), 1)
+              << "% of symbols correctly (scaling collapses)\n";
+    return 0;
+}

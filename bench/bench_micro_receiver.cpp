@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the §3.1 receiver-complexity
+// claim: "the receiver complexity is nearly constant with the number of
+// devices" — dechirp + one FFT serve every concurrent device; only the
+// per-bin inspection scales (trivially) with N.
+#include <benchmark/benchmark.h>
+
+#include "netscatter/channel/awgn.hpp"
+#include "netscatter/channel/superposition.hpp"
+#include "netscatter/dsp/fft.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/phy/chirp.hpp"
+#include "netscatter/phy/demodulator.hpp"
+#include "netscatter/phy/modulator.hpp"
+#include "netscatter/rx/receiver.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace {
+
+// Builds one superposed payload symbol from `n` concurrent devices.
+ns::dsp::cvec make_superposed_symbol(std::size_t n_devices, ns::util::rng& rng) {
+    const auto phy = ns::phy::deployed_params();
+    ns::dsp::cvec rx(phy.samples_per_symbol(), ns::dsp::cplx{0.0, 0.0});
+    const std::size_t stride = phy.num_bins() / std::max<std::size_t>(n_devices, 1);
+    for (std::size_t d = 0; d < n_devices; ++d) {
+        ns::dsp::cvec chirp = ns::phy::make_upchirp(
+            phy, static_cast<double>(d * stride % phy.num_bins()));
+        ns::dsp::accumulate(rx, chirp);
+    }
+    ns::channel::add_noise(rx, 1.0, rng);
+    return rx;
+}
+
+// Per-symbol demodulation of all N devices: dechirp + FFT + N bin reads.
+void bm_symbol_demod_vs_devices(benchmark::State& state) {
+    const auto n_devices = static_cast<std::size_t>(state.range(0));
+    const auto phy = ns::phy::deployed_params();
+    ns::util::rng rng(1);
+    const ns::dsp::cvec symbol = make_superposed_symbol(n_devices, rng);
+    const ns::phy::demodulator demod(phy, 8);
+    const std::size_t stride = phy.num_bins() / std::max<std::size_t>(n_devices, 1);
+
+    for (auto _ : state) {
+        const auto power = demod.symbol_power_spectrum(symbol);
+        double total = 0.0;
+        for (std::size_t d = 0; d < n_devices; ++d) {
+            total += demod.power_at_bin(
+                power, static_cast<std::uint32_t>(d * stride % phy.num_bins()));
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetLabel(std::to_string(n_devices) + " devices, one FFT");
+}
+BENCHMARK(bm_symbol_demod_vs_devices)->Arg(1)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// The FFT kernel itself across the sizes the system uses.
+void bm_fft(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    ns::util::rng rng(2);
+    ns::dsp::cvec data(n);
+    for (auto& x : data) x = ns::dsp::cplx{rng.gaussian(), rng.gaussian()};
+    for (auto _ : state) {
+        ns::dsp::cvec copy = data;
+        ns::dsp::fft_inplace(copy);
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(bm_fft)->Arg(512)->Arg(1024)->Arg(4096)->Arg(8192);
+
+// Device-side modulation cost (what the FPGA does): one packet.
+void bm_modulate_packet(benchmark::State& state) {
+    const auto phy = ns::phy::deployed_params();
+    const auto frame = ns::phy::linklayer_format();
+    ns::util::rng rng(3);
+    const ns::phy::distributed_modulator mod(phy, 100);
+    const auto bits = ns::phy::build_frame_bits(frame, rng.bits(frame.payload_bits));
+    for (auto _ : state) {
+        auto packet = mod.modulate_packet(bits);
+        benchmark::DoNotOptimize(packet.data());
+    }
+}
+BENCHMARK(bm_modulate_packet);
+
+// Full-round decode (preamble detection + 40 payload symbols) vs devices.
+void bm_full_round_decode(benchmark::State& state) {
+    const auto n_devices = static_cast<std::size_t>(state.range(0));
+    ns::rx::receiver_params rxp;
+    rxp.phy = ns::phy::deployed_params();
+    rxp.frame = ns::phy::linklayer_format();
+    ns::rx::receiver rx(rxp);
+    ns::util::rng rng(4);
+
+    const std::size_t stride =
+        rxp.phy.num_bins() / std::max<std::size_t>(n_devices, 1);
+    std::vector<std::uint32_t> shifts;
+    std::vector<ns::channel::tx_contribution> txs;
+    for (std::size_t d = 0; d < n_devices; ++d) {
+        const auto shift =
+            static_cast<std::uint32_t>(d * stride % rxp.phy.num_bins());
+        shifts.push_back(shift);
+        ns::phy::distributed_modulator mod(rxp.phy, shift);
+        ns::channel::tx_contribution tx;
+        tx.waveform = mod.modulate_packet(
+            ns::phy::build_frame_bits(rxp.frame, rng.bits(rxp.frame.payload_bits)));
+        tx.snr_db = 5.0;
+        txs.push_back(std::move(tx));
+    }
+    rx.set_registered_shifts(shifts);
+    const std::size_t samples =
+        (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
+        rxp.phy.samples_per_symbol();
+    ns::channel::channel_config config;
+    const auto stream = ns::channel::combine(txs, samples, rxp.phy, config, rng);
+
+    for (auto _ : state) {
+        const auto result = rx.decode(stream, 0);
+        benchmark::DoNotOptimize(result.reports.data());
+    }
+    state.SetLabel(std::to_string(n_devices) + " devices");
+}
+BENCHMARK(bm_full_round_decode)->Arg(1)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

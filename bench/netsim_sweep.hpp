@@ -1,0 +1,55 @@
+// Shared helper for the network-evaluation benches (Figs. 17-19): sweep
+// the device count over the paper's x-axis, run the sample-level
+// simulator on a common office deployment, and hand back per-point
+// delivery statistics plus the deployment RSSIs the rate-adaptation
+// baseline needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netscatter/sim/deployment.hpp"
+#include "netscatter/sim/network_sim.hpp"
+
+namespace bench {
+
+/// The x-axis of Figs. 17-19.
+inline std::vector<std::size_t> paper_device_counts() {
+    return {1, 16, 32, 64, 96, 128, 160, 192, 224, 256};
+}
+
+/// One sweep point: simulated delivery and the population's link budget.
+struct sweep_point {
+    std::size_t num_devices = 0;
+    double mean_delivered = 0.0;   ///< devices delivered per round (sample-level)
+    double delivery_rate = 0.0;    ///< delivered / transmitting
+    std::vector<double> uplink_rssi_dbm;  ///< per-device backscatter RSSI at the AP
+};
+
+/// Runs the simulator for each device count on deployments drawn with
+/// `seed`. `rounds` concurrent rounds per point.
+inline std::vector<sweep_point> run_sweep(std::size_t rounds, std::uint64_t seed,
+                                          ns::sim::sim_config base_config = {}) {
+    std::vector<sweep_point> points;
+    for (std::size_t n : paper_device_counts()) {
+        const ns::sim::deployment dep(ns::sim::deployment_params{}, n, seed);
+        ns::sim::sim_config config = base_config;
+        config.rounds = rounds;
+        config.seed = seed + n;
+        config.zero_padding = 4;  // keep the sweep fast; +-0.5 bin search holds
+        ns::sim::network_simulator sim(dep, config);
+        const ns::sim::sim_result result = sim.run();
+
+        sweep_point point;
+        point.num_devices = n;
+        point.mean_delivered = result.mean_delivered_per_round();
+        point.delivery_rate = result.delivery_rate();
+        for (const auto& device : dep.devices()) {
+            point.uplink_rssi_dbm.push_back(device.uplink_rx_dbm);
+        }
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+}  // namespace bench

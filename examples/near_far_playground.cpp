@@ -1,0 +1,86 @@
+// Near-far playground: interactively explore the near-far problem
+// (§3.2.3) with two devices.
+//
+// Device A is strong (near the AP) at cyclic shift 0; device B's shift
+// and relative power are swept. The program reports, for each bin
+// separation, whether B still decodes — reproducing in miniature the
+// dynamic-range behaviour of Fig. 15b and the 13.5 dB SKIP=2 limit.
+//
+// Usage: ./build/examples/near_far_playground [strong_snr_db] [trials]
+#include <cstdlib>
+#include <iostream>
+
+#include "netscatter/netscatter.hpp"
+
+namespace {
+
+// Returns the fraction of B's packets that decode at the given geometry.
+double weak_delivery_rate(std::uint32_t shift_b, double snr_a_db, double snr_b_db,
+                          int trials, ns::util::rng& rng) {
+    const ns::phy::css_params phy = ns::phy::deployed_params();
+    const ns::phy::frame_format frame = ns::phy::linklayer_format();
+    ns::rx::receiver receiver({.phy = phy, .frame = frame});
+    receiver.set_registered_shifts({0, shift_b});
+
+    int delivered = 0;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<ns::channel::tx_contribution> txs;
+        std::vector<bool> payload_b;
+        for (int device = 0; device < 2; ++device) {
+            const std::vector<bool> payload = rng.bits(frame.payload_bits);
+            if (device == 1) payload_b = payload;
+            ns::phy::distributed_modulator mod(phy, device == 0 ? 0 : shift_b);
+            ns::channel::tx_contribution tx;
+            tx.waveform = mod.modulate_packet(ns::phy::build_frame_bits(frame, payload));
+            tx.snr_db = device == 0 ? snr_a_db : snr_b_db;
+            // Residual jitter keeps the scenario honest.
+            tx.timing_offset_s = rng.uniform(-0.5e-6, 0.5e-6);
+            txs.push_back(std::move(tx));
+        }
+        const std::size_t samples =
+            (frame.preamble_symbols + frame.payload_plus_crc_bits()) *
+            phy.samples_per_symbol();
+        ns::channel::channel_config channel;
+        const auto received = ns::channel::combine(txs, samples, phy, channel, rng);
+        const auto result = receiver.decode(received, 0);
+        if (result.reports[1].crc_ok && result.reports[1].payload == payload_b) {
+            ++delivered;
+        }
+    }
+    return static_cast<double>(delivered) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const double snr_a = argc > 1 ? std::atof(argv[1]) : 20.0;
+    const int trials = argc > 2 ? std::atoi(argv[2]) : 5;
+    ns::util::rng rng(7);
+
+    std::cout << "Near-far playground: strong device at shift 0, SNR " << snr_a
+              << " dB\nweak device swept in shift and power (delivery of the weak "
+                 "device)\n\n";
+
+    ns::util::text_table table(
+        "weak-device delivery rate vs bin separation and power difference",
+        {"separation [bins]", "predicted tolerable [dB]", "diff 10 dB", "diff 20 dB",
+         "diff 30 dB"});
+
+    const auto phy = ns::phy::deployed_params();
+    for (std::uint32_t separation : {2u, 8u, 32u, 128u, 256u}) {
+        std::vector<std::string> row;
+        row.push_back(std::to_string(separation));
+        row.push_back(ns::util::format_double(
+            ns::mac::tolerable_power_difference_db(phy, separation), 1));
+        for (double diff : {10.0, 20.0, 30.0}) {
+            const double rate =
+                weak_delivery_rate(separation, snr_a, snr_a - diff, trials, rng);
+            row.push_back(ns::util::format_double(100.0 * rate, 0) + "%");
+        }
+        table.add_row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nLesson (§3.2.3): park weak devices far (in bins) from strong "
+                 "ones — exactly what the power-aware allocator does.\n";
+    return 0;
+}

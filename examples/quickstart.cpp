@@ -1,0 +1,70 @@
+// Quickstart: the smallest end-to-end NetScatter example.
+//
+// Four backscatter devices are assigned cyclic shifts, transmit their
+// payloads *concurrently* through a noisy channel, and the receiver
+// recovers all four packets from the superposed baseband with one FFT
+// per symbol.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdint>
+#include <iostream>
+
+#include "netscatter/netscatter.hpp"
+
+int main() {
+    // 1. PHY configuration: the deployed 500 kHz / SF 9 link (Table 1).
+    const ns::phy::css_params phy = ns::phy::deployed_params();
+    const ns::phy::frame_format frame = ns::phy::linklayer_format();
+    std::cout << "NetScatter quickstart\n"
+              << "  bandwidth        : " << phy.bandwidth_hz / 1e3 << " kHz\n"
+              << "  spreading factor : " << phy.spreading_factor << "\n"
+              << "  per-device rate  : " << phy.onoff_bitrate_bps() << " bps\n"
+              << "  concurrent slots : " << phy.num_bins() / 2 << " (SKIP=2)\n\n";
+
+    ns::util::rng rng(2026);
+
+    // 2. Assign cyclic shifts (what the AP does at association) and build
+    //    each device's packet: 8-symbol preamble + ON-OFF keyed payload.
+    const std::vector<std::uint32_t> shifts = {0, 128, 256, 384};
+    std::vector<std::vector<bool>> payloads;
+    std::vector<ns::channel::tx_contribution> over_the_air;
+    for (std::uint32_t shift : shifts) {
+        const std::vector<bool> payload = rng.bits(frame.payload_bits);
+        payloads.push_back(payload);
+        const std::vector<bool> bits = ns::phy::build_frame_bits(frame, payload);
+
+        ns::phy::distributed_modulator modulator(phy, shift);
+        ns::channel::tx_contribution tx;
+        tx.waveform = modulator.modulate_packet(bits);
+        tx.snr_db = -5.0;  // each device 5 dB below the noise floor
+        over_the_air.push_back(std::move(tx));
+    }
+
+    // 3. The channel superposes all transmissions and adds noise.
+    const std::size_t samples =
+        (frame.preamble_symbols + frame.payload_plus_crc_bits()) *
+        phy.samples_per_symbol();
+    ns::channel::channel_config channel;
+    const ns::dsp::cvec received =
+        ns::channel::combine(over_the_air, samples, phy, channel, rng);
+
+    // 4. One receiver decodes everyone.
+    ns::rx::receiver receiver({.phy = phy, .frame = frame});
+    receiver.set_registered_shifts(shifts);
+    const ns::rx::decode_result result = receiver.decode(received, 0);
+
+    std::cout << "decoded " << result.reports.size() << " devices at SNR -5 dB:\n";
+    bool all_ok = true;
+    for (std::size_t d = 0; d < result.reports.size(); ++d) {
+        const auto& report = result.reports[d];
+        const bool payload_ok = report.crc_ok && report.payload == payloads[d];
+        all_ok = all_ok && payload_ok;
+        std::cout << "  device at shift " << report.cyclic_shift
+                  << ": detected=" << (report.detected ? "yes" : "no")
+                  << " crc=" << (report.crc_ok ? "ok" : "FAIL")
+                  << " payload=" << (payload_ok ? "correct" : "WRONG") << "\n";
+    }
+    std::cout << (all_ok ? "\nall packets recovered from one concurrent round\n"
+                         : "\nsome packets were lost — try a different seed\n");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,150 @@
+#include "netscatter/baseline/choir.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netscatter/channel/awgn.hpp"
+#include "netscatter/dsp/peak.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/phy/chirp.hpp"
+#include "netscatter/util/error.hpp"
+#include "netscatter/util/units.hpp"
+
+namespace ns::baseline {
+
+double choir_unique_fraction_probability(std::size_t n_devices, double resolution_bins) {
+    ns::util::require(resolution_bins > 0.0 && resolution_bins <= 1.0,
+                      "choir: resolution must be in (0,1]");
+    const auto buckets = static_cast<std::size_t>(std::round(1.0 / resolution_bins));
+    if (n_devices > buckets) return 0.0;
+    double probability = 1.0;
+    for (std::size_t i = 0; i < n_devices; ++i) {
+        probability *= static_cast<double>(buckets - i) / static_cast<double>(buckets);
+    }
+    return probability;
+}
+
+double choir_symbol_collision_probability(std::size_t n_devices, int spreading_factor) {
+    const double bins = static_cast<double>(std::size_t{1} << spreading_factor);
+    double no_collision = 1.0;
+    for (std::size_t i = 1; i <= n_devices; ++i) {
+        no_collision *= 1.0 - static_cast<double>(i - 1) / bins;
+    }
+    return 1.0 - no_collision;
+}
+
+double choir_symbol_collision_approximation(std::size_t n_devices, int spreading_factor) {
+    const double n = static_cast<double>(n_devices);
+    return n * (n - 1.0) / static_cast<double>(std::size_t{1} << (spreading_factor + 1));
+}
+
+choir_decoder::choir_decoder(ns::phy::css_params params, double resolution_bins,
+                             std::size_t zero_padding_factor)
+    : params_(params),
+      resolution_bins_(resolution_bins),
+      demod_(params, zero_padding_factor) {}
+
+void choir_decoder::set_devices(std::vector<choir_device> devices) {
+    devices_ = std::move(devices);
+}
+
+std::vector<choir_decoded_symbol> choir_decoder::decode_symbol(
+    const cvec& symbol, double detection_factor) const {
+    const std::vector<double> power = demod_.symbol_power_spectrum(symbol);
+
+    std::vector<double> sorted = power;
+    const std::size_t mid = sorted.size() / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                     sorted.end());
+    const double noise = sorted[mid];
+
+    const std::vector<ns::dsp::peak> peaks =
+        ns::dsp::find_peaks_above(power, detection_factor * noise);
+
+    std::vector<choir_decoded_symbol> decoded;
+    const double padding = static_cast<double>(demod_.padding_factor());
+    const double n_bins = static_cast<double>(params_.num_bins());
+
+    for (const auto& pk : peaks) {
+        if (decoded.size() >= devices_.size()) break;
+        const double location_bins = pk.fractional_bin / padding;  // in chip bins
+        const double integer_bin = std::floor(location_bins + 0.5);
+        double fraction = location_bins - integer_bin;  // in (-0.5, 0.5]
+
+        // Attribute to the nearest registered signature within half the
+        // resolution; ambiguous peaks (two signatures equally near) drop.
+        const choir_device* best = nullptr;
+        double best_err = resolution_bins_ / 2.0;
+        bool ambiguous = false;
+        for (const auto& device : devices_) {
+            const double err = std::abs(fraction - device.fractional_offset_bins);
+            if (err < best_err - 1e-12) {
+                best = &device;
+                best_err = err;
+                ambiguous = false;
+            } else if (best != nullptr && std::abs(err - best_err) <= 1e-12) {
+                ambiguous = true;
+            }
+        }
+        if (best == nullptr || ambiguous) continue;
+
+        choir_decoded_symbol out;
+        out.device_id = best->id;
+        const double wrapped = std::fmod(integer_bin + n_bins, n_bins);
+        out.symbol_value = static_cast<std::uint32_t>(wrapped);
+        decoded.push_back(out);
+    }
+    return decoded;
+}
+
+choir_round_result simulate_choir_round(const ns::phy::css_params& params,
+                                        const std::vector<choir_device>& devices,
+                                        std::size_t num_symbols, double noise_power,
+                                        ns::util::rng& rng) {
+    choir_round_result result;
+    choir_decoder decoder(params);
+    decoder.set_devices(devices);
+
+    const std::size_t sps = params.samples_per_symbol();
+    const auto n_bins = static_cast<std::uint32_t>(params.num_bins());
+
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+        // Each device picks a random symbol (random payload assumption of
+        // §2.2) and transmits its shifted chirp with its signature offset.
+        std::vector<std::uint32_t> sent(devices.size());
+        cvec superposed(sps, ns::dsp::cplx{0.0, 0.0});
+        for (std::size_t d = 0; d < devices.size(); ++d) {
+            sent[d] = static_cast<std::uint32_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(n_bins) - 1));
+            const double shift =
+                static_cast<double>(sent[d]) + devices[d].fractional_offset_bins;
+            cvec waveform = ns::phy::make_upchirp(params, shift);
+            const double amplitude =
+                std::sqrt(noise_power * ns::util::db_to_linear(devices[d].snr_db));
+            ns::dsp::scale(waveform, ns::dsp::cplx{amplitude, 0.0});
+            ns::dsp::accumulate(superposed, waveform);
+        }
+        ns::channel::add_noise(superposed, noise_power, rng);
+
+        // Count integer-bin collisions among transmitters (undecodable).
+        for (std::size_t a = 0; a < devices.size(); ++a) {
+            for (std::size_t b = a + 1; b < devices.size(); ++b) {
+                if (sent[a] == sent[b]) ++result.collided;
+            }
+        }
+
+        const std::vector<choir_decoded_symbol> decoded = decoder.decode_symbol(superposed);
+        result.transmitted += devices.size();
+        for (const auto& out : decoded) {
+            for (std::size_t d = 0; d < devices.size(); ++d) {
+                if (devices[d].id == out.device_id && sent[d] == out.symbol_value) {
+                    ++result.correct;
+                    break;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace ns::baseline

@@ -1,0 +1,130 @@
+#include "netscatter/baseline/lora_link.hpp"
+
+#include <cmath>
+
+#include "netscatter/mac/query_message.hpp"
+#include "netscatter/phy/chirp.hpp"
+#include "netscatter/phy/sensitivity.hpp"
+#include "netscatter/util/error.hpp"
+
+namespace ns::baseline {
+
+lora_link::lora_link(ns::phy::css_params params, ns::phy::frame_format frame)
+    : params_(params), frame_(frame), modulator_(params), demodulator_(params) {}
+
+cvec lora_link::modulate_packet(const std::vector<bool>& payload) const {
+    ns::util::require(payload.size() == frame_.payload_bits,
+                      "lora_link: payload size mismatch");
+    // Preamble: 6 baseline upchirps + 2 baseline downchirps, like the
+    // LoRa preamble §3.3.1 models.
+    cvec packet;
+    const cvec up = ns::phy::make_upchirp(params_, 0.0);
+    const cvec down = ns::phy::make_downchirp(params_, 0.0);
+    for (int i = 0; i < 6; ++i) packet.insert(packet.end(), up.begin(), up.end());
+    for (int i = 0; i < 2; ++i) packet.insert(packet.end(), down.begin(), down.end());
+
+    const std::vector<bool> bits = ns::phy::build_frame_bits(frame_, payload);
+    const cvec body = modulator_.modulate_bits(bits);
+    packet.insert(packet.end(), body.begin(), body.end());
+    return packet;
+}
+
+std::optional<std::vector<bool>> lora_link::demodulate_packet(const cvec& rx) const {
+    const std::size_t sps = params_.samples_per_symbol();
+    const std::size_t preamble = frame_.preamble_symbols * sps;
+    const std::size_t body_symbols = frame_.lora_symbols(params_) - frame_.preamble_symbols;
+    if (rx.size() < preamble + body_symbols * sps) return std::nullopt;
+
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(body_symbols);
+    for (std::size_t i = 0; i < body_symbols; ++i) {
+        const cvec window(rx.begin() + static_cast<std::ptrdiff_t>(preamble + i * sps),
+                          rx.begin() + static_cast<std::ptrdiff_t>(preamble + (i + 1) * sps));
+        symbols.push_back(demodulator_.demodulate_lora_symbol(window));
+    }
+    const std::vector<bool> bits =
+        modulator_.symbols_to_bits(symbols, frame_.payload_plus_crc_bits());
+    const ns::phy::frame_check_result check = ns::phy::check_frame_bits(frame_, bits);
+    if (!check.ok) return std::nullopt;
+    return check.payload;
+}
+
+tdma_round fixed_rate_round(const ns::phy::frame_format& frame) {
+    tdma_round round;
+    round.query_time_s = static_cast<double>(ns::mac::lora_backscatter_query_bits) /
+                         ns::mac::downlink_bitrate_bps;
+    round.packet_time_s = frame.lora_airtime_s(fixed_rate_params());
+    round.total_time_s = round.query_time_s + round.packet_time_s;
+    return round;
+}
+
+std::optional<tdma_round> rate_adapted_round(const ns::phy::frame_format& frame,
+                                             double rssi_dbm) {
+    // Pick the highest-bitrate configuration whose sensitivity is met and
+    // compute the exact airtime of that configuration.
+    const auto& options = ns::phy::rate_adaptation_table();
+    for (const auto& option : options) {
+        if (rssi_dbm >= option.required_rssi_dbm) {
+            tdma_round round;
+            round.query_time_s = static_cast<double>(ns::mac::lora_backscatter_query_bits) /
+                                 ns::mac::downlink_bitrate_bps;
+            round.packet_time_s = frame.lora_airtime_s(option.params);
+            round.total_time_s = round.query_time_s + round.packet_time_s;
+            return round;
+        }
+    }
+    return std::nullopt;
+}
+
+tdma_network_metrics fixed_rate_network(const ns::phy::frame_format& frame,
+                                        std::size_t num_devices) {
+    tdma_network_metrics metrics;
+    const tdma_round round = fixed_rate_round(frame);
+    const double payload_bits = static_cast<double>(frame.payload_bits);
+    const double n = static_cast<double>(num_devices);
+
+    // PHY rate during the payload part: one device transmits at a time at
+    // the nominal LoRa bitrate (SF bits per symbol), ~8.7 kbps (§4.4).
+    metrics.phy_rate_bps = fixed_rate_params().lora_bitrate_bps();
+    metrics.latency_s = n * round.total_time_s;
+    metrics.linklayer_rate_bps =
+        metrics.latency_s > 0.0 ? n * payload_bits / metrics.latency_s : 0.0;
+    metrics.served = num_devices;
+    return metrics;
+}
+
+tdma_network_metrics rate_adapted_network(const ns::phy::frame_format& frame,
+                                          const std::vector<double>& rssi_dbm) {
+    tdma_network_metrics metrics;
+    const double payload_bits = static_cast<double>(frame.payload_bits);
+    double total_time = 0.0;
+    double total_payload_time = 0.0;
+    for (double rssi : rssi_dbm) {
+        const std::optional<tdma_round> round = rate_adapted_round(frame, rssi);
+        if (!round.has_value()) continue;
+        ++metrics.served;
+        total_time += round->total_time_s;
+        // Payload airtime at the chosen configuration's nominal bitrate.
+        const auto& options = ns::phy::rate_adaptation_table();
+        for (const auto& option : options) {
+            if (rssi >= option.required_rssi_dbm) {
+                total_payload_time +=
+                    static_cast<double>(frame.payload_plus_crc_bits()) / option.bitrate_bps;
+                break;
+            }
+        }
+    }
+    const double served = static_cast<double>(metrics.served);
+    metrics.latency_s = total_time;
+    metrics.linklayer_rate_bps = total_time > 0.0 ? served * payload_bits / total_time : 0.0;
+    // Payload-part bits over payload airtime == the harmonic mean of the
+    // chosen per-device bitrates.
+    metrics.phy_rate_bps =
+        total_payload_time > 0.0
+            ? served * static_cast<double>(frame.payload_plus_crc_bits()) /
+                  total_payload_time
+            : 0.0;
+    return metrics;
+}
+
+}  // namespace ns::baseline

@@ -1,0 +1,33 @@
+#include "netscatter/channel/awgn.hpp"
+
+#include <cmath>
+
+#include "netscatter/util/units.hpp"
+
+namespace ns::channel {
+
+cvec make_noise(std::size_t n, double noise_power, ns::util::rng& rng) {
+    cvec noise(n);
+    const double sigma = std::sqrt(noise_power / 2.0);
+    for (auto& sample : noise) {
+        sample = cplx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+    }
+    return noise;
+}
+
+void add_noise(cvec& signal, double noise_power, ns::util::rng& rng) {
+    const double sigma = std::sqrt(noise_power / 2.0);
+    for (auto& sample : signal) {
+        sample += cplx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+    }
+}
+
+void add_noise_for_unit_signal_snr(cvec& signal, double snr_db, ns::util::rng& rng) {
+    add_noise(signal, ns::util::db_to_linear(-snr_db), rng);
+}
+
+double noise_power_for_snr(double signal_power, double snr_db) {
+    return signal_power / ns::util::db_to_linear(snr_db);
+}
+
+}  // namespace ns::channel

@@ -1,0 +1,33 @@
+// Additive white Gaussian noise.
+//
+// NetScatter operates below the noise floor (per-device SNR down to
+// ~-20 dB in Fig. 12); the dechirp+FFT provides the 2^SF processing gain
+// that lifts the peak above the noise. Noise is complex circular
+// Gaussian with the requested total power.
+#pragma once
+
+#include "netscatter/dsp/fft.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace ns::channel {
+
+using ns::dsp::cplx;
+using ns::dsp::cvec;
+
+/// Generates n samples of complex circular Gaussian noise with average
+/// power `noise_power` (variance split evenly between I and Q).
+cvec make_noise(std::size_t n, double noise_power, ns::util::rng& rng);
+
+/// Adds complex Gaussian noise of average power `noise_power` to `signal`
+/// in place.
+void add_noise(cvec& signal, double noise_power, ns::util::rng& rng);
+
+/// Adds noise such that a *unit-power* signal would see the given SNR:
+/// noise power = 10^(-snr_db/10). Use when the signal of interest has
+/// unit power and interferers are scaled relative to it.
+void add_noise_for_unit_signal_snr(cvec& signal, double snr_db, ns::util::rng& rng);
+
+/// Noise power that yields `snr_db` for a signal of power `signal_power`.
+double noise_power_for_snr(double signal_power, double snr_db);
+
+}  // namespace ns::channel

@@ -1,0 +1,25 @@
+#include "netscatter/channel/fading.hpp"
+
+#include <cmath>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::channel {
+
+gauss_markov_fading::gauss_markov_fading(double sigma_db, double correlation,
+                                         ns::util::rng rng)
+    : sigma_db_(sigma_db), rho_(correlation), current_db_(0.0), rng_(rng) {
+    ns::util::require(sigma_db >= 0.0, "gauss_markov_fading: sigma must be >= 0");
+    ns::util::require(correlation >= 0.0 && correlation < 1.0,
+                      "gauss_markov_fading: correlation must be in [0,1)");
+    // Start from the stationary distribution.
+    current_db_ = rng_.gaussian(0.0, sigma_db_);
+}
+
+double gauss_markov_fading::next_db() {
+    const double innovation = std::sqrt(1.0 - rho_ * rho_) * sigma_db_;
+    current_db_ = rho_ * current_db_ + rng_.gaussian(0.0, innovation);
+    return current_db_;
+}
+
+}  // namespace ns::channel

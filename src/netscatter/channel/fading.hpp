@@ -1,0 +1,36 @@
+// Time-varying channel gain for mobility-induced fading (Fig. 9).
+//
+// The paper measures each device's SNR variance over 30 minutes while
+// people walk around an office: variations stay within roughly +-5 dB.
+// We model the per-device channel gain (in dB) as a first-order
+// Gauss-Markov (AR(1)) process around the static path-loss value — the
+// standard model for shadow-fading time series.
+#pragma once
+
+#include "netscatter/util/rng.hpp"
+
+namespace ns::channel {
+
+/// AR(1) fading process: g[k+1] = rho * g[k] + sqrt(1-rho^2) * w,
+/// w ~ N(0, sigma^2), so the process is stationary with std dev sigma dB.
+class gauss_markov_fading {
+public:
+    /// `sigma_db` is the stationary standard deviation of the gain (dB);
+    /// `correlation` is the one-step correlation coefficient rho in [0,1).
+    gauss_markov_fading(double sigma_db, double correlation, ns::util::rng rng);
+
+    /// Advances one step and returns the current gain deviation in dB
+    /// (zero-mean; add to the static received power).
+    double next_db();
+
+    /// Current gain deviation without advancing.
+    double current_db() const { return current_db_; }
+
+private:
+    double sigma_db_;
+    double rho_;
+    double current_db_;
+    ns::util::rng rng_;
+};
+
+}  // namespace ns::channel

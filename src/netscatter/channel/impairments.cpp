@@ -1,0 +1,85 @@
+#include "netscatter/channel/impairments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netscatter/util/error.hpp"
+#include "netscatter/util/units.hpp"
+
+namespace ns::channel {
+
+double hardware_delay_model::sample_s(ns::util::rng& rng) const {
+    const double sample_us = std::clamp(rng.gaussian(mean_us, sigma_us), 0.0, max_us);
+    return sample_us * 1e-6;
+}
+
+double crystal_model::sample_static_offset_hz(ns::util::rng& rng) const {
+    const double ppm = rng.uniform(-tolerance_ppm, tolerance_ppm);
+    return ppm * 1e-6 * operating_frequency_hz;
+}
+
+double crystal_model::sample_drift_hz(ns::util::rng& rng) const {
+    return rng.gaussian(0.0, drift_sigma_hz);
+}
+
+double doppler_shift_hz(double speed_mps, double carrier_hz) {
+    return speed_mps / ns::util::speed_of_light_mps * carrier_hz;
+}
+
+double sample_doppler_hz(double speed_mps, double carrier_hz, ns::util::rng& rng) {
+    const double radial = rng.uniform(-speed_mps, speed_mps);
+    return doppler_shift_hz(radial, carrier_hz);
+}
+
+cvec multipath_model::sample_taps(double sample_rate_hz, ns::util::rng& rng) const {
+    ns::util::require(num_taps >= 0, "multipath_model: num_taps must be >= 0");
+    ns::util::require(sample_rate_hz > 0.0, "multipath_model: sample rate must be positive");
+
+    const double k_linear = ns::util::db_to_linear(rician_k_db);
+    const double scatter_power = 1.0 / (1.0 + k_linear);
+    const double los_power = k_linear / (1.0 + k_linear);
+    const double tap_interval_s = 1.0 / sample_rate_hz;
+
+    cvec taps(static_cast<std::size_t>(num_taps) + 1);
+    // LoS tap: fixed power, random phase.
+    taps[0] = std::polar(std::sqrt(los_power), rng.uniform(0.0, 2.0 * 3.141592653589793));
+    // Scattered taps: Rayleigh with exponentially decaying power profile.
+    double profile_sum = 0.0;
+    std::vector<double> profile(static_cast<std::size_t>(num_taps));
+    for (int i = 0; i < num_taps; ++i) {
+        const double delay = static_cast<double>(i + 1) * tap_interval_s;
+        profile[static_cast<std::size_t>(i)] = std::exp(-delay / delay_spread_s);
+        profile_sum += profile[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < num_taps; ++i) {
+        const double p = profile_sum > 0.0
+                             ? scatter_power * profile[static_cast<std::size_t>(i)] / profile_sum
+                             : 0.0;
+        const double sigma = std::sqrt(p / 2.0);
+        taps[static_cast<std::size_t>(i) + 1] =
+            cplx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+    }
+    return taps;
+}
+
+cvec apply_multipath(const cvec& signal, const cvec& taps) {
+    cvec out(signal.size(), cplx{0.0, 0.0});
+    for (std::size_t t = 0; t < taps.size(); ++t) {
+        if (taps[t] == cplx{0.0, 0.0}) continue;
+        for (std::size_t i = t; i < signal.size(); ++i) {
+            out[i] += taps[t] * signal[i - t];
+        }
+    }
+    return out;
+}
+
+double equivalent_tone_shift_hz(const ns::phy::css_params& params, double timing_offset_s,
+                                double frequency_offset_hz) {
+    // Bin displacement from timing: dt * BW bins; from CFO: df / bin_spacing
+    // bins. One bin equals bin_spacing_hz() in the dechirped spectrum.
+    const double bins = params.bins_from_time_offset(timing_offset_s) +
+                        params.bins_from_frequency_offset(frequency_offset_hz);
+    return bins * params.bin_spacing_hz();
+}
+
+}  // namespace ns::channel

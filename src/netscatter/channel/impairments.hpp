@@ -1,0 +1,84 @@
+// Hardware impairment models: timing jitter, crystal frequency offset,
+// Doppler and multipath delay spread (§3.2.1, §3.2.2, §4.2).
+//
+// These models substitute for the paper's measured hardware behaviour:
+//  * MCU/FPGA hardware delay varies packet-to-packet, up to ~3.5 us —
+//    the dominant impairment, motivating SKIP guard bins.
+//  * Crystal tolerance up to 100 ppm; backscatter basebands are <= 3 MHz,
+//    so absolute CFO stays under ~300 Hz (< 0.3 bin at 500 kHz/SF9,
+//    Fig. 14a shows < 150 Hz), whereas 900 MHz LoRa radios see offsets
+//    ~90-300x larger (Fig. 4).
+//  * Doppler at indoor speeds is tens of Hz — negligible (Fig. 15a).
+//  * Indoor multipath delay spread is 50-300 ns (< 0.15 bin, §3.2.1).
+#pragma once
+
+#include "netscatter/dsp/fft.hpp"
+#include "netscatter/phy/css_params.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace ns::channel {
+
+using ns::dsp::cplx;
+using ns::dsp::cvec;
+
+/// Packet-to-packet hardware (MCU + envelope detector + FPGA) delay model.
+struct hardware_delay_model {
+    double mean_us = 1.2;     ///< mean response latency
+    double sigma_us = 0.6;    ///< packet-to-packet jitter std dev
+    double max_us = 3.5;      ///< hard cap observed in the paper (§3.2.1)
+
+    /// Samples one packet's hardware delay in seconds (truncated Gaussian,
+    /// clamped to [0, max_us]).
+    double sample_s(ns::util::rng& rng) const;
+};
+
+/// Crystal-oscillator frequency-offset model.
+struct crystal_model {
+    double tolerance_ppm = 50.0;    ///< +-ppm spread across devices ([2]: up to 100)
+    double operating_frequency_hz = 3e6;  ///< backscatter baseband (<= 10 MHz);
+                                          ///< 900e6 for an active LoRa radio
+
+    /// Draws a device's static frequency offset in Hz (uniform in
+    /// +-tolerance_ppm of the operating frequency).
+    double sample_static_offset_hz(ns::util::rng& rng) const;
+
+    /// Packet-to-packet drift around the static offset (thermal wander),
+    /// a small Gaussian (sigma = drift_sigma_hz).
+    double drift_sigma_hz = 15.0;
+    double sample_drift_hz(ns::util::rng& rng) const;
+};
+
+/// Doppler frequency shift for a device moving at `speed_mps` with
+/// carrier `carrier_hz`: f_d = v/c * f_c (worst case, radial motion).
+double doppler_shift_hz(double speed_mps, double carrier_hz = 900e6);
+
+/// Random Doppler sample for a mover: radial velocity uniform in
+/// [-speed, +speed] (direction changes as the person walks).
+double sample_doppler_hz(double speed_mps, double carrier_hz, ns::util::rng& rng);
+
+/// Saleh-Valenzuela-inspired indoor multipath: exponential power delay
+/// profile. Returns complex tap gains; tap `i` is delayed i samples.
+struct multipath_model {
+    double delay_spread_s = 150e-9;  ///< RMS delay spread (50-300 ns indoors)
+    int num_taps = 4;                ///< taps beyond the LoS tap
+    double rician_k_db = 9.0;        ///< LoS-to-scatter power ratio
+
+    /// Draws a normalized (unit total power) tap vector; tap spacing is
+    /// one sample at `sample_rate_hz`.
+    cvec sample_taps(double sample_rate_hz, ns::util::rng& rng) const;
+};
+
+/// Applies a tapped-delay-line channel to a signal (linear convolution
+/// truncated to the input length).
+cvec apply_multipath(const cvec& signal, const cvec& taps);
+
+/// Converts an impairment pair (timing offset, frequency offset) into the
+/// equivalent dechirped-domain frequency shift in Hz for the given CSS
+/// parameters. A timing offset dt displaces the peak by dt*BW bins
+/// (§3.2.1); a frequency offset df displaces it by df/bin_spacing bins
+/// (§3.2.2). Both act as a single tone shift after dechirping, which this
+/// helper aggregates so the simulator can apply one frequency_shift().
+double equivalent_tone_shift_hz(const ns::phy::css_params& params, double timing_offset_s,
+                                double frequency_offset_hz);
+
+}  // namespace ns::channel

@@ -1,0 +1,34 @@
+#include "netscatter/channel/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::channel {
+
+double oneway_loss_db(const pathloss_params& params, double distance_m, int walls) {
+    ns::util::require(distance_m > 0.0, "oneway_loss_db: distance must be positive");
+    const double d = std::max(distance_m, params.reference_distance_m);
+    return params.reference_loss_db +
+           10.0 * params.exponent * std::log10(d / params.reference_distance_m) +
+           params.wall_loss_db * static_cast<double>(walls);
+}
+
+double oneway_loss_db(const pathloss_params& params, double distance_m, int walls,
+                      ns::util::rng& rng) {
+    return oneway_loss_db(params, distance_m, walls) +
+           rng.gaussian(0.0, params.shadowing_sigma_db);
+}
+
+double backscatter_loss_db(const pathloss_params& params, double distance_m, int walls,
+                           double conversion_loss_db) {
+    return 2.0 * oneway_loss_db(params, distance_m, walls) + conversion_loss_db;
+}
+
+double backscatter_rx_power_dbm(double ap_tx_dbm, double device_gain_db,
+                                double roundtrip_loss_db) {
+    return ap_tx_dbm + device_gain_db - roundtrip_loss_db;
+}
+
+}  // namespace ns::channel

@@ -1,0 +1,44 @@
+// Propagation model for the office-floor deployment (substitute for the
+// paper's physical testbed, Fig. 1).
+//
+// Log-distance path loss with per-wall attenuation and lognormal
+// shadowing. For backscatter, the uplink experiences the *round-trip*
+// loss (AP -> device -> AP) while the AP query sees one-way loss — the
+// paper notes this asymmetry in §4.1 (footnote: the query needs only
+// -44 dBm sensitivity vs -120 dBm for backscatter).
+#pragma once
+
+#include "netscatter/util/rng.hpp"
+
+namespace ns::channel {
+
+/// Log-distance path loss parameters (indoor office defaults).
+struct pathloss_params {
+    double reference_distance_m = 1.0;   ///< d0
+    double reference_loss_db = 31.5;     ///< free-space loss at d0, 900 MHz
+    double exponent = 3.0;               ///< indoor office with obstructions
+    double wall_loss_db = 5.0;           ///< attenuation per intervening wall
+    double shadowing_sigma_db = 3.0;     ///< lognormal shadowing std dev
+};
+
+/// One-way path loss in dB over `distance_m` metres through `walls`
+/// intervening walls, with a shadowing sample drawn from `rng`.
+double oneway_loss_db(const pathloss_params& params, double distance_m, int walls,
+                      ns::util::rng& rng);
+
+/// Deterministic one-way loss (no shadowing term).
+double oneway_loss_db(const pathloss_params& params, double distance_m, int walls);
+
+/// Round-trip (backscatter) loss: the tag reradiates, so the uplink
+/// signal suffers the one-way loss twice, plus the tag's backscatter
+/// conversion loss.
+double backscatter_loss_db(const pathloss_params& params, double distance_m, int walls,
+                           double conversion_loss_db = 6.0);
+
+/// Received power in dBm at the AP for a backscatter uplink, given the
+/// AP transmit power, device power gain (0 / -4 / -10 dB, §3.2.3) and
+/// round-trip loss.
+double backscatter_rx_power_dbm(double ap_tx_dbm, double device_gain_db,
+                                double roundtrip_loss_db);
+
+}  // namespace ns::channel

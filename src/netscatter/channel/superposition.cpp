@@ -1,0 +1,50 @@
+#include "netscatter/channel/superposition.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "netscatter/channel/awgn.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/util/units.hpp"
+
+namespace ns::channel {
+
+cvec combine(const std::vector<tx_contribution>& contributions, std::size_t length,
+             const ns::phy::css_params& params, const channel_config& config,
+             ns::util::rng& rng) {
+    cvec received(length, cplx{0.0, 0.0});
+
+    for (const auto& tx : contributions) {
+        // Amplitude from SNR relative to the configured noise power.
+        const double power = config.noise_power * ns::util::db_to_linear(tx.snr_db);
+        const double amplitude = std::sqrt(power);
+
+        cvec waveform = tx.waveform;
+
+        // Residual sub-sample timing offset and CFO act as a common tone
+        // shift after dechirping; apply it to the time-domain waveform.
+        const double tone_hz =
+            equivalent_tone_shift_hz(params, tx.timing_offset_s, tx.frequency_offset_hz);
+        if (tone_hz != 0.0) {
+            waveform = ns::dsp::frequency_shift(waveform, tone_hz, params.bandwidth_hz);
+        }
+
+        if (config.enable_multipath) {
+            const cvec taps = config.multipath.sample_taps(params.bandwidth_hz, rng);
+            waveform = apply_multipath(waveform, taps);
+        }
+
+        cplx gain{amplitude, 0.0};
+        if (tx.random_phase) {
+            gain = std::polar(amplitude, rng.uniform(0.0, 2.0 * std::numbers::pi));
+        }
+        ns::dsp::scale(waveform, gain);
+
+        ns::dsp::accumulate_at(received, waveform, tx.sample_delay);
+    }
+
+    add_noise(received, config.noise_power, rng);
+    return received;
+}
+
+}  // namespace ns::channel

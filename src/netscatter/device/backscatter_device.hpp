@@ -1,0 +1,146 @@
+// Behavioural model of one NetScatter backscatter device.
+//
+// This is the control-plane state machine of §3.2.3 and §3.3.4:
+//
+//   unassociated --query heard--> sends Association Request on one of the
+//        reserved association shifts (region chosen from the query RSSI);
+//        initial power gain: max if the query is weak, middle otherwise.
+//   awaiting_ack --query carries my assignment--> stores the cyclic shift
+//        and replies with an Association ACK on that shift.
+//   associated --every query--> fine-grained self-aware power adjustment:
+//        the query RSSI is compared with the association baseline; if the
+//        downlink strengthened by d dB the uplink strengthened ~2d dB
+//        (reciprocity, round-trip), so the device lowers its gain
+//        accordingly (and vice versa). If no available level can bring the
+//        uplink back within tolerance, the device skips the round; after
+//        `max_skips` consecutive skips it re-initiates association so the
+//        AP can reassign its cyclic shift (§3.2.3).
+//
+// Per packet the device also samples its hardware delay (MCU + envelope
+// detector + FPGA latency jitter, §3.2.1) and its residual frequency
+// offset (static crystal offset + packet-to-packet drift, §3.2.2), which
+// the channel model turns into FFT-bin displacement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "netscatter/channel/impairments.hpp"
+#include "netscatter/device/envelope_detector.hpp"
+#include "netscatter/device/impedance.hpp"
+#include "netscatter/phy/css_params.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace ns::device {
+
+/// What the device decides to do in response to one AP query.
+enum class device_action {
+    none,                 ///< query not heard (below detector sensitivity)
+    association_request,  ///< transmit on a reserved association shift
+    association_ack,      ///< confirm a received assignment
+    transmit_data,        ///< normal concurrent data transmission
+    skip,                 ///< stay silent this round (power out of tolerance)
+};
+
+/// Association-region choice for an incoming device (§3.3.2): the device
+/// picks the high- or low-SNR association shift from the query RSSI.
+enum class snr_region { high, low };
+
+/// A cyclic-shift assignment delivered in the AP query (Fig. 11).
+struct shift_assignment {
+    std::uint8_t network_id = 0;
+    std::uint32_t cyclic_shift = 0;
+};
+
+/// The device's full response to one query.
+struct transmit_intent {
+    device_action action = device_action::none;
+    std::uint32_t cyclic_shift = 0;      ///< shift used for this transmission
+    snr_region association_region = snr_region::high;  ///< for association requests
+    double gain_db = 0.0;                ///< selected transmit power gain
+    double hardware_delay_s = 0.0;       ///< sampled per-packet timing offset
+    double frequency_offset_hz = 0.0;    ///< sampled per-packet CFO
+};
+
+/// Static configuration of a device.
+struct device_params {
+    ns::phy::css_params phy{};
+    envelope_detector_params detector{};
+    ns::channel::hardware_delay_model delay_model{};
+    ns::channel::crystal_model crystal{};
+
+    /// Query RSSI below which an associating device picks max gain and the
+    /// low-SNR association region (§3.2.3 / §3.3.2).
+    double low_rssi_threshold_dbm = -38.0;
+
+    /// Maximum deviation of the compensated uplink power from the
+    /// association baseline before the device skips the round, dB. Must
+    /// comfortably exceed the combined RSSI measurement noise and the
+    /// coarseness of the three gain levels; the SKIP=2 allocation has an
+    /// in-built ~5 dB resilience to channel variation (§4.3) and the
+    /// power-aware assignment tolerates far more for distant bins.
+    double snr_tolerance_db = 6.0;
+
+    /// Consecutive skips before re-initiating association ("more than
+    /// twice" in §3.2.3 — two skips trigger re-association).
+    int max_skips = 2;
+};
+
+/// Association lifecycle state.
+enum class device_state { unassociated, awaiting_ack, associated };
+
+/// One backscatter device.
+class backscatter_device {
+public:
+    /// `id` identifies the device to the caller; `seed` makes the device's
+    /// stochastic behaviour (delays, CFO, RSSI noise) reproducible.
+    backscatter_device(std::uint32_t id, device_params params, std::uint64_t seed);
+
+    /// Processes one AP query. `query_rx_power_dbm` is the true received
+    /// downlink power at the device (the detector adds measurement noise);
+    /// `assignment` carries this device's shift when the AP piggybacked
+    /// one (Fig. 11 optional fields).
+    transmit_intent handle_query(double query_rx_power_dbm,
+                                 const std::optional<shift_assignment>& assignment);
+
+    /// Current lifecycle state.
+    device_state state() const { return state_; }
+
+    /// Assigned cyclic shift; only meaningful when associated.
+    std::uint32_t cyclic_shift() const { return assigned_shift_; }
+
+    /// Currently selected power gain in dB.
+    double current_gain_db() const { return network_.gain_db(gain_level_); }
+
+    /// Static crystal frequency offset of this device, Hz.
+    double static_frequency_offset_hz() const { return static_cfo_hz_; }
+
+    std::uint32_t id() const { return id_; }
+    const device_params& params() const { return params_; }
+
+    /// Forces the associated state with the given shift — used by tests
+    /// and by experiments that bypass the association handshake (the
+    /// deployment in §3.3.2 associates devices one at a time up front).
+    void force_associate(std::uint32_t shift, double baseline_query_rssi_dbm,
+                         std::size_t gain_level);
+
+private:
+    transmit_intent respond_associated(double measured_rssi_dbm);
+
+    std::uint32_t id_;
+    device_params params_;
+    ns::util::rng rng_;
+    envelope_detector detector_;
+    switch_network network_;
+
+    device_state state_ = device_state::unassociated;
+    std::uint32_t assigned_shift_ = 0;
+    std::size_t gain_level_ = 0;
+    double baseline_rssi_dbm_ = 0.0;  ///< query RSSI at association
+    double baseline_gain_db_ = 0.0;   ///< gain selected at association
+    int consecutive_skips_ = 0;
+    double static_cfo_hz_ = 0.0;
+    snr_region pending_region_ = snr_region::high;
+};
+
+}  // namespace ns::device

@@ -1,0 +1,53 @@
+#include "netscatter/device/power_budget.hpp"
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::device {
+
+round_energy netscatter_round_energy(const ic_power_model& power,
+                                     const ns::phy::css_params& params,
+                                     const ns::phy::frame_format& frame,
+                                     double query_airtime_s, double round_period_s) {
+    const double packet_s = frame.netscatter_airtime_s(params);
+    ns::util::require(round_period_s >= query_airtime_s + packet_s,
+                      "netscatter_round_energy: period shorter than the round");
+    round_energy energy;
+    energy.listen_j = power.listen_w() * query_airtime_s;
+    energy.transmit_j = power.transmit_w() * packet_s;
+    energy.sleep_j = power.sleep_w * (round_period_s - query_airtime_s - packet_s);
+    energy.total_j = energy.listen_j + energy.transmit_j + energy.sleep_j;
+    energy.per_payload_bit_j = energy.total_j / static_cast<double>(frame.payload_bits);
+    return energy;
+}
+
+round_energy lora_polled_epoch_energy(const ic_power_model& power,
+                                      const ns::phy::css_params& params,
+                                      const ns::phy::frame_format& frame,
+                                      double query_airtime_s, std::size_t num_devices) {
+    ns::util::require(num_devices >= 1, "lora_polled_epoch_energy: need >= 1 device");
+    const double packet_s = frame.lora_airtime_s(params);
+    const double n = static_cast<double>(num_devices);
+    round_energy energy;
+    // Listen to every query in the epoch (to catch its own address)...
+    energy.listen_j = power.listen_w() * query_airtime_s * n;
+    // ...transmit once...
+    energy.transmit_j = power.transmit_w() * packet_s;
+    // ...sleep through the other devices' packets.
+    energy.sleep_j = power.sleep_w * packet_s * (n - 1.0);
+    energy.total_j = energy.listen_j + energy.transmit_j + energy.sleep_j;
+    energy.per_payload_bit_j = energy.total_j / static_cast<double>(frame.payload_bits);
+    return energy;
+}
+
+double battery_life_years(double capacity_mah, double voltage_v,
+                          double energy_per_event_j, double period_s) {
+    ns::util::require(capacity_mah > 0.0 && voltage_v > 0.0 && period_s > 0.0,
+                      "battery_life_years: non-positive parameter");
+    ns::util::require(energy_per_event_j > 0.0, "battery_life_years: zero event energy");
+    const double capacity_j = capacity_mah * 1e-3 * 3600.0 * voltage_v;
+    const double events = capacity_j / energy_per_event_j;
+    const double seconds = events * period_s;
+    return seconds / (365.25 * 24.0 * 3600.0);
+}
+
+}  // namespace ns::device

@@ -1,0 +1,109 @@
+#include "netscatter/dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::dsp {
+
+bool is_power_of_two(std::size_t n) {
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+std::size_t next_power_of_two(std::size_t n) {
+    ns::util::require(n >= 1, "next_power_of_two: n must be >= 1");
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+namespace {
+
+// Bit-reversal permutation, then iterative butterflies. `sign` is -1 for
+// the forward transform (engineering convention e^{-j2πkn/N}) and +1 for
+// the inverse.
+void transform(cvec& data, int sign) {
+    const std::size_t n = data.size();
+    ns::util::require(is_power_of_two(n), "fft: size must be a power of two");
+
+    // Bit reversal.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(data[i], data[j]);
+    }
+
+    // Butterflies. Twiddles are computed per stage with a complex
+    // multiplication recurrence refreshed from std::polar to bound error.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+        const cplx wlen = std::polar(1.0, angle);
+        for (std::size_t i = 0; i < n; i += len) {
+            cplx w{1.0, 0.0};
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const cplx even = data[i + k];
+                const cplx odd = data[i + k + len / 2] * w;
+                data[i + k] = even + odd;
+                data[i + k + len / 2] = even - odd;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void fft_inplace(cvec& data) {
+    transform(data, -1);
+}
+
+void ifft_inplace(cvec& data) {
+    transform(data, +1);
+    const double scale = 1.0 / static_cast<double>(data.size());
+    for (auto& value : data) value *= scale;
+}
+
+cvec fft(cvec data) {
+    fft_inplace(data);
+    return data;
+}
+
+cvec ifft(cvec data) {
+    ifft_inplace(data);
+    return data;
+}
+
+cvec fft_zero_padded(const cvec& data, std::size_t padded_size) {
+    ns::util::require(padded_size >= data.size(),
+                      "fft_zero_padded: padded size smaller than data");
+    ns::util::require(is_power_of_two(padded_size),
+                      "fft_zero_padded: padded size must be a power of two");
+    cvec padded(padded_size, cplx{0.0, 0.0});
+    std::copy(data.begin(), data.end(), padded.begin());
+    fft_inplace(padded);
+    return padded;
+}
+
+std::vector<double> power_spectrum(const cvec& spectrum) {
+    std::vector<double> power(spectrum.size());
+    for (std::size_t i = 0; i < spectrum.size(); ++i) power[i] = std::norm(spectrum[i]);
+    return power;
+}
+
+std::vector<double> magnitude_spectrum(const cvec& spectrum) {
+    std::vector<double> magnitude(spectrum.size());
+    for (std::size_t i = 0; i < spectrum.size(); ++i) magnitude[i] = std::abs(spectrum[i]);
+    return magnitude;
+}
+
+cvec fftshift(cvec spectrum) {
+    const std::size_t n = spectrum.size();
+    cvec shifted(n);
+    const std::size_t half = n / 2;
+    for (std::size_t i = 0; i < n; ++i) shifted[i] = spectrum[(i + half) % n];
+    return shifted;
+}
+
+}  // namespace ns::dsp

@@ -1,0 +1,91 @@
+#include "netscatter/dsp/fir.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::dsp {
+
+std::vector<double> design_lowpass(double cutoff_norm, std::size_t num_taps) {
+    ns::util::require(cutoff_norm > 0.0 && cutoff_norm < 0.5,
+                      "design_lowpass: cutoff must be in (0, 0.5)");
+    ns::util::require(num_taps >= 3 && num_taps % 2 == 1,
+                      "design_lowpass: need an odd tap count >= 3");
+    const auto middle = static_cast<double>(num_taps - 1) / 2.0;
+    std::vector<double> taps(num_taps);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < num_taps; ++i) {
+        const double n = static_cast<double>(i) - middle;
+        // Ideal sinc low-pass...
+        const double ideal = n == 0.0 ? 2.0 * cutoff_norm
+                                      : std::sin(2.0 * std::numbers::pi * cutoff_norm * n) /
+                                            (std::numbers::pi * n);
+        // ...shaped by a Hamming window.
+        const double window =
+            0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                   static_cast<double>(num_taps - 1));
+        taps[i] = ideal * window;
+        sum += taps[i];
+    }
+    for (auto& tap : taps) tap /= sum;  // unit DC gain
+    return taps;
+}
+
+cvec fir_filter(const cvec& signal, const std::vector<double>& taps) {
+    ns::util::require(!taps.empty(), "fir_filter: empty taps");
+    cvec out(signal.size(), cplx{0.0, 0.0});
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        cplx acc{0.0, 0.0};
+        const std::size_t t_max = std::min(taps.size() - 1, i);
+        for (std::size_t t = 0; t <= t_max; ++t) {
+            acc += taps[t] * signal[i - t];
+        }
+        out[i] = acc;
+    }
+    return out;
+}
+
+cvec fir_decimate(const cvec& signal, const std::vector<double>& taps,
+                  std::size_t factor) {
+    ns::util::require(factor >= 1, "fir_decimate: factor must be >= 1");
+    ns::util::require(!taps.empty(), "fir_decimate: empty taps");
+    const std::size_t out_len = signal.size() / factor;
+    cvec out(out_len, cplx{0.0, 0.0});
+    // Compensate the filter's group delay so output sample k aligns with
+    // input sample k*factor.
+    const std::size_t delay = (taps.size() - 1) / 2;
+    for (std::size_t k = 0; k < out_len; ++k) {
+        const std::size_t centre = k * factor + delay;
+        cplx acc{0.0, 0.0};
+        for (std::size_t t = 0; t < taps.size(); ++t) {
+            if (centre < t) break;
+            const std::size_t idx = centre - t;
+            if (idx < signal.size()) acc += taps[t] * signal[idx];
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+cvec frontend_decimate(const cvec& capture, std::size_t oversample,
+                       std::size_t num_taps) {
+    ns::util::require(oversample >= 1, "frontend_decimate: oversample >= 1");
+    if (oversample == 1) return capture;
+    // Pass the +-BW/2 chirp band: cutoff at 0.5/oversample of the input
+    // rate, with a little margin for the transition band.
+    const double cutoff = 0.5 / static_cast<double>(oversample);
+    const std::vector<double> taps = design_lowpass(cutoff, num_taps);
+    return fir_decimate(capture, taps, oversample);
+}
+
+double fir_response_at(const std::vector<double>& taps, double normalized_frequency) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = 0; t < taps.size(); ++t) {
+        acc += taps[t] * std::polar(1.0, -2.0 * std::numbers::pi * normalized_frequency *
+                                             static_cast<double>(t));
+    }
+    return std::abs(acc);
+}
+
+}  // namespace ns::dsp

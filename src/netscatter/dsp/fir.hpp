@@ -1,0 +1,43 @@
+// FIR low-pass design and decimation — the receiver front end.
+//
+// The reader hardware samples at 4 Msps (§4.1) while the chirp bandwidth
+// is 500 kHz: the receiver must low-pass to the chirp band and decimate
+// to the critically-sampled rate the demodulator expects. We implement
+// the classic windowed-sinc (Hamming) design and an efficient polyphase
+// decimator that only computes the retained output samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netscatter/dsp/fft.hpp"
+
+namespace ns::dsp {
+
+/// Designs a linear-phase low-pass FIR with the windowed-sinc method.
+/// `cutoff_norm` is the cutoff as a fraction of the sampling rate
+/// (0 < cutoff_norm < 0.5); `num_taps` must be odd for a symmetric,
+/// integer-group-delay filter. Taps are normalized to unit DC gain.
+std::vector<double> design_lowpass(double cutoff_norm, std::size_t num_taps);
+
+/// Convolves `signal` with real `taps` (same-length output; the leading
+/// transient is kept so sample indices are preserved, group delay =
+/// (taps-1)/2 samples).
+cvec fir_filter(const cvec& signal, const std::vector<double>& taps);
+
+/// Low-pass + decimate by `factor` in one pass (polyphase: only the kept
+/// samples are computed). Output length = floor(input / factor).
+cvec fir_decimate(const cvec& signal, const std::vector<double>& taps,
+                  std::size_t factor);
+
+/// Convenience front end: takes a capture at `oversample` x the chirp
+/// bandwidth and returns the critically-sampled baseband (cutoff at the
+/// chirp band edge, 0.5/oversample of the input rate).
+cvec frontend_decimate(const cvec& capture, std::size_t oversample,
+                       std::size_t num_taps = 63);
+
+/// Frequency response magnitude of a real FIR at normalized frequency f
+/// (fraction of the sampling rate).
+double fir_response_at(const std::vector<double>& taps, double normalized_frequency);
+
+}  // namespace ns::dsp

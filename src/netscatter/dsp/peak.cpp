@@ -1,0 +1,80 @@
+#include "netscatter/dsp/peak.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::dsp {
+
+std::size_t argmax(const std::vector<double>& power) {
+    ns::util::require(!power.empty(), "argmax: empty spectrum");
+    return static_cast<std::size_t>(
+        std::distance(power.begin(), std::max_element(power.begin(), power.end())));
+}
+
+namespace {
+
+// Three-point parabolic interpolation on log power around bin `b`.
+// Returns the sub-bin offset in (-0.5, 0.5).
+double parabolic_offset(const std::vector<double>& power, std::size_t b) {
+    const std::size_t n = power.size();
+    const double eps = 1e-30;  // avoid log(0) on exactly-zero neighbours
+    const double left = std::log(power[(b + n - 1) % n] + eps);
+    const double centre = std::log(power[b] + eps);
+    const double right = std::log(power[(b + 1) % n] + eps);
+    const double denom = left - 2.0 * centre + right;
+    if (denom == 0.0) return 0.0;
+    double offset = 0.5 * (left - right) / denom;
+    return std::clamp(offset, -0.5, 0.5);
+}
+
+}  // namespace
+
+peak find_peak(const std::vector<double>& power) {
+    const std::size_t b = argmax(power);
+    peak p;
+    p.bin = b;
+    p.power = power[b];
+    p.fractional_bin = static_cast<double>(b) + parabolic_offset(power, b);
+    return p;
+}
+
+peak find_peak_in_range(const std::vector<double>& power, std::size_t first, std::size_t last) {
+    ns::util::require(!power.empty(), "find_peak_in_range: empty spectrum");
+    const std::size_t n = power.size();
+    ns::util::require(first < n && last < n, "find_peak_in_range: range out of bounds");
+    const std::size_t count = (last >= first) ? (last - first + 1) : (n - first + last + 1);
+    std::size_t best = first;
+    for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t idx = (first + k) % n;
+        if (power[idx] > power[best]) best = idx;
+    }
+    peak p;
+    p.bin = best;
+    p.power = power[best];
+    p.fractional_bin = static_cast<double>(best) + parabolic_offset(power, best);
+    return p;
+}
+
+std::vector<peak> find_peaks_above(const std::vector<double>& power, double threshold) {
+    ns::util::require(!power.empty(), "find_peaks_above: empty spectrum");
+    const std::size_t n = power.size();
+    std::vector<peak> peaks;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double left = power[(i + n - 1) % n];
+        const double right = power[(i + 1) % n];
+        if (power[i] > threshold && power[i] > left && power[i] > right) {
+            peak p;
+            p.bin = i;
+            p.power = power[i];
+            p.fractional_bin = static_cast<double>(i) + parabolic_offset(power, i);
+            peaks.push_back(p);
+        }
+    }
+    std::sort(peaks.begin(), peaks.end(),
+              [](const peak& a, const peak& b) { return a.power > b.power; });
+    return peaks;
+}
+
+}  // namespace ns::dsp

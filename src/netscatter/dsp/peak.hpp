@@ -1,0 +1,42 @@
+// FFT peak detection.
+//
+// After dechirping, each active device appears as a peak in one FFT bin
+// (§3.1). The receiver needs (a) the integer-bin peak per device region
+// and (b) sub-bin (fractional) peak location on zero-padded spectra for
+// the near-far / offset analyses (§3.2.3, Choir comparison in §2.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netscatter/dsp/fft.hpp"
+
+namespace ns::dsp {
+
+/// A detected spectral peak.
+struct peak {
+    std::size_t bin = 0;        ///< index of the maximum bin
+    double power = 0.0;         ///< |X[bin]|^2
+    double fractional_bin = 0.0;///< sub-bin refined location (same units as bin)
+};
+
+/// Index of the maximum-power bin of `power` (first on ties).
+/// Requires a non-empty spectrum.
+std::size_t argmax(const std::vector<double>& power);
+
+/// Finds the global peak of a power spectrum and refines its location to
+/// sub-bin precision with a three-point parabolic fit on log-power.
+/// Requires a non-empty spectrum (indices wrap circularly, matching the
+/// circular FFT spectrum of a dechirped symbol).
+peak find_peak(const std::vector<double>& power);
+
+/// Finds the strongest peak restricted to bins [first, last] inclusive
+/// (wrapping when first > last). Requires a non-empty spectrum.
+peak find_peak_in_range(const std::vector<double>& power, std::size_t first, std::size_t last);
+
+/// Finds all local maxima whose power exceeds `threshold`, sorted by
+/// descending power. A local maximum is a bin strictly greater than both
+/// circular neighbours.
+std::vector<peak> find_peaks_above(const std::vector<double>& power, double threshold);
+
+}  // namespace ns::dsp

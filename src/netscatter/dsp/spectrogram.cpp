@@ -1,0 +1,74 @@
+#include "netscatter/dsp/spectrogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::dsp {
+
+std::vector<double> hann_window(std::size_t n) {
+    std::vector<double> w(n);
+    if (n == 1) {
+        w[0] = 1.0;
+        return w;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                     static_cast<double>(n - 1)));
+    }
+    return w;
+}
+
+spectrogram_result compute_spectrogram(std::span<const cplx> signal, const stft_params& params) {
+    ns::util::require(is_power_of_two(params.window_size),
+                      "compute_spectrogram: window size must be a power of two");
+    ns::util::require(params.hop >= 1, "compute_spectrogram: hop must be >= 1");
+
+    spectrogram_result result;
+    result.bins = params.window_size;
+    result.max_power_db = -std::numeric_limits<double>::infinity();
+    if (signal.size() < params.window_size) return result;
+
+    const std::vector<double> window =
+        params.hann_window ? hann_window(params.window_size) : std::vector<double>{};
+
+    for (std::size_t start = 0; start + params.window_size <= signal.size();
+         start += params.hop) {
+        cvec frame(signal.begin() + static_cast<std::ptrdiff_t>(start),
+                   signal.begin() + static_cast<std::ptrdiff_t>(start + params.window_size));
+        if (params.hann_window) {
+            for (std::size_t i = 0; i < frame.size(); ++i) frame[i] *= window[i];
+        }
+        fft_inplace(frame);
+        if (params.shift) frame = fftshift(std::move(frame));
+        for (const auto& value : frame) {
+            const double p = std::norm(value);
+            const double db = 10.0 * std::log10(p + 1e-30);
+            result.power_db.push_back(db);
+            result.max_power_db = std::max(result.max_power_db, db);
+        }
+        ++result.columns;
+    }
+    return result;
+}
+
+std::vector<double> average_psd_db(std::span<const cplx> signal, const stft_params& params) {
+    const spectrogram_result grid = compute_spectrogram(signal, params);
+    std::vector<double> psd(params.window_size, 0.0);
+    if (grid.columns == 0) return psd;
+    // Average in the linear domain, convert once at the end.
+    for (std::size_t c = 0; c < grid.columns; ++c) {
+        for (std::size_t b = 0; b < grid.bins; ++b) {
+            psd[b] += std::pow(10.0, grid.power_db[c * grid.bins + b] / 10.0);
+        }
+    }
+    for (auto& value : psd) {
+        value = 10.0 * std::log10(value / static_cast<double>(grid.columns) + 1e-30);
+    }
+    return psd;
+}
+
+}  // namespace ns::dsp

@@ -1,0 +1,42 @@
+// Short-time Fourier transform spectrogram, used to reproduce Fig. 16
+// (spectrogram of the backscattered signal at the three power levels) and
+// as a debugging aid for chirp waveforms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "netscatter/dsp/fft.hpp"
+
+namespace ns::dsp {
+
+/// STFT configuration.
+struct stft_params {
+    std::size_t window_size = 256;  ///< FFT size per column (power of two)
+    std::size_t hop = 128;          ///< samples between adjacent columns
+    bool hann_window = true;        ///< apply a Hann window before the FFT
+    bool shift = true;              ///< fftshift each column (centre DC)
+};
+
+/// A spectrogram: time-frequency power grid.
+struct spectrogram_result {
+    std::size_t columns = 0;                  ///< number of time frames
+    std::size_t bins = 0;                     ///< frequency bins per frame
+    std::vector<double> power_db;             ///< row-major [column][bin], dB
+    double max_power_db = 0.0;                ///< overall maximum, for normalization
+};
+
+/// Hann window of length n.
+std::vector<double> hann_window(std::size_t n);
+
+/// Computes the STFT power spectrogram of a complex baseband signal.
+/// Requires window_size to be a power of two and hop >= 1.
+spectrogram_result compute_spectrogram(std::span<const cplx> signal, const stft_params& params);
+
+/// Time-averaged power spectral density of a signal (Welch-style mean of
+/// STFT columns), in dB; length equals params.window_size. Used to render
+/// the "spectrum" views of Fig. 16.
+std::vector<double> average_psd_db(std::span<const cplx> signal, const stft_params& params);
+
+}  // namespace ns::dsp

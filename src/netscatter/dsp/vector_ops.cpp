@@ -1,0 +1,79 @@
+#include "netscatter/dsp/vector_ops.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::dsp {
+
+cvec multiply(std::span<const cplx> a, std::span<const cplx> b) {
+    ns::util::require(a.size() == b.size(), "multiply: length mismatch");
+    cvec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+    return out;
+}
+
+cvec multiply_conj(std::span<const cplx> a, std::span<const cplx> b) {
+    ns::util::require(a.size() == b.size(), "multiply_conj: length mismatch");
+    cvec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * std::conj(b[i]);
+    return out;
+}
+
+void accumulate(cvec& a, std::span<const cplx> b) {
+    ns::util::require(b.size() <= a.size(), "accumulate: b longer than a");
+    for (std::size_t i = 0; i < b.size(); ++i) a[i] += b[i];
+}
+
+void accumulate_at(cvec& a, std::span<const cplx> b, std::size_t offset) {
+    if (offset >= a.size()) return;
+    const std::size_t count = std::min(b.size(), a.size() - offset);
+    for (std::size_t i = 0; i < count; ++i) a[offset + i] += b[i];
+}
+
+void scale(cvec& a, double factor) {
+    for (auto& value : a) value *= factor;
+}
+
+void scale(cvec& a, cplx factor) {
+    for (auto& value : a) value *= factor;
+}
+
+double mean_power(std::span<const cplx> a) {
+    if (a.empty()) return 0.0;
+    return energy(a) / static_cast<double>(a.size());
+}
+
+double energy(std::span<const cplx> a) {
+    double total = 0.0;
+    for (const auto& value : a) total += std::norm(value);
+    return total;
+}
+
+cvec delay_samples(std::span<const cplx> a, std::size_t delay) {
+    cvec out(a.size(), cplx{0.0, 0.0});
+    for (std::size_t i = delay; i < a.size(); ++i) out[i] = a[i - delay];
+    return out;
+}
+
+cvec frequency_shift(std::span<const cplx> a, double frequency_hz, double sample_rate_hz) {
+    ns::util::require(sample_rate_hz > 0.0, "frequency_shift: sample rate must be positive");
+    cvec out(a.size());
+    const double step = 2.0 * std::numbers::pi * frequency_hz / sample_rate_hz;
+    // Phasor recurrence instead of per-sample sin/cos; re-anchor from
+    // std::polar periodically to stop error accumulation.
+    const cplx rotation = std::polar(1.0, step);
+    cplx phasor{1.0, 0.0};
+    constexpr std::size_t reanchor_interval = 1024;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i % reanchor_interval == 0) {
+            phasor = std::polar(1.0, step * static_cast<double>(i));
+        }
+        out[i] = a[i] * phasor;
+        phasor *= rotation;
+    }
+    return out;
+}
+
+}  // namespace ns::dsp

@@ -1,0 +1,50 @@
+// Element-wise complex vector operations used by the modulator
+// (superposing device signals) and demodulator (dechirping = element-wise
+// multiplication by the conjugate downchirp).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "netscatter/dsp/fft.hpp"
+
+namespace ns::dsp {
+
+/// Element-wise product a[i] * b[i]. Requires equal lengths.
+cvec multiply(std::span<const cplx> a, std::span<const cplx> b);
+
+/// Element-wise product with the conjugate of b: a[i] * conj(b[i]).
+/// Requires equal lengths. (Dechirping multiplies by a downchirp, which is
+/// the conjugate of the baseline upchirp.)
+cvec multiply_conj(std::span<const cplx> a, std::span<const cplx> b);
+
+/// Adds b into a in place: a[i] += b[i]. Requires b no longer than a.
+void accumulate(cvec& a, std::span<const cplx> b);
+
+/// Adds b into a starting at sample `offset`: a[offset+i] += b[i].
+/// Samples of b that would fall past the end of a are dropped (a device
+/// whose packet tail exceeds the capture window is simply truncated).
+void accumulate_at(cvec& a, std::span<const cplx> b, std::size_t offset);
+
+/// Scales every element by `factor`.
+void scale(cvec& a, double factor);
+
+/// Scales every element by complex `factor` (amplitude and phase).
+void scale(cvec& a, cplx factor);
+
+/// Mean of |x[i]|^2 — the average signal power.
+double mean_power(std::span<const cplx> a);
+
+/// Total energy, sum of |x[i]|^2.
+double energy(std::span<const cplx> a);
+
+/// Returns a copy of `a` delayed by `delay` samples (prepends zeros and
+/// truncates to the original length), modelling integer-sample timing
+/// offset.
+cvec delay_samples(std::span<const cplx> a, std::size_t delay);
+
+/// Applies a frequency shift: a[i] * e^{j 2π f i / fs}.
+cvec frequency_shift(std::span<const cplx> a, double frequency_hz, double sample_rate_hz);
+
+}  // namespace ns::dsp

@@ -1,0 +1,42 @@
+#include "netscatter/mac/aloha.hpp"
+
+#include <algorithm>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::mac {
+
+aloha_backoff::aloha_backoff(std::uint32_t initial_window, std::uint32_t max_window,
+                             ns::util::rng rng)
+    : initial_window_(initial_window),
+      max_window_(max_window),
+      window_(initial_window),
+      rng_(rng) {
+    ns::util::require(initial_window >= 1, "aloha_backoff: window must be >= 1");
+    ns::util::require(max_window >= initial_window,
+                      "aloha_backoff: max window smaller than initial");
+    draw_counter();
+}
+
+void aloha_backoff::draw_counter() {
+    counter_ = static_cast<std::uint32_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(window_) - 1));
+}
+
+bool aloha_backoff::should_transmit() {
+    if (counter_ == 0) return true;
+    --counter_;
+    return false;
+}
+
+void aloha_backoff::on_collision() {
+    window_ = std::min(window_ * 2, max_window_);
+    draw_counter();
+}
+
+void aloha_backoff::on_success() {
+    window_ = initial_window_;
+    draw_counter();
+}
+
+}  // namespace ns::mac

@@ -1,0 +1,85 @@
+#include "netscatter/mac/query_message.hpp"
+
+#include <cmath>
+
+#include "netscatter/util/bits.hpp"
+#include "netscatter/util/crc.hpp"
+
+namespace ns::mac {
+
+namespace {
+
+constexpr std::uint8_t sync_byte = 0xA5;
+
+// Flag bits inside the 8-bit flags field.
+constexpr std::uint8_t flag_has_response = 0x01;
+constexpr std::uint8_t flag_full_reassignment = 0x02;
+
+}  // namespace
+
+std::size_t query_message::length_bits() const {
+    std::size_t bits = query_header_bits;
+    if (response.has_value()) bits += 16;  // network ID + shift slot
+    if (full_reassignment) bits += reassignment_field_bits;
+    return bits;
+}
+
+double query_message::airtime_s() const {
+    return static_cast<double>(length_bits()) / downlink_bitrate_bps;
+}
+
+std::vector<bool> serialize(const query_message& query) {
+    std::vector<bool> bits;
+    ns::util::append_uint(bits, sync_byte, 8);
+    ns::util::append_uint(bits, query.group_id, 8);
+    std::uint8_t flags = 0;
+    if (query.response.has_value()) flags |= flag_has_response;
+    if (query.full_reassignment) flags |= flag_full_reassignment;
+    ns::util::append_uint(bits, flags, 8);
+    if (query.response.has_value()) {
+        ns::util::append_uint(bits, query.response->network_id, 8);
+        ns::util::append_uint(bits, query.response->shift_slot, 8);
+    }
+    if (query.full_reassignment) {
+        // 216-byte ordering field; we carry the low 64 bits of the index
+        // and zero-pad the rest (a real AP would fill all 1684 bits).
+        ns::util::append_uint(bits, query.reassignment_index_low64, 64);
+        for (std::size_t i = 64; i < reassignment_field_bits; ++i) bits.push_back(false);
+    }
+    // CRC-8 over everything so far completes the 32-bit header budget.
+    return ns::util::append_crc8(std::move(bits));
+}
+
+std::optional<query_message> parse_query(const std::vector<bool>& bits) {
+    if (bits.size() < query_header_bits) return std::nullopt;
+    if (!ns::util::check_crc8(bits)) return std::nullopt;
+    const std::vector<bool> body = ns::util::strip_crc8(bits);
+
+    std::size_t offset = 0;
+    if (ns::util::read_uint(body, offset, 8) != sync_byte) return std::nullopt;
+    query_message query;
+    query.group_id = static_cast<std::uint8_t>(ns::util::read_uint(body, offset, 8));
+    const auto flags = static_cast<std::uint8_t>(ns::util::read_uint(body, offset, 8));
+    if ((flags & flag_has_response) != 0) {
+        if (body.size() < offset + 16) return std::nullopt;
+        association_response response;
+        response.network_id = static_cast<std::uint8_t>(ns::util::read_uint(body, offset, 8));
+        response.shift_slot = static_cast<std::uint8_t>(ns::util::read_uint(body, offset, 8));
+        query.response = response;
+    }
+    if ((flags & flag_full_reassignment) != 0) {
+        if (body.size() < offset + reassignment_field_bits) return std::nullopt;
+        query.full_reassignment = true;
+        query.reassignment_index_low64 = ns::util::read_uint(body, offset, 64);
+    }
+    return query;
+}
+
+std::size_t permutation_index_bits(std::size_t n) {
+    if (n <= 1) return 0;
+    double log2_factorial = 0.0;
+    for (std::size_t k = 2; k <= n; ++k) log2_factorial += std::log2(static_cast<double>(k));
+    return static_cast<std::size_t>(std::ceil(log2_factorial));
+}
+
+}  // namespace ns::mac

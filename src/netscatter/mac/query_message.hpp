@@ -1,0 +1,69 @@
+// AP query message (Fig. 11, §3.3.3).
+//
+// The AP transmits an ASK-modulated query at 160 kbps that (a) time-
+// synchronizes all participating devices, (b) names the group that should
+// transmit concurrently, and (c) optionally piggybacks association
+// responses (8-bit network ID + 8-bit cyclic-shift slot) or a full
+// cyclic-shift reassignment for all 256 devices, encoded as one of the
+// 256! orderings in ceil(log2(256!)) = 1684 bits, padded to 216 bytes.
+//
+// The two evaluation configurations (§4.4):
+//   Config 1: 32-bit query (no optional fields) — assignments were all
+//             made during association.
+//   Config 2: query carries the full assignment table -> 1760 bits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ns::mac {
+
+/// Downlink ASK bitrate, bits/second (§3.3.3).
+inline constexpr double downlink_bitrate_bps = 160e3;
+
+/// Mandatory query header size in bits (Config 1 length).
+inline constexpr std::size_t query_header_bits = 32;
+
+/// Size of the full-reassignment field in bits: ceil(log2(256!)) = 1684,
+/// padded to a byte boundary inside a 216-byte field, giving the paper's
+/// 1760-bit Config 2 query (32 + 1728).
+inline constexpr std::size_t reassignment_field_bits = 1728;
+
+/// One piggybacked association response (Fig. 11 optional fields).
+struct association_response {
+    std::uint8_t network_id = 0;   ///< identity assigned to the new device
+    std::uint8_t shift_slot = 0;   ///< allocated slot index (shift = slot * SKIP)
+};
+
+/// An AP query message.
+struct query_message {
+    std::uint8_t group_id = 0;  ///< which set of <=256 devices transmits (0 here)
+    std::optional<association_response> response;  ///< piggybacked assignment
+    bool full_reassignment = false;  ///< carries the 256!-ordering field
+    std::uint64_t reassignment_index_low64 = 0;  ///< low bits of the ordering id
+
+    /// Total length on the air in bits.
+    std::size_t length_bits() const;
+
+    /// Airtime at the 160 kbps ASK downlink, seconds.
+    double airtime_s() const;
+};
+
+/// Serializes a query to bits (sync byte, group ID, flags, payloads, CRC-8).
+std::vector<bool> serialize(const query_message& query);
+
+/// Parses a serialized query. Returns std::nullopt when the CRC fails or
+/// the structure is malformed.
+std::optional<query_message> parse_query(const std::vector<bool>& bits);
+
+/// Number of bits needed to index every ordering of n devices:
+/// ceil(log2(n!)). Computed in floating point via lgamma; exact for the
+/// n <= 512 range we use.
+std::size_t permutation_index_bits(std::size_t n);
+
+/// LoRa-backscatter comparator: the sequential query used by [25] when
+/// polling each device individually, 28 bits long (§4.4).
+inline constexpr std::size_t lora_backscatter_query_bits = 28;
+
+}  // namespace ns::mac

@@ -1,0 +1,51 @@
+#include "netscatter/mac/scheduler.hpp"
+
+#include <algorithm>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::mac {
+
+group_scheduler::group_scheduler(scheduler_params params) : params_(params) {
+    ns::util::require(params_.group_capacity >= 1, "group_scheduler: capacity >= 1");
+    ns::util::require(params_.max_dynamic_range_db > 0.0,
+                      "group_scheduler: dynamic range must be positive");
+}
+
+std::vector<device_group> group_scheduler::partition(
+    std::vector<device_power> devices) const {
+    std::sort(devices.begin(), devices.end(),
+              [](const device_power& a, const device_power& b) {
+                  if (a.rx_power_dbm != b.rx_power_dbm) {
+                      return a.rx_power_dbm > b.rx_power_dbm;
+                  }
+                  return a.device_id < b.device_id;
+              });
+
+    std::vector<device_group> groups;
+    for (const device_power& device : devices) {
+        const bool need_new_group =
+            groups.empty() || groups.back().size() >= params_.group_capacity ||
+            (groups.back().max_power_dbm - device.rx_power_dbm) >
+                params_.max_dynamic_range_db;
+        if (need_new_group) {
+            device_group group;
+            group.group_id = static_cast<std::uint8_t>(groups.size());
+            group.max_power_dbm = device.rx_power_dbm;
+            group.min_power_dbm = device.rx_power_dbm;
+            groups.push_back(std::move(group));
+        }
+        device_group& group = groups.back();
+        group.device_ids.push_back(device.device_id);
+        group.min_power_dbm = device.rx_power_dbm;  // sorted descending
+    }
+    return groups;
+}
+
+std::uint8_t group_scheduler::group_for_round(std::size_t round_index,
+                                              std::size_t num_groups) {
+    ns::util::require(num_groups >= 1, "group_for_round: need >= 1 group");
+    return static_cast<std::uint8_t>(round_index % num_groups);
+}
+
+}  // namespace ns::mac

@@ -1,0 +1,57 @@
+// Group scheduling (§3.3.3).
+//
+// Networks can exceed what one concurrent round supports — either more
+// devices than 2^SF/SKIP slots, or a signal-strength spread beyond the
+// ~35 dB dynamic range (Fig. 15b). The AP therefore partitions devices
+// into groups of similar signal strength ("devices that have a similar
+// signal strength are grouped into the same group to enable concurrent
+// transmissions while further minimizing the near-far problem") and
+// addresses one group per query via the group ID field (Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netscatter/mac/allocator.hpp"
+
+namespace ns::mac {
+
+/// One scheduled group.
+struct device_group {
+    std::uint8_t group_id = 0;
+    std::vector<std::uint32_t> device_ids;  ///< strongest first
+    double max_power_dbm = 0.0;             ///< strongest member
+    double min_power_dbm = 0.0;             ///< weakest member
+
+    double dynamic_range_db() const { return max_power_dbm - min_power_dbm; }
+    std::size_t size() const { return device_ids.size(); }
+};
+
+/// Partitioning policy.
+struct scheduler_params {
+    std::size_t group_capacity = 256;     ///< slots per concurrent round
+    double max_dynamic_range_db = 35.0;   ///< Fig. 15b limit per group
+};
+
+/// Signal-strength-aware group scheduler.
+class group_scheduler {
+public:
+    explicit group_scheduler(scheduler_params params);
+
+    /// Partitions the population: sorts by descending power and opens a
+    /// new group whenever the current one is full or admitting the next
+    /// device would stretch the group's dynamic range past the limit.
+    /// Produces the minimum number of groups for this greedy order.
+    std::vector<device_group> partition(std::vector<device_power> devices) const;
+
+    /// Round-robin schedule over `num_groups` groups starting from group
+    /// 0: the group transmitting in round `round_index`.
+    static std::uint8_t group_for_round(std::size_t round_index, std::size_t num_groups);
+
+    const scheduler_params& params() const { return params_; }
+
+private:
+    scheduler_params params_;
+};
+
+}  // namespace ns::mac

@@ -1,0 +1,59 @@
+#include "netscatter/phy/aggregation.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/util/error.hpp"
+
+namespace ns::phy {
+
+namespace {
+
+// Chirp sampled at the aggregate rate fs = num_bands * BW with initial
+// frequency f0 (Hz) and slope +-BW/T. Sampling aliases any sweep beyond
+// +-fs/2 back into band, which realizes the Fig. 5 wrap.
+dsp::cvec make_chirp_at(const aggregate_params& params, double f0_hz, double slope_sign) {
+    const double fs = params.sample_rate_hz();
+    const double symbol_t = params.chirp.symbol_duration_s();
+    const double slope = slope_sign * params.chirp.bandwidth_hz / symbol_t;  // Hz/s
+    const std::size_t n = params.samples_per_symbol();
+
+    dsp::cvec chirp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / fs;
+        const double phase = 2.0 * std::numbers::pi * (f0_hz * t + 0.5 * slope * t * t);
+        chirp[i] = std::polar(1.0, phase);
+    }
+    return chirp;
+}
+
+}  // namespace
+
+dsp::cvec make_aggregate_upchirp(const aggregate_params& params, std::size_t band,
+                                 double shift) {
+    ns::util::require(band < params.num_bands, "make_aggregate_upchirp: band out of range");
+    ns::util::require(std::abs(shift) < static_cast<double>(params.chirp.num_bins()) + 1.0,
+                      "make_aggregate_upchirp: shift out of range");
+    const double f0 = -params.sample_rate_hz() / 2.0 +
+                      static_cast<double>(band) * params.chirp.bandwidth_hz +
+                      shift * params.chirp.bin_spacing_hz();
+    return make_chirp_at(params, f0, +1.0);
+}
+
+dsp::cvec aggregate_dechirp_reference(const aggregate_params& params) {
+    // Conjugate of the band-0, shift-0 upchirp.
+    const double f0 = -params.sample_rate_hz() / 2.0;
+    return make_chirp_at(params, -f0, -1.0);
+}
+
+std::vector<double> aggregate_symbol_power_spectrum(const aggregate_params& params,
+                                                    const dsp::cvec& symbol) {
+    ns::util::require(symbol.size() == params.samples_per_symbol(),
+                      "aggregate_symbol_power_spectrum: symbol length mismatch");
+    const dsp::cvec reference = aggregate_dechirp_reference(params);
+    const dsp::cvec dechirped = ns::dsp::multiply(symbol, reference);
+    return ns::dsp::power_spectrum(ns::dsp::fft(dechirped));
+}
+
+}  // namespace ns::phy

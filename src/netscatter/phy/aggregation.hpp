@@ -1,0 +1,56 @@
+// Bandwidth aggregation (§3.1, Fig. 5).
+//
+// To double both the device count and keep per-device bitrate, NetScatter
+// doubles the *total* band while each device keeps its chirp bandwidth
+// BW and SF: a device in sub-band b sweeps from its band edge and aliases
+// down to -BW_total/2 when the chirp frequency hits the top. The receiver
+// multiplies the whole aggregate band by one downchirp and performs a
+// single (num_bands * 2^SF)-point FFT: device (band b, shift s) appears
+// at aggregate bin b * 2^SF + s. No per-band filters or extra FFTs.
+#pragma once
+
+#include <cstdint>
+
+#include "netscatter/dsp/fft.hpp"
+#include "netscatter/phy/css_params.hpp"
+
+namespace ns::phy {
+
+/// Aggregate-band configuration: `chirp` is the per-band CSS parameter
+/// set (each device still uses chirp.bandwidth_hz and chirp SF).
+struct aggregate_params {
+    css_params chirp{};
+    std::size_t num_bands = 2;
+
+    /// Complex sample rate of the aggregate capture: num_bands * BW.
+    double sample_rate_hz() const {
+        return static_cast<double>(num_bands) * chirp.bandwidth_hz;
+    }
+
+    /// Samples per symbol (symbol duration is unchanged: 2^SF / BW).
+    std::size_t samples_per_symbol() const { return num_bands * chirp.num_bins(); }
+
+    /// Total FFT bins = concurrent-device capacity before SKIP.
+    std::size_t total_bins() const { return num_bands * chirp.num_bins(); }
+
+    /// Aggregate FFT bin of a device in `band` using cyclic shift `shift`.
+    std::size_t bin_of(std::size_t band, std::uint32_t shift) const {
+        return band * chirp.num_bins() + shift;
+    }
+};
+
+/// Upchirp of a device in sub-band `band` with cyclic shift `shift`
+/// (fractional allowed), sampled at the aggregate rate. Out-of-band sweep
+/// tops alias automatically (Fig. 5).
+dsp::cvec make_aggregate_upchirp(const aggregate_params& params, std::size_t band,
+                                 double shift);
+
+/// The single downchirp reference the receiver multiplies the aggregate
+/// band by.
+dsp::cvec aggregate_dechirp_reference(const aggregate_params& params);
+
+/// Dechirp + single FFT + |.|^2 over the aggregate band.
+std::vector<double> aggregate_symbol_power_spectrum(const aggregate_params& params,
+                                                    const dsp::cvec& symbol);
+
+}  // namespace ns::phy

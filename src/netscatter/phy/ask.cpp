@@ -1,0 +1,61 @@
+#include "netscatter/phy/ask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::phy {
+
+dsp::cvec ask_modulate(const ask_params& params, const std::vector<bool>& bits) {
+    const std::size_t spb = params.samples_per_bit();
+    ns::util::require(spb >= 2, "ask_modulate: need >= 2 samples per bit");
+    dsp::cvec out;
+    out.reserve(bits.size() * spb);
+    for (bool bit : bits) {
+        const double amplitude = bit ? params.on_amplitude : params.off_amplitude;
+        out.insert(out.end(), spb, dsp::cplx{amplitude, 0.0});
+    }
+    return out;
+}
+
+std::optional<std::vector<bool>> ask_demodulate(const ask_params& params,
+                                                const dsp::cvec& samples,
+                                                std::size_t num_bits) {
+    const std::size_t spb = params.samples_per_bit();
+    ns::util::require(spb >= 2, "ask_demodulate: need >= 2 samples per bit");
+    if (samples.size() < num_bits * spb) return std::nullopt;
+
+    // Integrate-and-dump the envelope per bit period.
+    std::vector<double> levels(num_bits, 0.0);
+    for (std::size_t b = 0; b < num_bits; ++b) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < spb; ++i) acc += std::abs(samples[b * spb + i]);
+        levels[b] = acc / static_cast<double>(spb);
+    }
+
+    const auto [lo_it, hi_it] = std::minmax_element(levels.begin(), levels.end());
+    const double lo = *lo_it;
+    const double hi = *hi_it;
+    // No keying contrast (all-ones / all-zeros bursts excepted): require
+    // >= 3 dB between the extremes, otherwise slice against half the
+    // high level (covers constant bursts).
+    double threshold;
+    if (hi > 2.0 * std::max(lo, 1e-30)) {
+        threshold = (hi + lo) / 2.0;
+    } else if (hi <= 0.0) {
+        return std::nullopt;
+    } else {
+        threshold = hi / 2.0;
+    }
+
+    std::vector<bool> bits(num_bits);
+    for (std::size_t b = 0; b < num_bits; ++b) bits[b] = levels[b] > threshold;
+    return bits;
+}
+
+double ask_airtime_s(const ask_params& params, std::size_t num_bits) {
+    return static_cast<double>(num_bits) / params.bitrate_bps;
+}
+
+}  // namespace ns::phy

@@ -1,0 +1,50 @@
+// ASK downlink (§3.3.3, Fig. 11).
+//
+// The AP's query message is amplitude-shift keyed at 160 kbps on the
+// 900 MHz carrier; backscatter devices recover it with a passive
+// envelope detector (§4.1). At complex baseband the modulation is
+// ON-OFF keying of the carrier amplitude; the device-side demodulator is
+// an integrate-and-dump over each bit period of the envelope, sliced at
+// half the ON level — exactly what an RC-filtered envelope detector and
+// comparator implement in hardware.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "netscatter/dsp/fft.hpp"
+
+namespace ns::phy {
+
+/// ASK downlink configuration.
+struct ask_params {
+    double bitrate_bps = 160e3;     ///< §3.3.3: 160 kbps ASK
+    double sample_rate_hz = 4e6;    ///< baseband simulation rate
+    double on_amplitude = 1.0;      ///< carrier amplitude for a '1'
+    double off_amplitude = 0.1;     ///< residual carrier for a '0' (the AP
+                                    ///< keeps some carrier so backscatter
+                                    ///< devices can keep reflecting)
+
+    /// Samples per bit (rounded down; must be >= 2).
+    std::size_t samples_per_bit() const {
+        return static_cast<std::size_t>(sample_rate_hz / bitrate_bps);
+    }
+};
+
+/// Modulates a bit sequence to complex baseband (constant phase).
+dsp::cvec ask_modulate(const ask_params& params, const std::vector<bool>& bits);
+
+/// Envelope-detector demodulation of a sample-aligned ASK burst:
+/// integrate |x| over each bit period and slice at the midpoint between
+/// the observed high and low levels. Returns std::nullopt when the
+/// envelope carries no discernible keying (max/min contrast below 3 dB)
+/// or fewer than `num_bits` periods fit.
+std::optional<std::vector<bool>> ask_demodulate(const ask_params& params,
+                                                const dsp::cvec& samples,
+                                                std::size_t num_bits);
+
+/// Airtime of `num_bits` bits, seconds.
+double ask_airtime_s(const ask_params& params, std::size_t num_bits);
+
+}  // namespace ns::phy

@@ -1,0 +1,71 @@
+#include "netscatter/phy/chirp.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/util/error.hpp"
+
+namespace ns::phy {
+
+namespace {
+
+// Shared chirp synthesis. The instantaneous frequency ramps from
+// (f0 - BW/2) to (f0 + BW/2) over the symbol for an upchirp (slope +1) or
+// the reverse for a downchirp (slope -1); sampling at fs == BW aliases
+// out-of-band frequencies back into band, realizing the cyclic wrap.
+//
+// Phase is the exact discrete integral of the instantaneous frequency:
+//   phi[n] = 2*pi * ( (f0/fs) * n + slope * (n^2/(2N) - n/2) ).
+cvec make_chirp(const css_params& params, double cyclic_shift, double slope) {
+    const auto n_samples = params.samples_per_symbol();
+    const double n_bins = static_cast<double>(params.num_bins());
+    ns::util::require(std::abs(cyclic_shift) < n_bins + 1.0,
+                      "make_chirp: cyclic shift out of range");
+    const double f0_norm = cyclic_shift / n_bins;  // f0 / fs
+
+    cvec chirp(n_samples);
+    for (std::size_t i = 0; i < n_samples; ++i) {
+        const double n = static_cast<double>(i);
+        const double phase =
+            2.0 * std::numbers::pi *
+            (f0_norm * n + slope * (n * n / (2.0 * n_bins) - n / 2.0));
+        chirp[i] = std::polar(1.0, phase);
+    }
+    return chirp;
+}
+
+}  // namespace
+
+cvec make_upchirp(const css_params& params, double cyclic_shift) {
+    return make_chirp(params, cyclic_shift, +1.0);
+}
+
+cvec make_downchirp(const css_params& params, double cyclic_shift) {
+    return make_chirp(params, cyclic_shift, -1.0);
+}
+
+cvec dechirp_reference(const css_params& params) {
+    return make_downchirp(params, 0.0);
+}
+
+cvec make_upchirp_time_rotated(const css_params& params, std::size_t shift) {
+    ns::util::require(shift < params.num_bins(),
+                      "make_upchirp_time_rotated: shift out of range");
+    const cvec base = make_upchirp(params, 0.0);
+    const std::size_t n = base.size();
+    cvec rotated(n);
+    for (std::size_t i = 0; i < n; ++i) rotated[i] = base[(i + shift) % n];
+    return rotated;
+}
+
+cvec dechirp(const css_params& params, const cvec& symbol) {
+    ns::util::require(symbol.size() == params.samples_per_symbol(),
+                      "dechirp: symbol length mismatch");
+    // Multiplying by the downchirp (== conjugate of the baseline upchirp)
+    // collapses each device's chirp into a constant-frequency tone.
+    const cvec down = dechirp_reference(params);
+    return ns::dsp::multiply(symbol, down);
+}
+
+}  // namespace ns::phy

@@ -1,0 +1,46 @@
+// Chirp waveform generation (§2.1).
+//
+// At the critically-sampled rate (fs == BW), a cyclic time shift of the
+// baseline upchirp is exactly equivalent to an initial-frequency shift:
+// frequencies above BW/2 alias down to -BW/2 (Fig. 3c). We therefore
+// synthesize "cyclic shift s" as an initial-frequency offset of
+// s · BW / 2^SF Hz, which (a) is exact for integer s, (b) naturally
+// extends to the fractional shifts produced by hardware timing jitter and
+// CFO, and (c) after dechirping yields a clean complex tone at FFT bin s.
+// A true time-domain rotation is also provided; tests verify the two
+// agree for integer shifts.
+#pragma once
+
+#include "netscatter/dsp/fft.hpp"
+#include "netscatter/phy/css_params.hpp"
+
+namespace ns::phy {
+
+using ns::dsp::cplx;
+using ns::dsp::cvec;
+
+/// Generates one upchirp symbol of `params.samples_per_symbol()` samples
+/// with the given cyclic shift (may be fractional; must satisfy
+/// |shift| < 2^SF+1 for sanity), unit amplitude and zero initial phase.
+cvec make_upchirp(const css_params& params, double cyclic_shift = 0.0);
+
+/// Generates one downchirp symbol (conjugate slope). `cyclic_shift` has
+/// the same meaning as for upchirps; NetScatter preambles transmit the
+/// device's assigned shift on downchirps too (§3.3.1).
+cvec make_downchirp(const css_params& params, double cyclic_shift = 0.0);
+
+/// Baseline downchirp used by the receiver for dechirping, i.e.
+/// make_downchirp(params, 0). Cache this: it is multiplied against every
+/// received symbol.
+cvec dechirp_reference(const css_params& params);
+
+/// True time-domain cyclic rotation of a baseline upchirp by an integer
+/// number of chips; used by tests to validate the frequency-shift
+/// equivalence. Requires 0 <= shift < 2^SF.
+cvec make_upchirp_time_rotated(const css_params& params, std::size_t shift);
+
+/// Dechirps one received symbol: element-wise multiplication by the
+/// baseline downchirp. Requires symbol.size() == params.samples_per_symbol().
+cvec dechirp(const css_params& params, const cvec& symbol);
+
+}  // namespace ns::phy

@@ -1,0 +1,34 @@
+#include "netscatter/phy/css_params.hpp"
+
+#include "netscatter/phy/sensitivity.hpp"
+
+namespace ns::phy {
+
+modulation_config make_modulation_config(const css_params& params) {
+    modulation_config config;
+    config.params = params;
+    // One FFT bin of slack each way before adjacent devices collide
+    // (Table 1 lists the mismatch that moves the peak by one bin).
+    config.max_time_variation_s = params.time_per_bin_s();
+    config.max_frequency_variation_hz = params.bin_spacing_hz();
+    config.bitrate_bps = params.onoff_bitrate_bps();
+    config.sensitivity_dbm = sensitivity_dbm(params);
+    return config;
+}
+
+std::vector<modulation_config> table1_configs() {
+    const std::vector<css_params> rows = {
+        {.bandwidth_hz = 500e3, .spreading_factor = 9},
+        {.bandwidth_hz = 500e3, .spreading_factor = 8},
+        {.bandwidth_hz = 250e3, .spreading_factor = 8},
+        {.bandwidth_hz = 250e3, .spreading_factor = 7},
+        {.bandwidth_hz = 125e3, .spreading_factor = 7},
+        {.bandwidth_hz = 125e3, .spreading_factor = 6},
+    };
+    std::vector<modulation_config> configs;
+    configs.reserve(rows.size());
+    for (const auto& row : rows) configs.push_back(make_modulation_config(row));
+    return configs;
+}
+
+}  // namespace ns::phy

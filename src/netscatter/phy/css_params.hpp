@@ -1,0 +1,96 @@
+// Chirp-spread-spectrum parameterization (§2.1, Table 1).
+//
+// A CSS link is characterized by two parameters: chirp bandwidth BW
+// (equal to the sampling rate) and spreading factor SF. Everything else
+// derives from them:
+//   N               = 2^SF chips per symbol (and FFT bins)
+//   symbol duration = 2^SF / BW
+//   LoRa bitrate    = SF * BW / 2^SF        (SF bits per symbol)
+//   NetScatter per-device bitrate = BW / 2^SF (1 ON-OFF bit per symbol)
+//   FFT bin spacing = BW / 2^SF Hz
+//   time per bin    = 1 / BW  (ΔFFTbin = Δt * BW, §3.2.1)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ns::phy {
+
+/// CSS modulation parameters shared by the modulator, demodulator,
+/// channel models and protocol layers.
+struct css_params {
+    double bandwidth_hz = 500e3;  ///< chirp bandwidth == complex sample rate
+    int spreading_factor = 9;     ///< SF; number of bits per classic CSS symbol
+
+    /// Number of chips / FFT bins / samples per symbol: 2^SF.
+    std::size_t num_bins() const { return std::size_t{1} << spreading_factor; }
+
+    /// Samples per symbol at the critically-sampled rate (== num_bins()).
+    std::size_t samples_per_symbol() const { return num_bins(); }
+
+    /// Symbol duration in seconds: 2^SF / BW.
+    double symbol_duration_s() const {
+        return static_cast<double>(num_bins()) / bandwidth_hz;
+    }
+
+    /// Symbol rate in symbols/second: BW / 2^SF.
+    double symbol_rate_hz() const { return bandwidth_hz / static_cast<double>(num_bins()); }
+
+    /// Classic CSS (LoRa) bitrate: SF bits per symbol.
+    double lora_bitrate_bps() const {
+        return symbol_rate_hz() * static_cast<double>(spreading_factor);
+    }
+
+    /// NetScatter per-device bitrate: one ON-OFF bit per symbol (§3.1).
+    double onoff_bitrate_bps() const { return symbol_rate_hz(); }
+
+    /// FFT bin spacing of the dechirped spectrum, in Hz: BW / 2^SF.
+    double bin_spacing_hz() const { return bandwidth_hz / static_cast<double>(num_bins()); }
+
+    /// Timing offset that moves the dechirped peak by exactly one FFT bin:
+    /// 1/BW seconds (ΔFFTbin = Δt·BW, §3.2.1).
+    double time_per_bin_s() const { return 1.0 / bandwidth_hz; }
+
+    /// FFT bin displacement caused by a timing offset of `dt` seconds.
+    double bins_from_time_offset(double dt_s) const { return dt_s * bandwidth_hz; }
+
+    /// FFT bin displacement caused by a carrier/baseband frequency offset
+    /// of `df` Hz: ΔFFTbin = 2^SF · Δf / BW (§3.2.2).
+    double bins_from_frequency_offset(double df_hz) const {
+        return df_hz / bin_spacing_hz();
+    }
+
+    /// Chirp slope BW / T = BW^2 / 2^SF in Hz/s. Two (BW, SF) pairs with
+    /// equal slope cannot be concurrently decoded (§2.2, [24]).
+    double chirp_slope_hz_per_s() const {
+        return bandwidth_hz * bandwidth_hz / static_cast<double>(num_bins());
+    }
+
+    bool operator==(const css_params&) const = default;
+};
+
+/// The deployed NetScatter configuration: BW = 500 kHz, SF = 9 (§4.2),
+/// supporting 256 devices at SKIP = 2 with ~976 bps per device.
+inline css_params deployed_params() {
+    return css_params{.bandwidth_hz = 500e3, .spreading_factor = 9};
+}
+
+/// One row of Table 1: a modulation configuration and the maximum
+/// time/frequency mismatch it tolerates (one FFT bin each way).
+struct modulation_config {
+    css_params params;
+    double max_time_variation_s = 0.0;   ///< timing mismatch for 1-bin shift
+    double max_frequency_variation_hz = 0.0;  ///< frequency mismatch for 1-bin shift
+    double bitrate_bps = 0.0;            ///< per-device ON-OFF bitrate
+    double sensitivity_dbm = 0.0;        ///< receiver sensitivity (model, §"sensitivity")
+};
+
+/// Builds one Table 1 row for the given parameters.
+modulation_config make_modulation_config(const css_params& params);
+
+/// The six configurations of Table 1 in paper order:
+/// (500,9) (500,8) (250,8) (250,7) (125,7) (125,6).
+std::vector<modulation_config> table1_configs();
+
+}  // namespace ns::phy

@@ -1,0 +1,110 @@
+#include "netscatter/phy/demodulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netscatter/dsp/fft.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/util/error.hpp"
+
+namespace ns::phy {
+
+demodulator::demodulator(css_params params, std::size_t zero_padding_factor)
+    : params_(params), padding_(zero_padding_factor) {
+    ns::util::require(ns::dsp::is_power_of_two(padding_),
+                      "demodulator: zero padding factor must be a power of two");
+    downchirp_ = dechirp_reference(params_);
+}
+
+std::vector<double> demodulator::symbol_power_spectrum(const cvec& symbol) const {
+    return ns::dsp::power_spectrum(symbol_spectrum(symbol));
+}
+
+cvec demodulator::symbol_spectrum(const cvec& symbol) const {
+    ns::util::require(symbol.size() == params_.samples_per_symbol(),
+                      "demodulator: symbol length mismatch");
+    const cvec dechirped = ns::dsp::multiply(symbol, downchirp_);
+    return ns::dsp::fft_zero_padded(dechirped, padded_size());
+}
+
+std::uint32_t demodulator::demodulate_lora_symbol(const cvec& symbol) const {
+    const std::vector<double> power = symbol_power_spectrum(symbol);
+    const std::size_t bin = ns::dsp::argmax(power);
+    // Round the padded bin to the nearest chip bin, wrapping at the top.
+    const std::size_t chip = (bin + padding_ / 2) / padding_ % params_.num_bins();
+    return static_cast<std::uint32_t>(chip);
+}
+
+ns::dsp::peak demodulator::find_symbol_peak(const cvec& symbol) const {
+    const std::vector<double> power = symbol_power_spectrum(symbol);
+    ns::dsp::peak p = ns::dsp::find_peak(power);
+    // Express locations in chip-bin units.
+    p.fractional_bin /= static_cast<double>(padding_);
+    p.bin = p.bin / padding_ % params_.num_bins();
+    return p;
+}
+
+demodulator::windowed_peak demodulator::peak_in_window(
+    const std::vector<double>& padded_spectrum, std::uint32_t bin,
+    std::size_t search_radius_padded) const {
+    ns::util::require(padded_spectrum.size() == padded_size(),
+                      "peak_in_window: spectrum size mismatch");
+    ns::util::require(bin < params_.num_bins(), "peak_in_window: bin out of range");
+    const std::size_t n = padded_spectrum.size();
+    const std::size_t centre = static_cast<std::size_t>(bin) * padding_;
+    windowed_peak best;
+    best.power = -1.0;
+    const auto radius = static_cast<std::ptrdiff_t>(search_radius_padded);
+    for (std::ptrdiff_t off = -radius; off <= radius; ++off) {
+        const std::size_t idx =
+            (centre + n + static_cast<std::size_t>(off + static_cast<std::ptrdiff_t>(n))) % n;
+        if (padded_spectrum[idx] > best.power) {
+            best.power = padded_spectrum[idx];
+            best.offset = off;
+        }
+    }
+    return best;
+}
+
+double demodulator::power_at_offset(const std::vector<double>& padded_spectrum,
+                                    std::uint32_t bin, std::ptrdiff_t offset,
+                                    std::size_t radius) const {
+    ns::util::require(padded_spectrum.size() == padded_size(),
+                      "power_at_offset: spectrum size mismatch");
+    ns::util::require(bin < params_.num_bins(), "power_at_offset: bin out of range");
+    const std::size_t n = padded_spectrum.size();
+    const auto base = static_cast<std::ptrdiff_t>(static_cast<std::size_t>(bin) * padding_) +
+                      offset;
+    double best = 0.0;
+    for (std::ptrdiff_t k = -static_cast<std::ptrdiff_t>(radius);
+         k <= static_cast<std::ptrdiff_t>(radius); ++k) {
+        const std::size_t idx = static_cast<std::size_t>(
+            ((base + k) % static_cast<std::ptrdiff_t>(n) + static_cast<std::ptrdiff_t>(n)) %
+            static_cast<std::ptrdiff_t>(n));
+        best = std::max(best, padded_spectrum[idx]);
+    }
+    return best;
+}
+
+double demodulator::power_at_bin(const std::vector<double>& padded_spectrum,
+                                 std::uint32_t bin,
+                                 std::size_t search_radius_padded) const {
+    ns::util::require(padded_spectrum.size() == padded_size(),
+                      "power_at_bin: spectrum size mismatch");
+    ns::util::require(bin < params_.num_bins(), "power_at_bin: bin out of range");
+    // Search the padded bins within the radius of the nominal location,
+    // circularly, and report the maximum. This credits a device whose
+    // residual time/frequency offset moved its peak off-centre.
+    const std::size_t n = padded_spectrum.size();
+    const std::size_t centre = static_cast<std::size_t>(bin) * padding_;
+    const std::size_t half =
+        search_radius_padded == 0 ? padding_ / 2 : search_radius_padded;
+    double best = 0.0;
+    for (std::size_t k = 0; k <= 2 * half; ++k) {
+        const std::size_t idx = (centre + n - half + k) % n;
+        best = std::max(best, padded_spectrum[idx]);
+    }
+    return best;
+}
+
+}  // namespace ns::phy

@@ -1,0 +1,26 @@
+#include "netscatter/phy/frame.hpp"
+
+#include "netscatter/util/crc.hpp"
+#include "netscatter/util/error.hpp"
+
+namespace ns::phy {
+
+std::vector<bool> build_frame_bits(const frame_format& format,
+                                   const std::vector<bool>& payload) {
+    ns::util::require(payload.size() == format.payload_bits,
+                      "build_frame_bits: payload size mismatch");
+    ns::util::require(format.crc_bits == 8, "build_frame_bits: only CRC-8 is supported");
+    return ns::util::append_crc8(payload);
+}
+
+frame_check_result check_frame_bits(const frame_format& format,
+                                    const std::vector<bool>& bits) {
+    frame_check_result result;
+    if (bits.size() != format.payload_plus_crc_bits()) return result;
+    if (!ns::util::check_crc8(bits)) return result;
+    result.ok = true;
+    result.payload = ns::util::strip_crc8(bits);
+    return result;
+}
+
+}  // namespace ns::phy

@@ -1,0 +1,75 @@
+// Link-layer packet structure (§3.3.1, §4.4).
+//
+// A NetScatter device packet is:
+//   [6 upchirp + 2 downchirp preamble, at the device's assigned shift]
+//   [payload bits][CRC-8]
+// The evaluation uses a 40-bit payload+CRC budget (32 payload + 8 CRC) for
+// the link-layer figures and 5-byte payloads for the PHY-rate figure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netscatter/phy/css_params.hpp"
+
+namespace ns::phy {
+
+/// Frame layout constants from the paper's evaluation.
+struct frame_format {
+    std::size_t preamble_symbols = 8;  ///< 6 upchirps + 2 downchirps
+    std::size_t payload_bits = 32;     ///< useful payload bits
+    std::size_t crc_bits = 8;          ///< CRC-8 checksum
+
+    /// Total protected bits on the air after the preamble.
+    std::size_t payload_plus_crc_bits() const { return payload_bits + crc_bits; }
+
+    /// Symbols occupied by one NetScatter packet (one bit per symbol).
+    std::size_t netscatter_symbols() const {
+        return preamble_symbols + payload_plus_crc_bits();
+    }
+
+    /// Airtime of one NetScatter packet in seconds for the given CSS
+    /// parameters.
+    double netscatter_airtime_s(const css_params& params) const {
+        return static_cast<double>(netscatter_symbols()) * params.symbol_duration_s();
+    }
+
+    /// Symbols occupied by one classic-CSS (LoRa) packet carrying the same
+    /// bits: SF bits per payload symbol, same preamble length.
+    std::size_t lora_symbols(const css_params& params) const {
+        const auto sf = static_cast<std::size_t>(params.spreading_factor);
+        const std::size_t payload_symbols = (payload_plus_crc_bits() + sf - 1) / sf;
+        return preamble_symbols + payload_symbols;
+    }
+
+    /// Airtime of one LoRa packet in seconds.
+    double lora_airtime_s(const css_params& params) const {
+        return static_cast<double>(lora_symbols(params)) * params.symbol_duration_s();
+    }
+};
+
+/// The link-layer format used by Figs. 18/19 (40-bit payload+CRC).
+inline frame_format linklayer_format() {
+    return frame_format{.preamble_symbols = 8, .payload_bits = 32, .crc_bits = 8};
+}
+
+/// The PHY-rate format used by Fig. 17 (five-byte payload).
+inline frame_format phy_format() {
+    return frame_format{.preamble_symbols = 8, .payload_bits = 40, .crc_bits = 8};
+}
+
+/// Builds the on-air bit sequence for a payload: payload followed by its
+/// CRC-8. Requires payload.size() == format.payload_bits.
+std::vector<bool> build_frame_bits(const frame_format& format, const std::vector<bool>& payload);
+
+/// Validates and strips the CRC of a received bit sequence. Returns the
+/// payload bits, or an empty optional-like flag via `ok`.
+struct frame_check_result {
+    bool ok = false;              ///< CRC matched
+    std::vector<bool> payload;    ///< payload bits when ok
+};
+
+/// Checks a received payload+CRC bit sequence of the given format.
+frame_check_result check_frame_bits(const frame_format& format, const std::vector<bool>& bits);
+
+}  // namespace ns::phy

@@ -1,0 +1,87 @@
+#include "netscatter/phy/sensitivity.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "netscatter/util/error.hpp"
+#include "netscatter/util/units.hpp"
+
+namespace ns::phy {
+
+double snr_min_db(int spreading_factor) {
+    ns::util::require(spreading_factor >= 5 && spreading_factor <= 12,
+                      "snr_min_db: SF out of supported range [5,12]");
+    // -2.5 dB per SF step, anchored at SF 9 -> -12.5 dB (SX1276 family).
+    return -2.5 * static_cast<double>(spreading_factor) + 10.0;
+}
+
+double sensitivity_dbm(const css_params& params, double noise_figure_db) {
+    return ns::util::noise_floor_dbm(params.bandwidth_hz, noise_figure_db) +
+           snr_min_db(params.spreading_factor);
+}
+
+std::vector<rate_option> rate_adaptation_table() {
+    std::vector<rate_option> options;
+    for (double bw : {125e3, 250e3, 500e3}) {
+        for (int sf = 6; sf <= 12; ++sf) {
+            css_params p{.bandwidth_hz = bw, .spreading_factor = sf};
+            rate_option option;
+            option.params = p;
+            option.required_rssi_dbm = sensitivity_dbm(p);
+            option.bitrate_bps = std::min(p.lora_bitrate_bps(), max_lora_bitrate_bps);
+            options.push_back(option);
+        }
+    }
+    std::sort(options.begin(), options.end(), [](const rate_option& a, const rate_option& b) {
+        if (a.bitrate_bps != b.bitrate_bps) return a.bitrate_bps > b.bitrate_bps;
+        return a.required_rssi_dbm < b.required_rssi_dbm;  // prefer more robust on ties
+    });
+    return options;
+}
+
+concurrency_analysis analyze_concurrent_configs(double min_sensitivity_dbm,
+                                                double min_bitrate_bps) {
+    // Slope classes are indexed by 2*log2(BW) - SF, an integer over the
+    // power-of-two bandwidth family, so exact keying is safe.
+    struct class_entry {
+        bool usable = false;
+        double best_bitrate = 0.0;
+        css_params representative{};
+    };
+    std::map<long, class_entry> classes;
+    for (int bw_step = 0; bw_step < 7; ++bw_step) {
+        const double bw = 500e3 / static_cast<double>(1 << bw_step);
+        for (int sf = 6; sf <= 12; ++sf) {
+            const css_params p{.bandwidth_hz = bw, .spreading_factor = sf};
+            // 2*log2(bw/7812.5) is 2*(6-bw_step): integer class key.
+            const long key = 2L * (6 - bw_step) - sf;
+            class_entry& entry = classes[key];
+            const bool meets = sensitivity_dbm(p) <= min_sensitivity_dbm &&
+                               p.lora_bitrate_bps() >= min_bitrate_bps;
+            if (meets && p.lora_bitrate_bps() > entry.best_bitrate) {
+                entry.usable = true;
+                entry.best_bitrate = p.lora_bitrate_bps();
+                entry.representative = p;
+            }
+        }
+    }
+    concurrency_analysis analysis;
+    analysis.distinct_slope_classes = classes.size();
+    for (const auto& [key, entry] : classes) {
+        if (entry.usable) {
+            ++analysis.usable_classes;
+            analysis.usable_representatives.push_back(entry.representative);
+        }
+    }
+    return analysis;
+}
+
+double best_bitrate_bps(double rssi_dbm) {
+    static const std::vector<rate_option> options = rate_adaptation_table();
+    for (const auto& option : options) {
+        if (rssi_dbm >= option.required_rssi_dbm) return option.bitrate_bps;
+    }
+    return 0.0;
+}
+
+}  // namespace ns::phy

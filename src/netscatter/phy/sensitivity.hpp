@@ -1,0 +1,72 @@
+// Receiver sensitivity and SNR model for CSS links.
+//
+// Sensitivity follows the standard LoRa link-budget model
+//     S = -174 + 10 log10(BW) + NF + SNR_min(SF)    [dBm]
+// with the demodulation SNR floor SNR_min(SF) from the SX1276 datasheet
+// family ([4] in the paper). With NF = 6 dB this reproduces the paper's
+// anchor (500 kHz, SF 9) -> -123 dBm and the other Table 1 rows to within
+// 1 dB (the paper's SF 6 row is ~4 dB more conservative; see
+// EXPERIMENTS.md).
+#pragma once
+
+#include <vector>
+
+#include "netscatter/phy/css_params.hpp"
+
+namespace ns::phy {
+
+/// Receiver noise figure assumed throughout the reproduction, dB.
+inline constexpr double default_noise_figure_db = 6.0;
+
+/// Minimum demodulation SNR for a given spreading factor, dB
+/// (-2.5 dB per SF step, anchored at SF 9 -> -12.5 dB).
+/// Valid for SF in [5, 12].
+double snr_min_db(int spreading_factor);
+
+/// Receiver sensitivity in dBm for the given CSS parameters.
+double sensitivity_dbm(const css_params& params,
+                       double noise_figure_db = default_noise_figure_db);
+
+/// One rate-adaptation option: a CSS configuration with the SNR it
+/// requires (relative to the noise floor in its own bandwidth) and the
+/// LoRa bitrate it delivers.
+struct rate_option {
+    css_params params;
+    double required_rssi_dbm = 0.0;  ///< sensitivity of this configuration
+    double bitrate_bps = 0.0;        ///< LoRa bitrate (SF bits/symbol)
+};
+
+/// The rate-adaptation table used for the "LoRa backscatter with rate
+/// adaptation" baseline (§4.4): all (BW, SF) pairs with BW in {125, 250,
+/// 500} kHz and SF in [6, 12], sorted by descending bitrate and capped at
+/// the paper's stated 32 kbps maximum LoRa bitrate.
+std::vector<rate_option> rate_adaptation_table();
+
+/// Best achievable LoRa bitrate for a device whose received signal
+/// strength is `rssi_dbm`: the highest-bitrate option whose sensitivity
+/// is met. Returns 0 when even the most robust option fails.
+double best_bitrate_bps(double rssi_dbm);
+
+/// Maximum LoRa bitrate the paper allows rate adaptation to pick (§4.4).
+inline constexpr double max_lora_bitrate_bps = 32e3;
+
+/// §2.2's multi-spreading-factor analysis: two (BW, SF) pairs can only be
+/// concurrently decoded when their chirp slopes BW^2/2^SF differ ([24]);
+/// over the LoRa bandwidth family (7.8125..500 kHz in power-of-two
+/// steps) and SF 6..12 there are exactly 19 distinct slopes, and
+/// "requiring receiver sensitivity better than -123 dBm and bit rates of
+/// at least 1 kbps limits these concurrent configurations to only 8".
+struct concurrency_analysis {
+    std::size_t distinct_slope_classes = 0;  ///< paper: 19
+    std::size_t usable_classes = 0;          ///< paper: 8
+    /// One representative per usable class (the highest-bitrate member
+    /// meeting both constraints).
+    std::vector<css_params> usable_representatives;
+};
+
+/// Enumerates the slope classes and counts those with at least one member
+/// meeting the sensitivity and bitrate constraints.
+concurrency_analysis analyze_concurrent_configs(double min_sensitivity_dbm = -123.0,
+                                                double min_bitrate_bps = 1000.0);
+
+}  // namespace ns::phy

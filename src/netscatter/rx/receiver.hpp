@@ -1,0 +1,142 @@
+// NetScatter receiver (§3.3.1).
+//
+// The AP receiver processes the superposed baseband of all concurrent
+// devices:
+//   1. Packet-start detection. All devices transmit their preambles
+//      concurrently (6 upchirps then 2 downchirps, each at the device's
+//      assigned shift). Up- and downchirps at the *same* shift are
+//      symmetric around the up/down boundary, so the boundary — and from
+//      it the packet start, six symbols earlier — can be located by
+//      finding where upchirp energy hands over to downchirp energy.
+//   2. Active-device detection. A device is present when an FFT peak
+//      appears at its bin in *all* preamble upchirp symbols.
+//   3. Thresholding. The device's average preamble peak power becomes its
+//      payload slicing threshold: payload symbol power > half the average
+//      reads as '1', else '0'.
+//   4. CRC validation per device.
+//
+// The dechirp + single FFT per symbol serves every device at once, so
+// decode cost is (nearly) independent of the number of devices — the
+// property bench_micro_receiver measures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netscatter/phy/css_params.hpp"
+#include "netscatter/phy/demodulator.hpp"
+#include "netscatter/phy/frame.hpp"
+#include "netscatter/phy/modulator.hpp"
+
+namespace ns::rx {
+
+using ns::dsp::cvec;
+
+/// Receiver configuration.
+struct receiver_params {
+    ns::phy::css_params phy{};
+    std::size_t zero_padding_factor = 8;  ///< sub-bin resolution of the FFT
+    double detection_factor = 4.0;        ///< peak > factor * expected noise-bin power
+
+    /// Payload ON-OFF decision threshold as a fraction of the device's
+    /// average preamble peak power. The paper slices at one half
+    /// (§3.3.1); at full SKIP=2 occupancy the preamble estimate is biased
+    /// high because EVERY neighbour is ON during the preamble and its
+    /// main-lobe skirt adds constructively, while payload ON symbols see
+    /// neighbours OFF half the time — a slightly lower threshold recovers
+    /// those marginal ON symbols without admitting OFF-symbol leakage
+    /// (which stays ~14 dB down at 2-bin separation, Fig. 8).
+    double slicing_threshold = 0.4;
+
+    /// Receiver noise power per complex sample (linear). A real AP
+    /// calibrates this from quiet periods; the expected dechirped
+    /// noise-bin power is samples_per_symbol * noise_power. Using the
+    /// calibrated floor instead of a per-symbol median matters at high
+    /// concurrency: with 256 devices transmitting, most FFT bins carry
+    /// signal and a median would no longer estimate noise.
+    double noise_power = 1.0;
+    std::uint32_t skip = 2;               ///< slot spacing; peaks are credited
+                                          ///< within the guard region (SKIP-1
+                                          ///< empty bins tolerate +-1 bin of
+                                          ///< residual displacement, Table 1)
+    ns::phy::frame_format frame = ns::phy::linklayer_format();
+};
+
+/// Decode outcome for one registered device in one round.
+struct device_report {
+    std::uint32_t cyclic_shift = 0;
+    bool detected = false;            ///< peak present in all preamble symbols
+    double preamble_power = 0.0;      ///< average preamble peak power
+    std::vector<bool> bits;           ///< sliced payload+CRC bits (when detected)
+    bool crc_ok = false;              ///< CRC-8 matched
+    std::vector<bool> payload;        ///< payload bits (when crc_ok)
+
+    /// Per-sample SNR estimate from the preamble peak over the calibrated
+    /// noise floor (what the AP uses to track device signal strength for
+    /// the power-aware allocation, §3.2.3). Only meaningful when detected.
+    double estimated_snr_db = 0.0;
+
+    /// Residual tone offset (timing-induced + CFO) estimated from the
+    /// phase progression of the preamble peak across symbols — the §4.2
+    /// measurement. Unambiguous within +- symbol_rate/2 (~488 Hz at the
+    /// deployed configuration), which covers the <=150 Hz crystal offsets
+    /// of Fig. 14a. Only meaningful when detected.
+    double estimated_tone_offset_hz = 0.0;
+};
+
+/// Result of one decode round.
+struct decode_result {
+    std::size_t packet_start = 0;          ///< sample index of the first preamble symbol
+    std::vector<device_report> reports;    ///< one per registered shift
+};
+
+/// The NetScatter receiver.
+class receiver {
+public:
+    explicit receiver(receiver_params params);
+
+    /// Registers the cyclic shifts the AP has allocated; the decoder only
+    /// inspects these bins (it learned them during association).
+    void set_registered_shifts(std::vector<std::uint32_t> shifts);
+
+    /// Locates the packet start in `stream` by the up/down-boundary
+    /// method. `coarse_step` controls the initial grid (samples); the
+    /// result is refined to within +-coarse_step/2 samples by a local
+    /// fine search. Returns std::nullopt when no preamble-like structure
+    /// exceeds the detection threshold.
+    std::optional<std::size_t> detect_packet_start(const cvec& stream,
+                                                   std::size_t coarse_step = 0) const;
+
+    /// Decodes one round from `stream` starting at `packet_start`
+    /// (sample-aligned). The stream must contain the full packet
+    /// (preamble + payload symbols) after that offset.
+    decode_result decode(const cvec& stream, std::size_t packet_start) const;
+
+    /// Convenience: detect + decode. Returns std::nullopt when detection
+    /// fails.
+    std::optional<decode_result> receive(const cvec& stream) const;
+
+    const receiver_params& params() const { return params_; }
+    const ns::phy::demodulator& demod() const { return demod_; }
+
+private:
+    /// Sum of registered-bin peak powers for an upchirp-dechirped window.
+    double upchirp_metric(const cvec& window) const;
+    /// Same for a downchirp window (dechirped with the conjugate).
+    double downchirp_metric(const cvec& window) const;
+    /// Median bin power of a spectrum (diagnostic; not used as the noise
+    /// estimate because concurrent signal occupies most bins at high N).
+    static double median_power(std::vector<double> spectrum);
+    /// Expected dechirped noise-bin power from the calibrated floor.
+    double expected_noise_bin_power() const;
+    /// Padded-bin search radius covering the SKIP guard region.
+    std::size_t guard_search_radius() const;
+
+    receiver_params params_;
+    ns::phy::demodulator demod_;
+    cvec upchirp_ref_;    // dechirp reference for downchirp symbols
+    std::vector<std::uint32_t> shifts_;
+};
+
+}  // namespace ns::rx

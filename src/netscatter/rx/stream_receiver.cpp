@@ -1,0 +1,75 @@
+#include "netscatter/rx/stream_receiver.hpp"
+
+#include <algorithm>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::rx {
+
+stream_receiver::stream_receiver(stream_receiver_params params, packet_callback on_packet)
+    : params_(params), receiver_(params.rx), on_packet_(std::move(on_packet)) {
+    ns::util::require(static_cast<bool>(on_packet_), "stream_receiver: null callback");
+    if (params_.overlap_samples == 0) {
+        params_.overlap_samples = packet_samples();
+    }
+    ns::util::require(params_.max_buffer_samples >= 2 * packet_samples(),
+                      "stream_receiver: buffer must hold at least two packets");
+}
+
+std::size_t stream_receiver::packet_samples() const {
+    const auto& rxp = params_.rx;
+    return (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
+           rxp.phy.samples_per_symbol();
+}
+
+void stream_receiver::set_registered_shifts(std::vector<std::uint32_t> shifts) {
+    receiver_.set_registered_shifts(std::move(shifts));
+}
+
+void stream_receiver::push_samples(std::span<const ns::dsp::cplx> chunk) {
+    buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+    consumed_ += chunk.size();
+    process_buffer();
+
+    // Bound memory: drop the oldest samples, keeping one packet of
+    // overlap so a partially-arrived packet survives the trim.
+    if (buffer_.size() > params_.max_buffer_samples) {
+        const std::size_t keep = std::max(params_.overlap_samples, packet_samples());
+        const std::size_t drop = buffer_.size() - keep;
+        buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(drop));
+        buffer_stream_offset_ += drop;
+    }
+}
+
+void stream_receiver::process_buffer() {
+    // Decode every complete packet currently in the buffer.
+    while (buffer_.size() >= packet_samples()) {
+        const std::optional<std::size_t> start = receiver_.detect_packet_start(buffer_);
+        if (!start.has_value()) {
+            // Nothing decodable: discard all but one packet's worth of
+            // tail (a preamble may be partially buffered).
+            if (buffer_.size() > params_.overlap_samples) {
+                const std::size_t drop = buffer_.size() - params_.overlap_samples;
+                buffer_.erase(buffer_.begin(),
+                              buffer_.begin() + static_cast<std::ptrdiff_t>(drop));
+                buffer_stream_offset_ += drop;
+            }
+            return;
+        }
+        if (*start + packet_samples() > buffer_.size()) {
+            // The packet has begun but its tail has not arrived yet.
+            return;
+        }
+        const decode_result result = receiver_.decode(buffer_, *start);
+        ++packets_;
+        on_packet_(buffer_stream_offset_ + *start, result);
+
+        // Advance past the decoded packet.
+        const std::size_t consumed_here = *start + packet_samples();
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_here));
+        buffer_stream_offset_ += consumed_here;
+    }
+}
+
+}  // namespace ns::rx

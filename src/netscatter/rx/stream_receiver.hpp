@@ -1,0 +1,69 @@
+// Streaming receiver: continuous operation over an unbounded sample
+// stream.
+//
+// The USRP reader runs continuously: rounds arrive query-by-query with
+// idle gaps, clock drift and occasional garbage between them. This
+// wrapper feeds arbitrary-sized sample chunks into a sliding buffer,
+// locates each packet with the synchronizer, decodes it, and emits one
+// decode_result per round — the shape a real deployment integrates
+// against (push samples in, get device reports out).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netscatter/rx/receiver.hpp"
+
+namespace ns::rx {
+
+/// Configuration for the streaming wrapper.
+struct stream_receiver_params {
+    receiver_params rx{};
+    /// Maximum samples buffered before the oldest are discarded (bounds
+    /// memory when the stream is idle noise).
+    std::size_t max_buffer_samples = 1 << 20;
+    /// Samples to keep behind the search position so a packet straddling
+    /// a chunk boundary is never lost.
+    std::size_t overlap_samples = 0;  ///< 0 = one full packet
+};
+
+/// Push-based streaming receiver.
+class stream_receiver {
+public:
+    /// `on_packet` is invoked once per decoded round, with the absolute
+    /// sample index of the packet start since the stream began.
+    using packet_callback =
+        std::function<void(std::size_t stream_offset, const decode_result&)>;
+
+    stream_receiver(stream_receiver_params params, packet_callback on_packet);
+
+    /// Registers the allocated cyclic shifts (as receiver does).
+    void set_registered_shifts(std::vector<std::uint32_t> shifts);
+
+    /// Feeds a chunk of baseband samples; zero or more callbacks fire.
+    void push_samples(std::span<const ns::dsp::cplx> chunk);
+
+    /// Total samples consumed so far.
+    std::size_t samples_consumed() const { return consumed_; }
+
+    /// Packets decoded so far.
+    std::size_t packets_decoded() const { return packets_; }
+
+    const receiver& inner() const { return receiver_; }
+
+private:
+    std::size_t packet_samples() const;
+    void process_buffer();
+
+    stream_receiver_params params_;
+    receiver receiver_;
+    packet_callback on_packet_;
+    ns::dsp::cvec buffer_;
+    std::size_t buffer_stream_offset_ = 0;  ///< stream index of buffer_[0]
+    std::size_t consumed_ = 0;
+    std::size_t packets_ = 0;
+};
+
+}  // namespace ns::rx

@@ -1,0 +1,51 @@
+// Association-phase simulation (§3.3.2, Fig. 10).
+//
+// The paper's deployment sequenced device joins manually ("turns ON the
+// backscatter devices one at a time"); the suggested protocol for
+// simultaneous joiners is slotted Aloha with binary exponential backoff
+// on the two reserved association shifts. This module simulates that
+// control plane: every unassociated device contends for its region's
+// association shift; two simultaneous requests on the same shift collide
+// (same FFT bin — undecodable, §2.2's constraint 3); winners receive
+// piggybacked assignments and ACK in the following round.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netscatter/mac/allocator.hpp"
+#include "netscatter/mac/aloha.hpp"
+#include "netscatter/mac/ap.hpp"
+#include "netscatter/sim/deployment.hpp"
+
+namespace ns::sim {
+
+/// Configuration of the association simulation.
+struct association_sim_params {
+    ns::mac::allocation_params allocation{
+        .phy = ns::phy::deployed_params(), .skip = 2, .num_association_slots = 2};
+    std::uint32_t aloha_initial_window = 2;
+    std::uint32_t aloha_max_window = 64;
+    std::size_t max_rounds = 10000;
+    std::uint64_t seed = 1;
+    /// Query RSSI below which a device chooses the low-SNR association
+    /// region (mirrors device_params::low_rssi_threshold_dbm).
+    double low_rssi_threshold_dbm = -38.0;
+};
+
+/// Outcome of the association phase.
+struct association_result {
+    std::size_t rounds_used = 0;        ///< query rounds until everyone joined
+    std::size_t collisions = 0;         ///< same-shift simultaneous requests
+    std::size_t requests_sent = 0;      ///< association requests transmitted
+    std::vector<std::size_t> join_round;///< per-device round of successful ACK
+    bool all_joined = false;
+    std::unordered_map<std::uint32_t, std::uint32_t> shifts;  ///< final allocation
+};
+
+/// Runs the Aloha association phase for every device in `dep`.
+association_result simulate_association(const deployment& dep,
+                                        const association_sim_params& params);
+
+}  // namespace ns::sim

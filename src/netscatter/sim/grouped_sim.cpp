@@ -1,0 +1,64 @@
+#include "netscatter/sim/grouped_sim.hpp"
+
+#include <unordered_map>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::sim {
+
+double grouped_result::network_latency_s(const ns::phy::frame_format& frame,
+                                         const ns::phy::css_params& params,
+                                         query_config config) const {
+    const round_timing timing = netscatter_round(frame, params, config);
+    return timing.total_time_s * static_cast<double>(groups.size());
+}
+
+double grouped_result::linklayer_rate_bps(const ns::phy::frame_format& frame,
+                                          const ns::phy::css_params& params,
+                                          query_config config) const {
+    const double latency = network_latency_s(frame, params, config);
+    if (latency <= 0.0) return 0.0;
+    // Delivered payload bits per full schedule, averaged over the rounds
+    // each group ran.
+    double delivered_per_schedule = 0.0;
+    for (const auto& result : per_group) {
+        delivered_per_schedule += result.mean_delivered_per_round();
+    }
+    return delivered_per_schedule * static_cast<double>(frame.payload_bits) / latency;
+}
+
+grouped_result run_grouped(const deployment& dep, const sim_config& config,
+                           const ns::mac::scheduler_params& scheduler_params) {
+    // Partition by uplink power at the AP.
+    std::vector<ns::mac::device_power> powers;
+    powers.reserve(dep.devices().size());
+    std::unordered_map<std::uint32_t, placed_device> by_id;
+    for (const auto& device : dep.devices()) {
+        powers.push_back({device.id, device.uplink_rx_dbm});
+        by_id[device.id] = device;
+    }
+    const ns::mac::group_scheduler scheduler(scheduler_params);
+
+    grouped_result result;
+    result.groups = scheduler.partition(std::move(powers));
+
+    // One sample-level simulation per group (its own rounds).
+    for (std::size_t g = 0; g < result.groups.size(); ++g) {
+        std::vector<placed_device> members;
+        members.reserve(result.groups[g].size());
+        for (std::uint32_t id : result.groups[g].device_ids) {
+            members.push_back(by_id.at(id));
+        }
+        const deployment group_dep(dep.params(), std::move(members));
+        sim_config group_config = config;
+        group_config.seed = config.seed + g + 1;
+        network_simulator sim(group_dep, group_config);
+        sim_result group_result = sim.run();
+        result.total_transmitting += group_result.total_transmitting;
+        result.total_delivered += group_result.total_delivered;
+        result.per_group.push_back(std::move(group_result));
+    }
+    return result;
+}
+
+}  // namespace ns::sim

@@ -1,0 +1,237 @@
+#include "netscatter/sim/network_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netscatter/channel/superposition.hpp"
+#include "netscatter/util/bits.hpp"
+#include "netscatter/util/error.hpp"
+#include "netscatter/util/stats.hpp"
+#include "netscatter/util/units.hpp"
+
+namespace ns::sim {
+
+double sim_result::delivery_rate() const {
+    if (total_transmitting == 0) return 0.0;
+    return static_cast<double>(total_delivered) / static_cast<double>(total_transmitting);
+}
+
+double sim_result::ber() const {
+    if (total_bits == 0) return 0.0;
+    return static_cast<double>(total_bit_errors) / static_cast<double>(total_bits);
+}
+
+double sim_result::mean_delivered_per_round() const {
+    ns::util::running_stats stats;
+    for (const auto& r : rounds) stats.add(static_cast<double>(r.delivered));
+    return stats.mean();
+}
+
+double sim_result::variance_delivered_per_round() const {
+    ns::util::running_stats stats;
+    for (const auto& r : rounds) stats.add(static_cast<double>(r.delivered));
+    return stats.variance();
+}
+
+namespace {
+
+ns::device::device_params make_device_params(const sim_config& config) {
+    ns::device::device_params params;
+    params.phy = config.phy;
+    params.delay_model = config.delay_model;
+    if (!config.model_timing_jitter) {
+        params.delay_model.mean_us = 0.0;
+        params.delay_model.sigma_us = 0.0;
+        params.delay_model.max_us = 0.0;
+    }
+    params.crystal = config.crystal;
+    if (!config.model_cfo) {
+        params.crystal.tolerance_ppm = 0.0;
+        params.crystal.drift_sigma_hz = 0.0;
+    }
+    return params;
+}
+
+}  // namespace
+
+network_simulator::network_simulator(const deployment& dep, sim_config config)
+    : deployment_(&dep),
+      config_(config),
+      rng_(config.seed),
+      receiver_(ns::rx::receiver_params{.phy = config.phy,
+                                        .zero_padding_factor = config.zero_padding,
+                                        .detection_factor = config.detection_factor,
+                                        .skip = config.skip,
+                                        .frame = config.frame}) {
+    const auto& placed = dep.devices();
+    const ns::device::device_params dev_params = make_device_params(config_);
+    const double noise_floor = dep.noise_floor_dbm(config_.phy.bandwidth_hz);
+
+    // --- Association phase (devices join one at a time, §3.3.2) ---------
+    // Determine each device's association-time gain by the same rule the
+    // device applies, then run the power-aware batch allocation the AP
+    // would have converged to.
+    ns::device::switch_network network;
+    std::vector<ns::mac::device_power> powers;
+    powers.reserve(placed.size());
+    association_snr_db_.reserve(placed.size());
+
+    std::vector<std::size_t> gain_levels(placed.size());
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+        const bool weak = placed[i].query_rssi_dbm < dev_params.low_rssi_threshold_dbm;
+        gain_levels[i] = weak ? network.max_level() : network.middle_level();
+        const double gain_db = network.gain_db(gain_levels[i]);
+        const double uplink_dbm = placed[i].uplink_rx_dbm + gain_db;
+        powers.push_back({placed[i].id, uplink_dbm});
+        association_snr_db_.push_back(uplink_dbm - noise_floor);
+    }
+
+    ns::mac::allocation_params alloc_params{
+        .phy = config_.phy, .skip = config_.skip, .num_association_slots = 0};
+    ns::mac::shift_allocator allocator(alloc_params);
+    if (config_.power_aware_allocation) {
+        allocation_ = allocator.allocate(powers).shifts;
+    } else {
+        // Ablation: power-agnostic assignment — same spreading stride, but
+        // slots are handed out in device-id order, so strong and weak
+        // devices land next to each other.
+        std::vector<ns::mac::device_power> by_id = powers;
+        for (auto& p : by_id) p.rx_power_dbm = 0.0;  // identical keys: id order
+        allocation_ = allocator.allocate(by_id).shifts;
+    }
+
+    // --- Instantiate devices -------------------------------------------
+    slots_.reserve(placed.size());
+    std::vector<std::uint32_t> shifts;
+    shifts.reserve(placed.size());
+    const double ap_x = dep.ap_x_m();
+    const double ap_y = dep.ap_y_m();
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+        const std::uint32_t shift = allocation_.at(placed[i].id);
+        shifts.push_back(shift);
+        device_slot slot{
+            .placement = placed[i],
+            .device = ns::device::backscatter_device(placed[i].id, dev_params, rng_()),
+            .modulator = ns::phy::distributed_modulator(config_.phy, shift),
+            .fading = ns::channel::gauss_markov_fading(config_.fading_sigma_db,
+                                                       config_.fading_rho, rng_.fork()),
+            .tof_s = std::hypot(placed[i].x_m - ap_x, placed[i].y_m - ap_y) /
+                     ns::util::speed_of_light_mps,
+        };
+        slot.device.force_associate(shift, placed[i].query_rssi_dbm, gain_levels[i]);
+        slots_.push_back(std::move(slot));
+    }
+    receiver_.set_registered_shifts(shifts);
+}
+
+sim_result network_simulator::run() {
+    sim_result result;
+    const double noise_floor =
+        deployment_->noise_floor_dbm(config_.phy.bandwidth_hz);
+    const std::size_t sps = config_.phy.samples_per_symbol();
+    const std::size_t packet_samples =
+        (config_.frame.preamble_symbols + config_.frame.payload_plus_crc_bits()) * sps;
+
+    for (std::size_t round = 0; round < config_.rounds; ++round) {
+        round_outcome outcome;
+        std::vector<ns::channel::tx_contribution> contributions;
+        // shift -> sent bits, for accounting.
+        std::unordered_map<std::uint32_t, std::vector<bool>> sent_bits;
+
+        for (auto& slot : slots_) {
+            const double fade_db = slot.fading.next_db();
+            const double query_rssi = slot.placement.query_rssi_dbm + fade_db;
+
+            ns::device::transmit_intent intent;
+            if (config_.power_adaptation) {
+                intent = slot.device.handle_query(query_rssi, std::nullopt);
+                if (intent.action == ns::device::device_action::association_request) {
+                    // The device fell persistently out of tolerance and
+                    // re-initiated association. The AP reassigns (here: the
+                    // same shift, with a fresh RSSI baseline and gain) and
+                    // the device resumes next round (§3.2.3 / §3.3.4).
+                    const ns::device::switch_network network;
+                    const bool weak = query_rssi <
+                                      slot.device.params().low_rssi_threshold_dbm;
+                    slot.device.force_associate(
+                        slot.device.cyclic_shift(), query_rssi,
+                        weak ? network.max_level() : network.middle_level());
+                    ++outcome.skipped;
+                    continue;
+                }
+                if (intent.action == ns::device::device_action::skip) {
+                    ++outcome.skipped;
+                    continue;
+                }
+                if (intent.action != ns::device::device_action::transmit_data) continue;
+            } else {
+                // Ablation: always transmit at maximum gain.
+                intent.action = ns::device::device_action::transmit_data;
+                intent.cyclic_shift = slot.device.cyclic_shift();
+                intent.gain_db = 0.0;
+                intent.hardware_delay_s = config_.model_timing_jitter
+                                              ? config_.delay_model.sample_s(rng_)
+                                              : 0.0;
+                intent.frequency_offset_hz =
+                    config_.model_cfo ? slot.device.static_frequency_offset_hz() : 0.0;
+            }
+
+            // Build this device's packet.
+            std::vector<bool> payload = rng_.bits(config_.frame.payload_bits);
+            const std::vector<bool> frame_bits =
+                ns::phy::build_frame_bits(config_.frame, payload);
+            sent_bits[intent.cyclic_shift] = frame_bits;
+
+            ns::channel::tx_contribution tx;
+            tx.waveform = slot.modulator.modulate_packet(frame_bits);
+            const double uplink_dbm =
+                slot.placement.uplink_rx_dbm + intent.gain_db + 2.0 * fade_db;
+            tx.snr_db = uplink_dbm - noise_floor;
+            // The AP's preamble synchronization absorbs the fleet-common
+            // latency; only the deviation from the mean hardware delay
+            // (plus this device's round-trip flight time) is residual
+            // (§3.2.1 / Fig. 14b).
+            const double sync_point_s =
+                config_.model_timing_jitter ? config_.delay_model.mean_us * 1e-6 : 0.0;
+            tx.timing_offset_s =
+                intent.hardware_delay_s - sync_point_s + 2.0 * slot.tof_s;
+            tx.frequency_offset_hz = intent.frequency_offset_hz;
+            contributions.push_back(std::move(tx));
+            ++outcome.transmitting;
+        }
+
+        // Superpose and decode.
+        ns::channel::channel_config chan;
+        chan.noise_power = 1.0;
+        const ns::dsp::cvec received = ns::channel::combine(
+            contributions, packet_samples, config_.phy, chan, rng_);
+        const ns::rx::decode_result decoded = receiver_.decode(received, 0);
+
+        for (const auto& report : decoded.reports) {
+            const auto it = sent_bits.find(report.cyclic_shift);
+            if (it == sent_bits.end()) continue;  // device did not transmit
+            if (report.detected) {
+                ++outcome.detected;
+                outcome.bits_sent += it->second.size();
+                outcome.bit_errors += ns::util::hamming_distance(report.bits, it->second);
+                if (report.crc_ok && report.bits == it->second) ++outcome.delivered;
+            } else {
+                // Missed preamble: every bit of the packet is lost.
+                outcome.bits_sent += it->second.size();
+                std::size_t ones = 0;
+                for (bool b : it->second) ones += b ? 1 : 0;
+                outcome.bit_errors += ones;
+            }
+        }
+
+        result.rounds.push_back(outcome);
+        result.total_transmitting += outcome.transmitting;
+        result.total_delivered += outcome.delivered;
+        result.total_detected += outcome.detected;
+        result.total_bit_errors += outcome.bit_errors;
+        result.total_bits += outcome.bits_sent;
+    }
+    return result;
+}
+
+}  // namespace ns::sim

@@ -1,0 +1,60 @@
+#include "netscatter/sim/timeline.hpp"
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::sim {
+
+std::size_t query_bits(query_config config) {
+    switch (config) {
+        case query_config::config1:
+            return ns::mac::query_header_bits;  // 32
+        case query_config::config2:
+            return ns::mac::query_header_bits + ns::mac::reassignment_field_bits;  // 1760
+    }
+    throw ns::util::invalid_argument("query_bits: unknown config");
+}
+
+round_timing netscatter_round(const ns::phy::frame_format& frame,
+                              const ns::phy::css_params& params, query_config config) {
+    round_timing timing;
+    timing.query_time_s =
+        static_cast<double>(query_bits(config)) / ns::mac::downlink_bitrate_bps;
+    timing.preamble_time_s =
+        static_cast<double>(frame.preamble_symbols) * params.symbol_duration_s();
+    timing.payload_time_s =
+        static_cast<double>(frame.payload_plus_crc_bits()) * params.symbol_duration_s();
+    timing.total_time_s =
+        timing.query_time_s + timing.preamble_time_s + timing.payload_time_s;
+    return timing;
+}
+
+network_metrics netscatter_metrics(const ns::phy::frame_format& frame,
+                                   const ns::phy::css_params& params, query_config config,
+                                   std::size_t devices_delivered,
+                                   std::size_t devices_total) {
+    const round_timing timing = netscatter_round(frame, params, config);
+    network_metrics metrics;
+    metrics.devices_delivered = devices_delivered;
+    metrics.devices_total = devices_total;
+
+    const double delivered = static_cast<double>(devices_delivered);
+    // PHY rate: all delivered devices put payload-part bits on the air
+    // concurrently during the payload window.
+    metrics.phy_rate_bps =
+        delivered * static_cast<double>(frame.payload_plus_crc_bits()) /
+        timing.payload_time_s;
+    // Link layer: only the useful payload counts; query and the (shared)
+    // preamble are overhead.
+    metrics.linklayer_rate_bps =
+        delivered * static_cast<double>(frame.payload_bits) / timing.total_time_s;
+    metrics.latency_s = timing.total_time_s;
+    return metrics;
+}
+
+network_metrics netscatter_ideal_metrics(const ns::phy::frame_format& frame,
+                                         const ns::phy::css_params& params,
+                                         query_config config, std::size_t devices_total) {
+    return netscatter_metrics(frame, params, config, devices_total, devices_total);
+}
+
+}  // namespace ns::sim

@@ -1,0 +1,63 @@
+// Analytic timing and rate models for the network evaluation (§4.4).
+//
+// These closed-form models compute exactly what the paper's Figs. 17-19
+// report once per-device decode success is known:
+//   * Network PHY bit-rate — bits delivered during the payload part, per
+//     second of payload airtime (concurrent devices add up);
+//   * Link-layer data rate — useful payload bits over the full round
+//     (AP query + preamble + payload), the preamble being shared by all
+//     devices in NetScatter but repeated per device in the TDMA baseline;
+//   * Network latency — time to collect the payload from every device.
+// A discrete-event check against these formulas lives in the tests.
+#pragma once
+
+#include <cstddef>
+
+#include "netscatter/mac/query_message.hpp"
+#include "netscatter/phy/css_params.hpp"
+#include "netscatter/phy/frame.hpp"
+
+namespace ns::sim {
+
+/// Which AP-query configuration a NetScatter round uses (§4.4).
+enum class query_config {
+    config1,  ///< 32-bit query; shifts assigned during association
+    config2,  ///< query carries all assignments: 1760 bits
+};
+
+/// Query length in bits for a configuration.
+std::size_t query_bits(query_config config);
+
+/// Timing of one NetScatter concurrent round.
+struct round_timing {
+    double query_time_s = 0.0;    ///< ASK downlink airtime
+    double preamble_time_s = 0.0; ///< 8 shared preamble symbols
+    double payload_time_s = 0.0;  ///< payload+CRC symbols
+    double total_time_s = 0.0;
+};
+
+/// Computes the round timing for the given frame/PHY/query configuration.
+round_timing netscatter_round(const ns::phy::frame_format& frame,
+                              const ns::phy::css_params& params, query_config config);
+
+/// Network-level metrics of one NetScatter round in which
+/// `devices_delivered` of `devices_total` devices' packets decoded.
+struct network_metrics {
+    double phy_rate_bps = 0.0;        ///< concurrent payload-part bitrate
+    double linklayer_rate_bps = 0.0;  ///< useful bits / full round time
+    double latency_s = 0.0;           ///< time to serve the network once
+    std::size_t devices_delivered = 0;
+    std::size_t devices_total = 0;
+};
+
+/// NetScatter metrics: all devices share one round.
+network_metrics netscatter_metrics(const ns::phy::frame_format& frame,
+                                   const ns::phy::css_params& params, query_config config,
+                                   std::size_t devices_delivered, std::size_t devices_total);
+
+/// The ideal NetScatter upper bound (every device decodes).
+network_metrics netscatter_ideal_metrics(const ns::phy::frame_format& frame,
+                                         const ns::phy::css_params& params,
+                                         query_config config, std::size_t devices_total);
+
+}  // namespace ns::sim

@@ -1,0 +1,51 @@
+#include "netscatter/util/bits.hpp"
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::util {
+
+std::vector<bool> bytes_to_bits(const std::vector<std::uint8_t>& bytes) {
+    std::vector<bool> bits;
+    bits.reserve(bytes.size() * 8);
+    for (std::uint8_t byte : bytes) {
+        for (int i = 7; i >= 0; --i) bits.push_back(((byte >> i) & 1) != 0);
+    }
+    return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(const std::vector<bool>& bits) {
+    require(bits.size() % 8 == 0, "bits_to_bytes: bit count not a multiple of 8");
+    std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i]) bytes[i / 8] = static_cast<std::uint8_t>(bytes[i / 8] | (1u << (7 - i % 8)));
+    }
+    return bytes;
+}
+
+void append_uint(std::vector<bool>& bits, std::uint64_t value, int width) {
+    require(width > 0 && width <= 64, "append_uint: width out of range");
+    for (int i = width - 1; i >= 0; --i) bits.push_back(((value >> i) & 1) != 0);
+}
+
+std::uint64_t read_uint(const std::vector<bool>& bits, std::size_t& offset, int width) {
+    require(width > 0 && width <= 64, "read_uint: width out of range");
+    require(offset + static_cast<std::size_t>(width) <= bits.size(),
+            "read_uint: not enough bits");
+    std::uint64_t value = 0;
+    for (int i = 0; i < width; ++i) {
+        value = (value << 1) | (bits[offset + static_cast<std::size_t>(i)] ? 1 : 0);
+    }
+    offset += static_cast<std::size_t>(width);
+    return value;
+}
+
+std::size_t hamming_distance(const std::vector<bool>& a, const std::vector<bool>& b) {
+    require(a.size() == b.size(), "hamming_distance: length mismatch");
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) ++count;
+    }
+    return count;
+}
+
+}  // namespace ns::util

@@ -1,0 +1,27 @@
+// Bit/byte packing helpers shared by the PHY framer and the MAC message
+// serializers (the AP query message of Fig. 11 is specified in bits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ns::util {
+
+/// Converts bytes to bits, MSB-first within each byte.
+std::vector<bool> bytes_to_bits(const std::vector<std::uint8_t>& bytes);
+
+/// Converts bits to bytes, MSB-first; the bit count must be a multiple of 8.
+std::vector<std::uint8_t> bits_to_bytes(const std::vector<bool>& bits);
+
+/// Appends the low `width` bits of `value` to `bits`, MSB-first.
+/// Requires 0 < width <= 64.
+void append_uint(std::vector<bool>& bits, std::uint64_t value, int width);
+
+/// Reads `width` bits starting at `offset` as an unsigned integer,
+/// MSB-first, and advances `offset` past them. Requires the bits to exist.
+std::uint64_t read_uint(const std::vector<bool>& bits, std::size_t& offset, int width);
+
+/// Number of differing positions between two equal-length bit vectors.
+std::size_t hamming_distance(const std::vector<bool>& a, const std::vector<bool>& b);
+
+}  // namespace ns::util

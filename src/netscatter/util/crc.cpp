@@ -1,0 +1,49 @@
+#include "netscatter/util/crc.hpp"
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::util {
+
+std::uint8_t crc8(const std::vector<bool>& bits) {
+    std::uint8_t crc = 0x00;
+    for (bool bit : bits) {
+        const bool top = (crc & 0x80) != 0;
+        crc = static_cast<std::uint8_t>(crc << 1);
+        if (top != bit) crc ^= 0x07;
+    }
+    return crc;
+}
+
+std::uint16_t crc16_ccitt(const std::vector<bool>& bits) {
+    std::uint16_t crc = 0xFFFF;
+    for (bool bit : bits) {
+        const bool top = (crc & 0x8000) != 0;
+        crc = static_cast<std::uint16_t>(crc << 1);
+        if (top != bit) crc ^= 0x1021;
+    }
+    return crc;
+}
+
+std::vector<bool> append_crc8(std::vector<bool> payload_bits) {
+    const std::uint8_t crc = crc8(payload_bits);
+    for (int i = 7; i >= 0; --i) payload_bits.push_back(((crc >> i) & 1) != 0);
+    return payload_bits;
+}
+
+bool check_crc8(const std::vector<bool>& protected_bits) {
+    if (protected_bits.size() < 8) return false;
+    std::vector<bool> payload(protected_bits.begin(), protected_bits.end() - 8);
+    const std::uint8_t expected = crc8(payload);
+    std::uint8_t received = 0;
+    for (std::size_t i = protected_bits.size() - 8; i < protected_bits.size(); ++i) {
+        received = static_cast<std::uint8_t>((received << 1) | (protected_bits[i] ? 1 : 0));
+    }
+    return expected == received;
+}
+
+std::vector<bool> strip_crc8(const std::vector<bool>& protected_bits) {
+    require(protected_bits.size() >= 8, "strip_crc8: sequence shorter than CRC");
+    return std::vector<bool>(protected_bits.begin(), protected_bits.end() - 8);
+}
+
+}  // namespace ns::util

@@ -1,0 +1,36 @@
+// Cyclic redundancy checks for link-layer packets.
+//
+// NetScatter packets carry "payload and the checksum" (§3.3.1); the
+// evaluation uses a 40-bit payload+CRC budget (§4.4). We provide CRC-8
+// (poly 0x07) for the deployed 8-bit checksum and CRC-16-CCITT for larger
+// payloads, both bit-oriented so they work on the bit vectors our PHY
+// produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ns::util {
+
+/// CRC-8 (polynomial x^8+x^2+x+1 = 0x07, init 0x00) over a bit sequence,
+/// MSB-first. Returns the 8-bit remainder.
+std::uint8_t crc8(const std::vector<bool>& bits);
+
+/// CRC-16-CCITT (polynomial 0x1021, init 0xFFFF) over a bit sequence,
+/// MSB-first. Returns the 16-bit remainder.
+std::uint16_t crc16_ccitt(const std::vector<bool>& bits);
+
+/// Appends the CRC-8 of `payload_bits` to it, MSB-first, and returns the
+/// protected sequence (payload followed by 8 CRC bits).
+std::vector<bool> append_crc8(std::vector<bool> payload_bits);
+
+/// Checks a sequence produced by append_crc8: returns true when the last
+/// 8 bits equal the CRC-8 of the preceding bits. Sequences shorter than
+/// 8 bits fail the check.
+bool check_crc8(const std::vector<bool>& protected_bits);
+
+/// Splits a CRC-8-protected sequence back into its payload (drops the
+/// trailing 8 CRC bits). Requires the sequence to be at least 8 bits.
+std::vector<bool> strip_crc8(const std::vector<bool>& protected_bits);
+
+}  // namespace ns::util

@@ -1,0 +1,39 @@
+// Error types for the NetScatter library.
+//
+// Per C++ Core Guidelines E.2 we throw exceptions for contract violations
+// (programming errors, impossible configurations), and use status/optional
+// return values for *expected* runtime outcomes such as CRC failure or a
+// missed packet detection.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ns::util {
+
+/// Base class for all exceptions thrown by the NetScatter library.
+class error : public std::runtime_error {
+public:
+    explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its documented contract
+/// (e.g. a non-power-of-two FFT size, a cyclic shift outside [0, 2^SF)).
+class invalid_argument : public error {
+public:
+    explicit invalid_argument(const std::string& what) : error(what) {}
+};
+
+/// Thrown when an object is used in a state that does not permit the
+/// requested operation (e.g. demodulating before association).
+class invalid_state : public error {
+public:
+    explicit invalid_state(const std::string& what) : error(what) {}
+};
+
+/// Throws ns::util::invalid_argument with `message` when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+    if (!condition) throw invalid_argument(message);
+}
+
+}  // namespace ns::util

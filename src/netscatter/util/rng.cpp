@@ -1,0 +1,106 @@
+#include "netscatter/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::util {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+    // Expand the seed; xoshiro requires a not-all-zero state, which
+    // splitmix64 guarantees with overwhelming probability. Guard anyway.
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64_next(s);
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+        state_[0] = 1;
+    }
+}
+
+rng::result_type rng::operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double rng::uniform() {
+    // 53 high-quality bits -> double in [0,1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    require(lo <= hi, "rng::uniform_int: lo must be <= hi");
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t value = (*this)();
+    while (value >= limit) value = (*this)();
+    return lo + static_cast<std::int64_t>(value % range);
+}
+
+double rng::gaussian() {
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    // Box-Muller; u1 in (0,1] so log is finite.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * std::numbers::pi * u2;
+    cached_gaussian_ = radius * std::sin(angle);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(angle);
+}
+
+double rng::gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+}
+
+double rng::exponential(double mean) {
+    require(mean > 0.0, "rng::exponential: mean must be positive");
+    return -mean * std::log(1.0 - uniform());
+}
+
+bool rng::bernoulli(double p) {
+    return uniform() < p;
+}
+
+std::vector<bool> rng::bits(std::size_t n) {
+    std::vector<bool> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = bernoulli(0.5);
+    return out;
+}
+
+rng rng::fork() {
+    return rng((*this)());
+}
+
+}  // namespace ns::util

@@ -1,0 +1,85 @@
+#include "netscatter/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::util {
+
+running_stats::running_stats()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void running_stats::add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double running_stats::variance() const {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const {
+    return std::sqrt(variance());
+}
+
+double percentile(std::vector<double> samples, double q) {
+    require(!samples.empty(), "percentile: empty sample set");
+    require(q >= 0.0 && q <= 1.0, "percentile: q out of [0,1]");
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1) return samples.front();
+    const double position = q * static_cast<double>(samples.size() - 1);
+    const auto lower = static_cast<std::size_t>(position);
+    const double fraction = position - static_cast<double>(lower);
+    if (lower + 1 >= samples.size()) return samples.back();
+    return samples[lower] * (1.0 - fraction) + samples[lower + 1] * fraction;
+}
+
+std::vector<cdf_point> empirical_cdf(std::vector<double> samples) {
+    require(!samples.empty(), "empirical_cdf: empty sample set");
+    std::sort(samples.begin(), samples.end());
+    std::vector<cdf_point> points;
+    const double n = static_cast<double>(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        // Emit one point per distinct value, at its last occurrence, so the
+        // CDF is right-continuous and ends at probability 1.
+        if (i + 1 == samples.size() || samples[i + 1] != samples[i]) {
+            points.push_back({samples[i], static_cast<double>(i + 1) / n});
+        }
+    }
+    return points;
+}
+
+double cdf_at(const std::vector<double>& samples, double x) {
+    if (samples.empty()) return 0.0;
+    std::size_t count = 0;
+    for (double s : samples) {
+        if (s <= x) ++count;
+    }
+    return static_cast<double>(count) / static_cast<double>(samples.size());
+}
+
+double ccdf_at(const std::vector<double>& samples, double x) {
+    return 1.0 - cdf_at(samples, x);
+}
+
+double mean_of(const std::vector<double>& samples) {
+    running_stats stats;
+    for (double s : samples) stats.add(s);
+    return stats.mean();
+}
+
+double variance_of(const std::vector<double>& samples) {
+    running_stats stats;
+    for (double s : samples) stats.add(s);
+    return stats.variance();
+}
+
+}  // namespace ns::util

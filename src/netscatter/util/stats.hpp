@@ -1,0 +1,75 @@
+// Small statistics toolkit: running moments, percentiles and empirical
+// CDFs. The paper reports most results as CDF / 1-CDF plots (Figs 4, 9,
+// 14, 15a); `empirical_cdf` produces exactly those series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ns::util {
+
+/// Accumulates count/mean/variance/min/max in a single pass
+/// (Welford's algorithm, numerically stable).
+class running_stats {
+public:
+    /// Adds one observation.
+    void add(double x);
+
+    /// Number of observations so far.
+    std::size_t count() const { return count_; }
+
+    /// Sample mean; 0 when empty.
+    double mean() const { return mean_; }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    double variance() const;
+
+    /// Square root of variance().
+    double stddev() const;
+
+    /// Smallest observation; +inf when empty.
+    double min() const { return min_; }
+
+    /// Largest observation; -inf when empty.
+    double max() const { return max_; }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+
+public:
+    running_stats();
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `samples` by linear
+/// interpolation between order statistics. Copies and sorts internally.
+/// Requires a non-empty sample set.
+double percentile(std::vector<double> samples, double q);
+
+/// One (x, F(x)) point of an empirical CDF.
+struct cdf_point {
+    double x;           ///< sample value
+    double probability; ///< fraction of samples <= x
+};
+
+/// Empirical CDF of `samples` evaluated at every distinct sample value
+/// (sorted ascending). Requires a non-empty sample set.
+std::vector<cdf_point> empirical_cdf(std::vector<double> samples);
+
+/// Fraction of samples that are <= x (empirical CDF evaluated at x).
+double cdf_at(const std::vector<double>& samples, double x);
+
+/// Fraction of samples that are > x (1 - CDF, i.e. the complementary CDF
+/// used by the paper's Figs 14b and 15a).
+double ccdf_at(const std::vector<double>& samples, double x);
+
+/// Sample mean of a vector; 0 when empty.
+double mean_of(const std::vector<double>& samples);
+
+/// Unbiased sample variance of a vector; 0 with fewer than two samples.
+double variance_of(const std::vector<double>& samples);
+
+}  // namespace ns::util

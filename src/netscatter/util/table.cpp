@@ -1,0 +1,78 @@
+#include "netscatter/util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::util {
+
+std::string format_double(double value, int precision) {
+    std::ostringstream out;
+    out.precision(precision);
+    out << std::fixed << value;
+    std::string s = out.str();
+    // Trim trailing zeros (but keep at least one digit after the point).
+    if (s.find('.') != std::string::npos) {
+        while (s.size() > 1 && s.back() == '0') s.pop_back();
+        if (s.back() == '.') s.pop_back();
+    }
+    return s;
+}
+
+text_table::text_table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+    require(!headers_.empty(), "text_table: need at least one column");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    require(cells.size() == headers_.size(), "text_table: cell count mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void text_table::add_numeric_row(const std::vector<double>& cells, int precision) {
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double c : cells) formatted.push_back(format_double(c, precision));
+    add_row(std::move(formatted));
+}
+
+void text_table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    os << "== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+}
+
+void text_table::print_csv(std::ostream& os) const {
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) os << ',';
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ns::util

@@ -1,0 +1,44 @@
+// Plain-text table and series printers used by the benchmark harness to
+// emit the rows/series of each paper table and figure in a uniform,
+// grep-friendly format (also CSV for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ns::util {
+
+/// Column-aligned text table with a title, header row and data rows.
+class text_table {
+public:
+    /// Creates a table titled `title` with the given column headers.
+    text_table(std::string title, std::vector<std::string> headers);
+
+    /// Appends one data row; must have exactly one cell per header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: formats each double with `precision` digits. (Named
+    /// differently from add_row to avoid overload ambiguity with braced
+    /// initializer lists.)
+    void add_numeric_row(const std::vector<double>& cells, int precision = 3);
+
+    /// Renders the table with aligned columns.
+    void print(std::ostream& os) const;
+
+    /// Renders the table as CSV (header row then data rows).
+    void print_csv(std::ostream& os) const;
+
+    /// Number of data rows added so far.
+    std::size_t row_count() const { return rows_.size(); }
+
+private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of significant decimal digits.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace ns::util

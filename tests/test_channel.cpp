@@ -1,0 +1,305 @@
+// Unit tests for ns::channel — AWGN, path loss, impairments, fading,
+// superposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netscatter/channel/awgn.hpp"
+#include "netscatter/channel/fading.hpp"
+#include "netscatter/channel/impairments.hpp"
+#include "netscatter/channel/pathloss.hpp"
+#include "netscatter/channel/superposition.hpp"
+#include "netscatter/dsp/peak.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/phy/chirp.hpp"
+#include "netscatter/phy/demodulator.hpp"
+#include "netscatter/util/error.hpp"
+#include "netscatter/util/stats.hpp"
+
+namespace {
+
+using namespace ns::channel;
+using ns::dsp::cplx;
+using ns::dsp::cvec;
+
+// --------------------------------------------------------------- awgn --
+
+TEST(awgn, noise_power_matches_request) {
+    ns::util::rng gen(1);
+    const cvec noise = make_noise(100000, 2.5, gen);
+    EXPECT_NEAR(ns::dsp::mean_power(noise), 2.5, 0.05);
+}
+
+TEST(awgn, noise_is_circular) {
+    ns::util::rng gen(2);
+    const cvec noise = make_noise(100000, 1.0, gen);
+    ns::util::running_stats re, im;
+    for (const auto& s : noise) {
+        re.add(s.real());
+        im.add(s.imag());
+    }
+    EXPECT_NEAR(re.variance(), 0.5, 0.02);
+    EXPECT_NEAR(im.variance(), 0.5, 0.02);
+    EXPECT_NEAR(re.mean(), 0.0, 0.02);
+}
+
+TEST(awgn, add_noise_for_unit_signal_snr) {
+    ns::util::rng gen(3);
+    cvec signal(50000, cplx{0.0, 0.0});
+    add_noise_for_unit_signal_snr(signal, -10.0, gen);  // noise power 10
+    EXPECT_NEAR(ns::dsp::mean_power(signal), 10.0, 0.3);
+}
+
+TEST(awgn, noise_power_for_snr_formula) {
+    EXPECT_NEAR(noise_power_for_snr(1.0, 20.0), 0.01, 1e-12);
+    EXPECT_NEAR(noise_power_for_snr(4.0, -3.0103), 8.0, 1e-3);
+}
+
+// ----------------------------------------------------------- pathloss --
+
+TEST(pathloss, increases_with_distance_and_walls) {
+    const pathloss_params p{};
+    EXPECT_LT(oneway_loss_db(p, 5.0, 0), oneway_loss_db(p, 10.0, 0));
+    EXPECT_LT(oneway_loss_db(p, 10.0, 0), oneway_loss_db(p, 10.0, 2));
+    EXPECT_NEAR(oneway_loss_db(p, 10.0, 2) - oneway_loss_db(p, 10.0, 0),
+                2.0 * p.wall_loss_db, 1e-12);
+}
+
+TEST(pathloss, reference_distance_clamps) {
+    const pathloss_params p{};
+    EXPECT_DOUBLE_EQ(oneway_loss_db(p, 0.5, 0), oneway_loss_db(p, 1.0, 0));
+    EXPECT_THROW(oneway_loss_db(p, 0.0, 0), ns::util::invalid_argument);
+}
+
+TEST(pathloss, exponent_sets_slope_per_decade) {
+    pathloss_params p{};
+    p.exponent = 3.0;
+    EXPECT_NEAR(oneway_loss_db(p, 100.0, 0) - oneway_loss_db(p, 10.0, 0), 30.0, 1e-9);
+}
+
+TEST(pathloss, backscatter_is_roundtrip_plus_conversion) {
+    const pathloss_params p{};
+    const double oneway = oneway_loss_db(p, 12.0, 1);
+    EXPECT_NEAR(backscatter_loss_db(p, 12.0, 1, 6.0), 2.0 * oneway + 6.0, 1e-12);
+}
+
+TEST(pathloss, rx_power_budget) {
+    // 30 dBm AP, -4 dB gain, 140 dB round trip -> -114 dBm at the AP.
+    EXPECT_NEAR(backscatter_rx_power_dbm(30.0, -4.0, 140.0), -114.0, 1e-12);
+}
+
+TEST(pathloss, shadowing_produces_spread) {
+    pathloss_params p{};
+    p.shadowing_sigma_db = 3.0;
+    ns::util::rng gen(4);
+    ns::util::running_stats stats;
+    for (int i = 0; i < 5000; ++i) stats.add(oneway_loss_db(p, 10.0, 0, gen));
+    EXPECT_NEAR(stats.stddev(), 3.0, 0.2);
+    EXPECT_NEAR(stats.mean(), oneway_loss_db(p, 10.0, 0), 0.2);
+}
+
+// -------------------------------------------------------- impairments --
+
+TEST(impairments, hardware_delay_bounded) {
+    const hardware_delay_model model{};
+    ns::util::rng gen(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = model.sample_s(gen);
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, model.max_us * 1e-6);
+    }
+}
+
+TEST(impairments, hardware_delay_can_exceed_one_bin) {
+    // §3.2.1: delays up to 3.5 us exceed one FFT bin at 500 kHz (2 us).
+    hardware_delay_model model{.mean_us = 3.0, .sigma_us = 0.5, .max_us = 3.5};
+    ns::util::rng gen(6);
+    int above_one_bin = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (model.sample_s(gen) > 2e-6) ++above_one_bin;
+    }
+    EXPECT_GT(above_one_bin, 900);
+}
+
+TEST(impairments, crystal_offset_within_ppm_bound) {
+    const crystal_model model{.tolerance_ppm = 50.0, .operating_frequency_hz = 3e6};
+    ns::util::rng gen(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LE(std::abs(model.sample_static_offset_hz(gen)), 150.0 + 1e-9);
+    }
+}
+
+TEST(impairments, backscatter_offsets_90x_smaller_than_radio) {
+    // §2.2: same crystal, 900 MHz radio vs <=10 MHz backscatter baseband.
+    const crystal_model radio{.tolerance_ppm = 10.0, .operating_frequency_hz = 900e6};
+    const crystal_model tag{.tolerance_ppm = 10.0, .operating_frequency_hz = 3e6};
+    ns::util::rng gen(8);
+    ns::util::running_stats radio_stats, tag_stats;
+    for (int i = 0; i < 2000; ++i) {
+        radio_stats.add(std::abs(radio.sample_static_offset_hz(gen)));
+        tag_stats.add(std::abs(tag.sample_static_offset_hz(gen)));
+    }
+    EXPECT_NEAR(radio_stats.mean() / tag_stats.mean(), 300.0, 30.0);
+}
+
+TEST(impairments, doppler_matches_paper_example) {
+    // §4.2: 10 m/s at 900 MHz -> 30 Hz.
+    EXPECT_NEAR(doppler_shift_hz(10.0, 900e6), 30.0, 0.1);
+}
+
+TEST(impairments, sampled_doppler_bounded_by_speed) {
+    ns::util::rng gen(9);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LE(std::abs(sample_doppler_hz(5.0, 900e6, gen)),
+                  doppler_shift_hz(5.0, 900e6) + 1e-9);
+    }
+}
+
+TEST(impairments, multipath_taps_unit_power) {
+    const multipath_model model{};
+    ns::util::rng gen(10);
+    ns::util::running_stats stats;
+    for (int i = 0; i < 3000; ++i) {
+        stats.add(ns::dsp::energy(model.sample_taps(500e3, gen)));
+    }
+    EXPECT_NEAR(stats.mean(), 1.0, 0.05);
+}
+
+TEST(impairments, multipath_single_tap_is_identity_up_to_gain) {
+    cvec taps = {cplx{0.5, 0.0}};
+    const cvec signal = {cplx{1, 0}, cplx{2, 0}, cplx{3, 0}};
+    const cvec out = apply_multipath(signal, taps);
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        EXPECT_NEAR(std::abs(out[i] - 0.5 * signal[i]), 0.0, 1e-12);
+    }
+}
+
+TEST(impairments, equivalent_tone_shift_composition) {
+    const ns::phy::css_params p = ns::phy::deployed_params();
+    // 2 us timing = 1 bin = 976.5625 Hz; 976.5625 Hz CFO = 1 bin more.
+    EXPECT_NEAR(equivalent_tone_shift_hz(p, 2e-6, 0.0), 976.5625, 1e-3);
+    EXPECT_NEAR(equivalent_tone_shift_hz(p, 2e-6, 976.5625), 2.0 * 976.5625, 1e-3);
+    EXPECT_NEAR(equivalent_tone_shift_hz(p, 0.0, -976.5625), -976.5625, 1e-3);
+}
+
+TEST(impairments, tone_shift_displaces_decoded_bin) {
+    // End-to-end: a +2-bin equivalent shift moves the decoded peak by 2.
+    const ns::phy::css_params p = ns::phy::deployed_params();
+    const ns::phy::demodulator demod(p, 1);
+    cvec symbol = ns::phy::make_upchirp(p, 100.0);
+    const double tone = equivalent_tone_shift_hz(p, 4e-6, 0.0);  // 2 bins
+    symbol = ns::dsp::frequency_shift(symbol, tone, p.bandwidth_hz);
+    const auto power = demod.symbol_power_spectrum(symbol);
+    EXPECT_EQ(ns::dsp::argmax(power), 102u);
+}
+
+// ------------------------------------------------------------- fading --
+
+TEST(fading, stationary_standard_deviation) {
+    gauss_markov_fading fading(2.0, 0.9, ns::util::rng(11));
+    ns::util::running_stats stats;
+    for (int i = 0; i < 200000; ++i) stats.add(fading.next_db());
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.15);
+    EXPECT_NEAR(stats.mean(), 0.0, 0.15);
+}
+
+TEST(fading, high_rho_is_smooth) {
+    gauss_markov_fading smooth(2.0, 0.99, ns::util::rng(12));
+    gauss_markov_fading rough(2.0, 0.0, ns::util::rng(12));
+    ns::util::running_stats smooth_steps, rough_steps;
+    double prev_smooth = smooth.current_db();
+    double prev_rough = rough.current_db();
+    for (int i = 0; i < 20000; ++i) {
+        const double s = smooth.next_db();
+        const double r = rough.next_db();
+        smooth_steps.add(std::abs(s - prev_smooth));
+        rough_steps.add(std::abs(r - prev_rough));
+        prev_smooth = s;
+        prev_rough = r;
+    }
+    EXPECT_LT(smooth_steps.mean(), rough_steps.mean() / 3.0);
+}
+
+TEST(fading, validates_parameters) {
+    EXPECT_THROW(gauss_markov_fading(-1.0, 0.5, ns::util::rng(1)),
+                 ns::util::invalid_argument);
+    EXPECT_THROW(gauss_markov_fading(1.0, 1.0, ns::util::rng(1)),
+                 ns::util::invalid_argument);
+}
+
+// ------------------------------------------------------ superposition --
+
+TEST(superposition, single_device_snr_realized) {
+    const ns::phy::css_params p = ns::phy::deployed_params();
+    ns::util::rng gen(13);
+    tx_contribution tx;
+    tx.waveform = ns::phy::make_upchirp(p, 50.0);
+    tx.snr_db = 20.0;
+    tx.random_phase = false;
+    channel_config config;
+    config.noise_power = 1.0;
+    const cvec rx = combine({tx}, tx.waveform.size(), p, config, gen);
+    // Received power ~= signal (100) + noise (1).
+    EXPECT_NEAR(ns::dsp::mean_power(rx), 101.0, 5.0);
+}
+
+TEST(superposition, two_devices_decodable_at_distinct_bins) {
+    const ns::phy::css_params p = ns::phy::deployed_params();
+    const ns::phy::demodulator demod(p, 1);
+    ns::util::rng gen(14);
+    tx_contribution a, b;
+    a.waveform = ns::phy::make_upchirp(p, 10.0);
+    a.snr_db = 10.0;
+    b.waveform = ns::phy::make_upchirp(p, 300.0);
+    b.snr_db = 10.0;
+    channel_config config;
+    const cvec rx = combine({a, b}, a.waveform.size(), p, config, gen);
+    const auto power = demod.symbol_power_spectrum(rx);
+    const double noise_ref = power[150];
+    EXPECT_GT(power[10], 50.0 * noise_ref);
+    EXPECT_GT(power[300], 50.0 * noise_ref);
+}
+
+TEST(superposition, timing_offset_moves_peak) {
+    const ns::phy::css_params p = ns::phy::deployed_params();
+    const ns::phy::demodulator demod(p, 1);
+    ns::util::rng gen(15);
+    tx_contribution tx;
+    tx.waveform = ns::phy::make_upchirp(p, 100.0);
+    tx.snr_db = 30.0;
+    tx.timing_offset_s = 4e-6;  // exactly 2 bins at 500 kHz
+    channel_config config;
+    const cvec rx = combine({tx}, tx.waveform.size(), p, config, gen);
+    const auto power = demod.symbol_power_spectrum(rx);
+    EXPECT_EQ(ns::dsp::argmax(power), 102u);
+}
+
+TEST(superposition, sample_delay_shifts_waveform) {
+    const ns::phy::css_params p = ns::phy::deployed_params();
+    ns::util::rng gen(16);
+    tx_contribution tx;
+    tx.waveform = cvec(10, cplx{1.0, 0.0});
+    // SNR is relative to the configured noise power: 120 dB over 1e-6
+    // noise gives signal power 1e6 (amplitude 1000).
+    tx.snr_db = 120.0;
+    tx.random_phase = false;
+    tx.sample_delay = 5;
+    channel_config config;
+    config.noise_power = 1e-6;
+    const cvec rx = combine({tx}, 20, p, config, gen);
+    EXPECT_LT(std::abs(rx[4]), 1.0);
+    EXPECT_GT(std::abs(rx[5]), 900.0);
+    EXPECT_GT(std::abs(rx[14]), 900.0);
+    EXPECT_LT(std::abs(rx[15]), 1.0);
+}
+
+TEST(superposition, empty_contributions_is_pure_noise) {
+    const ns::phy::css_params p = ns::phy::deployed_params();
+    ns::util::rng gen(17);
+    channel_config config;
+    config.noise_power = 4.0;
+    const cvec rx = combine({}, 10000, p, config, gen);
+    EXPECT_NEAR(ns::dsp::mean_power(rx), 4.0, 0.3);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Tests for the receiver front end (FIR design + decimation, §4.1's
+// 4 Msps -> 500 kS/s path) and the receiver's per-device SNR / residual
+// tone-offset estimators (§4.2's measurement method).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "netscatter/channel/superposition.hpp"
+#include "netscatter/dsp/fir.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/phy/chirp.hpp"
+#include "netscatter/phy/modulator.hpp"
+#include "netscatter/rx/receiver.hpp"
+#include "netscatter/util/error.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace {
+
+using ns::dsp::cplx;
+using ns::dsp::cvec;
+
+// ------------------------------------------------------------- design --
+
+TEST(fir_design, unit_dc_gain_and_symmetry) {
+    const auto taps = ns::dsp::design_lowpass(0.125, 63);
+    ASSERT_EQ(taps.size(), 63u);
+    double sum = 0.0;
+    for (double t : taps) sum += t;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    for (std::size_t i = 0; i < taps.size() / 2; ++i) {
+        EXPECT_NEAR(taps[i], taps[taps.size() - 1 - i], 1e-12) << i;
+    }
+}
+
+TEST(fir_design, passband_flat_stopband_deep) {
+    const auto taps = ns::dsp::design_lowpass(0.125, 63);
+    // Passband (well inside the cutoff): within ~0.5 dB of unity.
+    EXPECT_NEAR(ns::dsp::fir_response_at(taps, 0.0), 1.0, 0.01);
+    EXPECT_NEAR(ns::dsp::fir_response_at(taps, 0.06), 1.0, 0.06);
+    // Stopband (well past the transition): Hamming gives ~-50 dB.
+    EXPECT_LT(ns::dsp::fir_response_at(taps, 0.25), 0.01);
+    EXPECT_LT(ns::dsp::fir_response_at(taps, 0.4), 0.01);
+}
+
+TEST(fir_design, validates_arguments) {
+    EXPECT_THROW(ns::dsp::design_lowpass(0.0, 63), ns::util::invalid_argument);
+    EXPECT_THROW(ns::dsp::design_lowpass(0.5, 63), ns::util::invalid_argument);
+    EXPECT_THROW(ns::dsp::design_lowpass(0.1, 64), ns::util::invalid_argument);  // even
+    EXPECT_THROW(ns::dsp::design_lowpass(0.1, 1), ns::util::invalid_argument);
+}
+
+// ---------------------------------------------------------- filtering --
+
+TEST(fir_filter, passes_inband_tone_blocks_outband) {
+    const std::size_t n = 4096;
+    const auto taps = ns::dsp::design_lowpass(0.125, 63);
+    cvec inband(n), outband(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        inband[i] = std::polar(1.0, 2.0 * std::numbers::pi * 0.05 * static_cast<double>(i));
+        outband[i] = std::polar(1.0, 2.0 * std::numbers::pi * 0.3 * static_cast<double>(i));
+    }
+    const cvec filtered_in = ns::dsp::fir_filter(inband, taps);
+    const cvec filtered_out = ns::dsp::fir_filter(outband, taps);
+    const double in_power =
+        ns::dsp::mean_power(std::span(filtered_in).subspan(200));
+    const double out_power =
+        ns::dsp::mean_power(std::span(filtered_out).subspan(200));
+    EXPECT_NEAR(in_power, 1.0, 0.05);
+    EXPECT_LT(out_power, 1e-4);
+}
+
+TEST(fir_decimate, length_and_alias_suppression) {
+    const std::size_t n = 8192;
+    const auto taps = ns::dsp::design_lowpass(0.0625, 63);
+    // An out-of-band tone at 0.3 of the input rate would alias to 0.1 of
+    // the output rate after decimate-by-8; the filter must remove it.
+    cvec tone(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        tone[i] = std::polar(1.0, 2.0 * std::numbers::pi * 0.3 * static_cast<double>(i));
+    }
+    const cvec decimated = ns::dsp::fir_decimate(tone, taps, 8);
+    EXPECT_EQ(decimated.size(), n / 8);
+    EXPECT_LT(ns::dsp::mean_power(std::span(decimated).subspan(32)), 1e-4);
+}
+
+TEST(frontend, oversampled_chirp_decodes_after_decimation) {
+    // Synthesize the chirp at 8x the chip rate (the USRP-style capture),
+    // decimate with the front end, and decode at the critical rate.
+    const auto phy = ns::phy::deployed_params();
+    const std::size_t oversample = 8;
+    const std::size_t n = phy.samples_per_symbol() * oversample;
+    const double fs = phy.bandwidth_hz * static_cast<double>(oversample);
+    const std::uint32_t shift = 200;
+
+    // Oversampled upchirp: same continuous waveform sampled faster. The
+    // sweep spans [-BW/2, BW/2) with f0 offset by the cyclic shift and
+    // explicit wrap at +BW/2 (the critical sampling no longer aliases it
+    // for us).
+    cvec capture(n);
+    double phase = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / fs;
+        double f = -phy.bandwidth_hz / 2.0 +
+                   static_cast<double>(shift) * phy.bin_spacing_hz() +
+                   phy.bandwidth_hz * t / phy.symbol_duration_s();
+        if (f >= phy.bandwidth_hz / 2.0) f -= phy.bandwidth_hz;  // cyclic wrap
+        capture[i] = std::polar(1.0, phase);
+        phase += 2.0 * std::numbers::pi * f / fs;
+    }
+
+    const cvec baseband = ns::dsp::frontend_decimate(capture, oversample);
+    ASSERT_EQ(baseband.size(), phy.samples_per_symbol());
+    const ns::phy::demodulator demod(phy, 4);
+    const auto power = demod.symbol_power_spectrum(baseband);
+    const auto peak = ns::dsp::find_peak(power);
+    EXPECT_NEAR(static_cast<double>(peak.bin) / 4.0, static_cast<double>(shift), 1.0);
+}
+
+TEST(frontend, oversample_one_is_identity) {
+    const cvec signal = {cplx{1, 2}, cplx{3, 4}};
+    const cvec out = ns::dsp::frontend_decimate(signal, 1);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], signal[0]);
+}
+
+// ----------------------------------------------- receiver estimators --
+
+struct estimator_fixture {
+    ns::rx::receiver_params rxp;
+    estimator_fixture() {
+        rxp.phy = ns::phy::deployed_params();
+        rxp.frame = ns::phy::linklayer_format();
+    }
+
+    ns::rx::decode_result run(double snr_db, double tone_hz, std::uint64_t seed) {
+        ns::rx::receiver rx(rxp);
+        rx.set_registered_shifts({100});
+        ns::util::rng gen(seed);
+        const auto bits =
+            ns::phy::build_frame_bits(rxp.frame, gen.bits(rxp.frame.payload_bits));
+        ns::phy::distributed_modulator mod(rxp.phy, 100);
+        ns::channel::tx_contribution tx;
+        tx.waveform = mod.modulate_packet(bits);
+        tx.snr_db = snr_db;
+        tx.frequency_offset_hz = tone_hz;
+        ns::channel::channel_config config;
+        const cvec stream =
+            ns::channel::combine({tx}, tx.waveform.size(), rxp.phy, config, gen);
+        return rx.decode(stream, 0);
+    }
+};
+
+TEST(estimators, snr_estimate_tracks_injected_snr) {
+    estimator_fixture fx;
+    for (double snr : {-10.0, -5.0, 0.0, 10.0, 20.0}) {
+        const auto result = fx.run(snr, 0.0, 7);
+        ASSERT_TRUE(result.reports[0].detected) << snr;
+        EXPECT_NEAR(result.reports[0].estimated_snr_db, snr, 1.5) << snr;
+    }
+}
+
+TEST(estimators, tone_offset_estimate_tracks_injected_cfo) {
+    estimator_fixture fx;
+    for (double tone : {-300.0, -150.0, -40.0, 0.0, 40.0, 150.0, 300.0}) {
+        const auto result = fx.run(10.0, tone, 8);
+        ASSERT_TRUE(result.reports[0].detected) << tone;
+        EXPECT_NEAR(result.reports[0].estimated_tone_offset_hz, tone, 15.0) << tone;
+    }
+}
+
+TEST(estimators, estimates_work_concurrently) {
+    // Two devices with different SNRs and offsets: each report carries
+    // its own estimates.
+    ns::rx::receiver_params rxp;
+    rxp.phy = ns::phy::deployed_params();
+    rxp.frame = ns::phy::linklayer_format();
+    ns::rx::receiver rx(rxp);
+    rx.set_registered_shifts({100, 300});
+    ns::util::rng gen(9);
+
+    std::vector<ns::channel::tx_contribution> txs;
+    const double snrs[2] = {15.0, -5.0};
+    const double tones[2] = {120.0, -200.0};
+    for (int d = 0; d < 2; ++d) {
+        const auto bits =
+            ns::phy::build_frame_bits(rxp.frame, gen.bits(rxp.frame.payload_bits));
+        ns::phy::distributed_modulator mod(rxp.phy, d == 0 ? 100 : 300);
+        ns::channel::tx_contribution tx;
+        tx.waveform = mod.modulate_packet(bits);
+        tx.snr_db = snrs[d];
+        tx.frequency_offset_hz = tones[d];
+        txs.push_back(std::move(tx));
+    }
+    ns::channel::channel_config config;
+    const cvec stream =
+        ns::channel::combine(txs, txs[0].waveform.size(), rxp.phy, config, gen);
+    const auto result = rx.decode(stream, 0);
+    ASSERT_TRUE(result.reports[0].detected);
+    ASSERT_TRUE(result.reports[1].detected);
+    EXPECT_NEAR(result.reports[0].estimated_snr_db, 15.0, 1.5);
+    EXPECT_NEAR(result.reports[1].estimated_snr_db, -5.0, 1.5);
+    EXPECT_NEAR(result.reports[0].estimated_tone_offset_hz, 120.0, 20.0);
+    EXPECT_NEAR(result.reports[1].estimated_tone_offset_hz, -200.0, 20.0);
+}
+
+TEST(estimators, timing_jitter_appears_as_tone_offset) {
+    // A 1 us timing offset is indistinguishable from a 488 Hz tone after
+    // dechirping (ΔFFTbin = Δt*BW): the estimator measures the combined
+    // residual, exactly like the paper's §4.2 measurement.
+    estimator_fixture fx;
+    ns::rx::receiver rx(fx.rxp);
+    rx.set_registered_shifts({100});
+    ns::util::rng gen(10);
+    const auto bits =
+        ns::phy::build_frame_bits(fx.rxp.frame, gen.bits(fx.rxp.frame.payload_bits));
+    ns::phy::distributed_modulator mod(fx.rxp.phy, 100);
+    ns::channel::tx_contribution tx;
+    tx.waveform = mod.modulate_packet(bits);
+    tx.snr_db = 10.0;
+    tx.timing_offset_s = 1e-6;  // 0.5 bins == 488.3 Hz equivalent tone
+    ns::channel::channel_config config;
+    const cvec stream =
+        ns::channel::combine({tx}, tx.waveform.size(), fx.rxp.phy, config, gen);
+    const auto result = rx.decode(stream, 0);
+    ASSERT_TRUE(result.reports[0].detected);
+    EXPECT_NEAR(std::abs(result.reports[0].estimated_tone_offset_hz), 488.3, 30.0);
+}
+
+}  // namespace

@@ -1,0 +1,389 @@
+// Unit tests for ns::mac — query message, power-aware allocator, access
+// point, Aloha backoff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "netscatter/mac/allocator.hpp"
+#include "netscatter/mac/aloha.hpp"
+#include "netscatter/mac/ap.hpp"
+#include "netscatter/mac/query_message.hpp"
+#include "netscatter/util/error.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace {
+
+using namespace ns::mac;
+using ns::device::snr_region;
+
+// ------------------------------------------------------ query message --
+
+TEST(query_message, config1_is_32_bits) {
+    query_message query;
+    EXPECT_EQ(query.length_bits(), 32u);
+    EXPECT_NEAR(query.airtime_s(), 32.0 / 160e3, 1e-12);
+}
+
+TEST(query_message, association_response_adds_16_bits) {
+    query_message query;
+    query.response = association_response{.network_id = 3, .shift_slot = 9};
+    EXPECT_EQ(query.length_bits(), 48u);
+}
+
+TEST(query_message, config2_is_1760_bits) {
+    // §3.3.3 / §4.4: the full reassignment query is 1760 bits and takes
+    // under 11 ms on the 160 kbps downlink.
+    query_message query;
+    query.full_reassignment = true;
+    EXPECT_EQ(query.length_bits(), 1760u);
+    EXPECT_NEAR(query.airtime_s(), 11e-3, 1e-6);  // 1760 / 160k = 11 ms exactly
+}
+
+TEST(query_message, serialize_parse_roundtrip_minimal) {
+    query_message query;
+    query.group_id = 5;
+    const auto bits = serialize(query);
+    EXPECT_EQ(bits.size(), query.length_bits());
+    const auto parsed = parse_query(bits);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->group_id, 5);
+    EXPECT_FALSE(parsed->response.has_value());
+    EXPECT_FALSE(parsed->full_reassignment);
+}
+
+TEST(query_message, serialize_parse_roundtrip_with_response) {
+    query_message query;
+    query.group_id = 0;
+    query.response = association_response{.network_id = 42, .shift_slot = 17};
+    const auto parsed = parse_query(serialize(query));
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->response.has_value());
+    EXPECT_EQ(parsed->response->network_id, 42);
+    EXPECT_EQ(parsed->response->shift_slot, 17);
+}
+
+TEST(query_message, serialize_parse_roundtrip_full_reassignment) {
+    query_message query;
+    query.full_reassignment = true;
+    query.reassignment_index_low64 = 0xABCDEF0123456789ULL;
+    const auto bits = serialize(query);
+    EXPECT_EQ(bits.size(), 1760u);
+    const auto parsed = parse_query(bits);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->full_reassignment);
+    EXPECT_EQ(parsed->reassignment_index_low64, 0xABCDEF0123456789ULL);
+}
+
+TEST(query_message, parse_rejects_corruption) {
+    query_message query;
+    auto bits = serialize(query);
+    bits[5] = !bits[5];
+    EXPECT_FALSE(parse_query(bits).has_value());
+}
+
+TEST(query_message, parse_rejects_truncation) {
+    EXPECT_FALSE(parse_query(std::vector<bool>(8, false)).has_value());
+}
+
+TEST(query_message, permutation_bits_match_paper) {
+    // §3.3.3: log2(256!) <= 1700 bits; exactly ceil(log2(256!)) = 1684.
+    EXPECT_EQ(permutation_index_bits(256), 1684u);
+    EXPECT_LE(permutation_index_bits(256), 1700u);
+    EXPECT_EQ(permutation_index_bits(1), 0u);
+    // And it fits inside the 1728-bit reassignment field.
+    EXPECT_LE(permutation_index_bits(256), reassignment_field_bits);
+}
+
+// ---------------------------------------------------------- allocator --
+
+allocation_params default_alloc(std::uint32_t skip = 2,
+                                std::uint32_t assoc_slots = 2) {
+    return allocation_params{.phy = ns::phy::deployed_params(),
+                             .skip = skip,
+                             .num_association_slots = assoc_slots};
+}
+
+TEST(allocator, slot_count_and_spacing) {
+    const shift_allocator alloc(default_alloc());
+    // 512 bins / SKIP 2 = 256 slots, minus 2 association slots.
+    EXPECT_EQ(alloc.num_data_slots(), 254u);
+    for (std::uint32_t shift : alloc.placement_order()) {
+        EXPECT_EQ(shift % 2, 0u);
+        EXPECT_LT(shift, 512u);
+    }
+}
+
+TEST(allocator, no_association_reserve_keeps_full_capacity) {
+    const shift_allocator alloc(default_alloc(2, 0));
+    EXPECT_EQ(alloc.num_data_slots(), 256u);  // the deployed 256 devices
+    EXPECT_THROW(alloc.association_shift(snr_region::high),
+                 ns::util::invalid_argument);
+}
+
+TEST(allocator, association_shifts_in_distinct_regions) {
+    const shift_allocator alloc(default_alloc());
+    const std::uint32_t high = alloc.association_shift(snr_region::high);
+    const std::uint32_t low = alloc.association_shift(snr_region::low);
+    EXPECT_NE(high, low);
+    // High region near bin 0, low region near mid-band (bin 256).
+    EXPECT_LE(alloc.circular_distance(high, 0), 8u);
+    EXPECT_GE(alloc.circular_distance(low, 0), 200u);
+    // Association shifts are not data slots.
+    const auto& order = alloc.placement_order();
+    EXPECT_EQ(std::count(order.begin(), order.end(), high), 0);
+    EXPECT_EQ(std::count(order.begin(), order.end(), low), 0);
+}
+
+TEST(allocator, circular_distance_wraps) {
+    const shift_allocator alloc(default_alloc());
+    EXPECT_EQ(alloc.circular_distance(0, 510), 2u);
+    EXPECT_EQ(alloc.circular_distance(510, 0), 2u);
+    EXPECT_EQ(alloc.circular_distance(0, 256), 256u);
+    EXPECT_EQ(alloc.circular_distance(5, 5), 0u);
+}
+
+TEST(allocator, placement_order_monotone_distance_from_zero) {
+    const shift_allocator alloc(default_alloc(2, 0));
+    const auto& order = alloc.placement_order();
+    std::uint32_t previous = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const std::uint32_t distance = alloc.circular_distance(order[i], 0);
+        EXPECT_GE(distance + 2, previous) << "position " << i;  // non-strict by pairs
+        previous = distance;
+    }
+}
+
+TEST(allocator, strong_devices_near_bin_zero) {
+    const shift_allocator alloc(default_alloc(2, 0));
+    std::vector<device_power> devices;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        devices.push_back({i, -100.0 + static_cast<double>(i) * 0.1});
+    }
+    const auto result = alloc.allocate(devices);
+    ASSERT_EQ(result.shifts.size(), 256u);
+    // Strongest device (id 255) must sit closer to bin 0 than the weakest
+    // (id 0), which must sit near mid-band.
+    EXPECT_LE(alloc.circular_distance(result.shifts.at(255), 0), 4u);
+    EXPECT_GE(alloc.circular_distance(result.shifts.at(0), 0), 250u);
+}
+
+TEST(allocator, all_assigned_shifts_distinct) {
+    const shift_allocator alloc(default_alloc(2, 0));
+    std::vector<device_power> devices;
+    ns::util::rng gen(1);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        devices.push_back({i, gen.uniform(-120.0, -80.0)});
+    }
+    const auto result = alloc.allocate(devices);
+    std::set<std::uint32_t> shifts;
+    for (const auto& [id, shift] : result.shifts) shifts.insert(shift);
+    EXPECT_EQ(shifts.size(), 256u);
+}
+
+TEST(allocator, sparse_population_spreads_out) {
+    // §4.4: below 128 devices the effective spacing exceeds 2 cyclic
+    // shifts, so devices do not interfere.
+    const shift_allocator alloc(default_alloc(2, 0));
+    std::vector<device_power> devices;
+    for (std::uint32_t i = 0; i < 64; ++i) devices.push_back({i, -100.0});
+    const auto result = alloc.allocate(devices);
+    std::vector<std::uint32_t> shifts;
+    for (const auto& [id, shift] : result.shifts) shifts.push_back(shift);
+    std::sort(shifts.begin(), shifts.end());
+    for (std::size_t i = 1; i < shifts.size(); ++i) {
+        EXPECT_GE(shifts[i] - shifts[i - 1], 6u);  // >= 3 slots apart
+    }
+}
+
+TEST(allocator, rejects_overload) {
+    const shift_allocator alloc(default_alloc(2, 0));
+    std::vector<device_power> devices;
+    for (std::uint32_t i = 0; i < 257; ++i) devices.push_back({i, -100.0});
+    EXPECT_THROW(alloc.allocate(devices), ns::util::invalid_argument);
+}
+
+TEST(allocator, skip_one_supports_full_bins) {
+    const shift_allocator alloc(default_alloc(1, 0));
+    EXPECT_EQ(alloc.num_data_slots(), 512u);
+}
+
+TEST(allocator, validates_parameters) {
+    allocation_params bad = default_alloc();
+    bad.skip = 0;
+    EXPECT_THROW(shift_allocator{bad}, ns::util::invalid_argument);
+}
+
+TEST(allocator, tolerable_power_difference_reference_points) {
+    const auto p = ns::phy::deployed_params();
+    // §3.2.3: at SKIP = 2 a neighbour survives up to ~13.5 dB difference.
+    EXPECT_NEAR(tolerable_power_difference_db(p, 2), 13.5, 0.5);
+    // Mid-band reaches the 35 dB practical cap (Fig. 15b).
+    EXPECT_DOUBLE_EQ(tolerable_power_difference_db(p, 256), 35.0);
+    // Same bin: nothing is tolerable.
+    EXPECT_DOUBLE_EQ(tolerable_power_difference_db(p, 0), 0.0);
+}
+
+TEST(allocator, tolerable_power_difference_monotone) {
+    const auto p = ns::phy::deployed_params();
+    double previous = 0.0;
+    for (std::uint32_t s = 1; s <= 256; s *= 2) {
+        const double tolerable = tolerable_power_difference_db(p, s);
+        EXPECT_GE(tolerable, previous) << "separation " << s;
+        previous = tolerable;
+    }
+}
+
+TEST(allocator, incremental_prefers_similar_power_neighbours) {
+    const shift_allocator alloc(default_alloc(2, 0));
+    // A strong device at shift 0 and a weak one at mid-band.
+    const std::vector<std::pair<std::uint32_t, double>> occupied = {
+        {0, -80.0}, {256, -112.0}};
+    // A weak newcomer should land near the weak device, not next to the
+    // strong one.
+    const auto shift = alloc.assign_incremental(-110.0, occupied);
+    ASSERT_TRUE(shift.has_value());
+    EXPECT_LT(alloc.circular_distance(*shift, 256), alloc.circular_distance(*shift, 0));
+}
+
+TEST(allocator, incremental_respects_occupancy) {
+    const shift_allocator alloc(default_alloc(2, 0));
+    const std::vector<std::pair<std::uint32_t, double>> occupied = {{0, -100.0}};
+    const auto shift = alloc.assign_incremental(-100.0, occupied);
+    ASSERT_TRUE(shift.has_value());
+    EXPECT_NE(*shift, 0u);
+}
+
+TEST(allocator, incremental_fails_when_infeasible) {
+    // One monster device 60 dB above a newcomer: nowhere is safe (the cap
+    // is 35 dB), so the allocator must signal a full reassignment.
+    const shift_allocator alloc(default_alloc(2, 0));
+    const std::vector<std::pair<std::uint32_t, double>> occupied = {{0, -50.0}};
+    EXPECT_FALSE(alloc.assign_incremental(-110.0, occupied).has_value());
+}
+
+// ------------------------------------------------------------------ ap --
+
+TEST(ap, association_flow_assigns_and_acks) {
+    access_point ap(default_alloc(2, 0));
+    association_request request{.device_id = 7, .region = snr_region::high,
+                                .rx_power_dbm = -100.0};
+    const association_response response = ap.handle_association_request(request);
+    EXPECT_TRUE(ap.pending_response().has_value());
+    EXPECT_TRUE(ap.shift_of(7).has_value());
+    EXPECT_EQ(*ap.shift_of(7), response.shift_slot * 2u);
+
+    // The response rides on queries until the ACK arrives (§3.3.4).
+    EXPECT_TRUE(ap.build_query().response.has_value());
+    ap.handle_association_ack(7);
+    EXPECT_FALSE(ap.pending_response().has_value());
+    EXPECT_FALSE(ap.build_query().response.has_value());
+    EXPECT_TRUE(ap.devices().at(7).acked);
+}
+
+TEST(ap, ack_for_unknown_device_throws) {
+    access_point ap(default_alloc(2, 0));
+    EXPECT_THROW(ap.handle_association_ack(99), ns::util::invalid_argument);
+}
+
+TEST(ap, network_ids_unique) {
+    access_point ap(default_alloc(2, 0));
+    std::set<std::uint8_t> ids;
+    for (std::uint32_t d = 0; d < 16; ++d) {
+        const auto response = ap.handle_association_request(
+            {.device_id = d, .region = snr_region::high, .rx_power_dbm = -100.0});
+        ids.insert(response.network_id);
+        ap.handle_association_ack(d);
+    }
+    EXPECT_EQ(ids.size(), 16u);
+}
+
+TEST(ap, infeasible_join_triggers_full_reassignment) {
+    access_point ap(default_alloc(2, 0));
+    ap.handle_association_request(
+        {.device_id = 0, .region = snr_region::high, .rx_power_dbm = -50.0});
+    ap.handle_association_ack(0);
+    EXPECT_EQ(ap.full_reassignments(), 0u);
+    // A newcomer 60 dB weaker cannot be placed incrementally.
+    ap.handle_association_request(
+        {.device_id = 1, .region = snr_region::low, .rx_power_dbm = -110.0});
+    EXPECT_EQ(ap.full_reassignments(), 1u);
+    const query_message query = ap.build_query();
+    EXPECT_TRUE(query.full_reassignment);
+    EXPECT_EQ(query.length_bits(), 1760u + 16u);  // + piggybacked response
+    // The flag clears after one query.
+    EXPECT_FALSE(ap.build_query().full_reassignment);
+}
+
+TEST(ap, regroup_by_signal_strength) {
+    access_point ap(default_alloc(2, 0));
+    for (std::uint32_t d = 0; d < 8; ++d) {
+        ap.handle_association_request({.device_id = d,
+                                       .region = snr_region::high,
+                                       .rx_power_dbm = -90.0 - 5.0 * d});
+        ap.handle_association_ack(d);
+    }
+    EXPECT_EQ(ap.regroup(4), 2u);
+    // The four strongest (smallest d) share group 0.
+    for (std::uint32_t d = 0; d < 4; ++d) EXPECT_EQ(ap.devices().at(d).group_id, 0);
+    for (std::uint32_t d = 4; d < 8; ++d) EXPECT_EQ(ap.devices().at(d).group_id, 1);
+}
+
+TEST(ap, regroup_validates_capacity) {
+    access_point ap(default_alloc(2, 0));
+    EXPECT_THROW(ap.regroup(0), ns::util::invalid_argument);
+}
+
+// --------------------------------------------------------------- aloha --
+
+TEST(aloha, transmits_within_window) {
+    aloha_backoff backoff(4, 64, ns::util::rng(1));
+    int rounds = 0;
+    while (!backoff.should_transmit()) ++rounds;
+    EXPECT_LT(rounds, 4);
+}
+
+TEST(aloha, collision_doubles_window_up_to_max) {
+    aloha_backoff backoff(4, 16, ns::util::rng(2));
+    backoff.on_collision();
+    EXPECT_EQ(backoff.current_window(), 8u);
+    backoff.on_collision();
+    EXPECT_EQ(backoff.current_window(), 16u);
+    backoff.on_collision();
+    EXPECT_EQ(backoff.current_window(), 16u);  // clamped
+}
+
+TEST(aloha, success_resets_window) {
+    aloha_backoff backoff(4, 64, ns::util::rng(3));
+    backoff.on_collision();
+    backoff.on_collision();
+    backoff.on_success();
+    EXPECT_EQ(backoff.current_window(), 4u);
+}
+
+TEST(aloha, validates_parameters) {
+    EXPECT_THROW(aloha_backoff(0, 4, ns::util::rng(4)), ns::util::invalid_argument);
+    EXPECT_THROW(aloha_backoff(8, 4, ns::util::rng(4)), ns::util::invalid_argument);
+}
+
+TEST(aloha, contention_resolves_two_devices) {
+    // Two contenders with backoff eventually transmit in different
+    // rounds.
+    aloha_backoff a(2, 64, ns::util::rng(5));
+    aloha_backoff b(2, 64, ns::util::rng(6));
+    bool resolved = false;
+    for (int round = 0; round < 200 && !resolved; ++round) {
+        const bool ta = a.should_transmit();
+        const bool tb = b.should_transmit();
+        if (ta && tb) {
+            a.on_collision();
+            b.on_collision();
+        } else if (ta || tb) {
+            resolved = true;
+        }
+    }
+    EXPECT_TRUE(resolved);
+}
+
+}  // namespace
