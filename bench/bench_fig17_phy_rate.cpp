@@ -7,12 +7,32 @@
 // (976 bps per device); LoRa backscatter stays flat (~8.7 kbps without
 // rate adaptation, tens of kbps with). Gains at 256 devices: 26.2x /
 // 6.8x. Variance grows past 128 devices as SKIP drops to 2.
+#include <cstdlib>
 #include <iostream>
 
 #include "netscatter/baseline/lora_link.hpp"
+#include "netscatter/engine/thread_pool.hpp"
 #include "netscatter/sim/timeline.hpp"
 #include "netscatter/util/table.hpp"
+#include "bench_report.hpp"
 #include "netsim_sweep.hpp"
+
+namespace {
+
+bool same_sweep(const std::vector<bench::sweep_point>& a,
+                const std::vector<bench::sweep_point>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].num_devices != b[i].num_devices ||
+            a[i].mean_delivered != b[i].mean_delivered ||
+            a[i].delivery_rate != b[i].delivery_rate) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
 
 int main() {
     const auto frame = ns::phy::phy_format();  // 5-byte payload (§4.4)
@@ -20,13 +40,33 @@ int main() {
 
     ns::sim::sim_config base;
     base.frame = frame;
-    const auto sweep = bench::run_sweep(/*rounds=*/3, /*seed=*/17, base);
+
+    // Parallel sweep through the engine, then the serial reference (same
+    // task decomposition on one thread). The two must be bit-identical;
+    // the ratio of their wall clocks is the engine's speedup. Set
+    // NS_BENCH_SKIP_SERIAL=1 to skip the (slow) reference on big runs.
+    const bench::stopwatch parallel_clock;
+    const auto sweep =
+        bench::run_sweep(/*rounds=*/3, /*seed=*/17, base, bench::parallel_options());
+    const double parallel_s = parallel_clock.seconds();
+
+    double serial_s = 0.0;
+    bool identical = true;
+    const bool skip_serial = std::getenv("NS_BENCH_SKIP_SERIAL") != nullptr;
+    if (!skip_serial) {
+        const bench::stopwatch serial_clock;
+        const auto serial_sweep =
+            bench::run_sweep(/*rounds=*/3, /*seed=*/17, base, bench::serial_options());
+        serial_s = serial_clock.seconds();
+        identical = same_sweep(sweep, serial_sweep);
+    }
 
     ns::util::text_table table(
         "Fig 17: network PHY rate [kbps] vs # devices",
         {"# devices", "LoRa-BS fixed", "LoRa-BS rate-adapt", "NetScatter (ideal)",
          "NetScatter (simulated)", "delivered/round"});
 
+    bench::bench_report report("fig17_phy_rate");
     for (const auto& point : sweep) {
         const auto lora = ns::baseline::fixed_rate_network(frame, point.num_devices);
         const auto adapted =
@@ -43,6 +83,10 @@ int main() {
                        ns::util::format_double(ideal.phy_rate_bps / 1e3, 1),
                        ns::util::format_double(measured.phy_rate_bps / 1e3, 1),
                        ns::util::format_double(point.mean_delivered, 1)});
+        report.add_point({{"num_devices", static_cast<double>(point.num_devices)},
+                          {"mean_delivered", point.mean_delivered},
+                          {"delivery_rate", point.delivery_rate},
+                          {"phy_rate_kbps", measured.phy_rate_bps / 1e3}});
     }
     table.print(std::cout);
 
@@ -57,5 +101,26 @@ int main() {
               << "x (paper: 26.2x), over rate-adapted = "
               << ns::util::format_double(measured.phy_rate_bps / adapted.phy_rate_bps, 1)
               << "x (paper: 6.8x)\n";
-    return 0;
+
+    std::cout << "\nengine: " << ns::engine::thread_pool::default_thread_count()
+              << " hardware threads, parallel sweep "
+              << ns::util::format_double(parallel_s, 2) << " s";
+    if (!skip_serial) {
+        std::cout << ", serial reference " << ns::util::format_double(serial_s, 2)
+                  << " s, speedup "
+                  << ns::util::format_double(serial_s / parallel_s, 2)
+                  << "x, bit-identical: " << (identical ? "yes" : "NO");
+    }
+    std::cout << "\n";
+
+    report.set_scalar("wall_clock_s", parallel_s);
+    report.set_scalar("hardware_threads",
+                      static_cast<double>(ns::engine::thread_pool::default_thread_count()));
+    if (!skip_serial) {
+        report.set_scalar("serial_wall_clock_s", serial_s);
+        report.set_scalar("speedup", serial_s / parallel_s);
+        report.set_scalar("bit_identical", identical ? 1.0 : 0.0);
+    }
+    report.write();
+    return identical ? 0 : 1;
 }

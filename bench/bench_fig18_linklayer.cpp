@@ -11,6 +11,7 @@
 #include "netscatter/baseline/lora_link.hpp"
 #include "netscatter/sim/timeline.hpp"
 #include "netscatter/util/table.hpp"
+#include "bench_report.hpp"
 #include "netsim_sweep.hpp"
 
 int main() {
@@ -19,13 +20,17 @@ int main() {
 
     ns::sim::sim_config base;
     base.frame = frame;
+    const bench::stopwatch clock;
     const auto sweep = bench::run_sweep(/*rounds=*/3, /*seed=*/18, base);
+    const double wall_s = clock.seconds();
 
     ns::util::text_table table(
         "Fig 18: link-layer data rate [kbps] vs # devices",
         {"# devices", "LoRa-BS fixed", "LoRa-BS rate-adapt", "NetScatter cfg1",
          "NetScatter cfg2"});
 
+    bench::bench_report report("fig18_linklayer");
+    report.set_scalar("wall_clock_s", wall_s);
     for (const auto& point : sweep) {
         const auto delivered = static_cast<std::size_t>(point.mean_delivered + 0.5);
         const auto lora = ns::baseline::fixed_rate_network(frame, point.num_devices);
@@ -40,6 +45,10 @@ int main() {
                        ns::util::format_double(adapted.linklayer_rate_bps / 1e3, 2),
                        ns::util::format_double(cfg1.linklayer_rate_bps / 1e3, 1),
                        ns::util::format_double(cfg2.linklayer_rate_bps / 1e3, 1)});
+        report.add_point({{"num_devices", static_cast<double>(point.num_devices)},
+                          {"mean_delivered", point.mean_delivered},
+                          {"delivery_rate", point.delivery_rate},
+                          {"linklayer_rate_kbps", cfg1.linklayer_rate_bps / 1e3}});
     }
     table.print(std::cout);
 
@@ -64,5 +73,7 @@ int main() {
               << "x (paper 50.9x), " << ns::util::format_double(
                      cfg2.linklayer_rate_bps / adapted.linklayer_rate_bps, 1)
               << "x (paper 11.6x)\n";
+
+    report.write();
     return 0;
 }

@@ -1,0 +1,89 @@
+// Machine-readable bench output.
+//
+// Every bench prints its human-readable table as before, and *also*
+// drops a BENCH_<name>.json file in the working directory with the sweep
+// points and the wall-clock time, so the perf trajectory of the repo can
+// be tracked across PRs by tooling instead of by eyeballing tables.
+//
+// The writer is a minimal flat schema — a top-level object of scalars
+// plus one "points" array of flat objects — which covers every bench
+// here without pulling in a JSON dependency.
+#pragma once
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bench {
+
+/// Wall-clock stopwatch started at construction.
+class stopwatch {
+public:
+    stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates one bench run and writes BENCH_<name>.json.
+class bench_report {
+public:
+    explicit bench_report(std::string name) : name_(std::move(name)) {}
+
+    /// Adds a top-level scalar (e.g. wall_clock_s, speedup).
+    void set_scalar(const std::string& key, double value) {
+        scalars_.emplace_back(key, value);
+    }
+
+    /// Appends one point as flat key/value pairs.
+    void add_point(std::vector<std::pair<std::string, double>> fields) {
+        points_.push_back(std::move(fields));
+    }
+
+    /// Writes BENCH_<name>.json into the working directory and reports
+    /// the path on stdout.
+    void write() const {
+        std::ostringstream out;
+        out.precision(12);
+        out << "{\n  \"bench\": \"" << name_ << "\"";
+        for (const auto& [key, value] : scalars_) {
+            out << ",\n  \"" << key << "\": " << value;
+        }
+        out << ",\n  \"points\": [";
+        for (std::size_t i = 0; i < points_.size(); ++i) {
+            out << (i == 0 ? "\n" : ",\n") << "    {";
+            const auto& fields = points_[i];
+            for (std::size_t f = 0; f < fields.size(); ++f) {
+                out << (f == 0 ? "" : ", ") << "\"" << fields[f].first
+                    << "\": " << fields[f].second;
+            }
+            out << "}";
+        }
+        out << "\n  ]\n}\n";
+
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream file(path);
+        if (!file) {
+            std::cout << "\ncould not write " << path << "\n";
+            return;
+        }
+        file << out.str();
+        std::cout << "\nwrote " << path << "\n";
+    }
+
+private:
+    std::string name_;
+    std::vector<std::pair<std::string, double>> scalars_;
+    std::vector<std::vector<std::pair<std::string, double>>> points_;
+};
+
+}  // namespace bench

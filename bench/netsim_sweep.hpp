@@ -3,11 +3,17 @@
 // simulator on a common office deployment, and hand back per-point
 // delivery statistics plus the deployment RSSIs the rate-adaptation
 // baseline needs.
+//
+// The sweep executes through the engine's deterministic Monte-Carlo
+// runner: every (device-count, round-block) pair is an independent task
+// on one shared thread pool, and results merge in task order, so the
+// parallel sweep is bit-identical to `serial_options()` on any machine.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "netscatter/engine/mc_runner.hpp"
 #include "netscatter/sim/deployment.hpp"
 #include "netscatter/sim/network_sim.hpp"
 
@@ -26,25 +32,52 @@ struct sweep_point {
     std::vector<double> uplink_rssi_dbm;  ///< per-device backscatter RSSI at the AP
 };
 
-/// Runs the simulator for each device count on deployments drawn with
-/// `seed`. `rounds` concurrent rounds per point.
-inline std::vector<sweep_point> run_sweep(std::size_t rounds, std::uint64_t seed,
-                                          ns::sim::sim_config base_config = {}) {
-    std::vector<sweep_point> points;
-    for (std::size_t n : paper_device_counts()) {
-        const ns::sim::deployment dep(ns::sim::deployment_params{}, n, seed);
-        ns::sim::sim_config config = base_config;
-        config.rounds = rounds;
-        config.seed = seed + n;
-        config.zero_padding = 4;  // keep the sweep fast; +-0.5 bin search holds
-        ns::sim::network_simulator sim(dep, config);
-        const ns::sim::sim_result result = sim.run();
+/// Default execution policy: all cores, one task per sweep point
+/// (rounds_per_task = 0 keeps every point's rounds in one simulator, so
+/// cross-round fading correlation and re-association behave exactly as
+/// in the serial simulator; the ten points still fan out in parallel).
+inline ns::engine::mc_options parallel_options() {
+    return ns::engine::mc_options{.rounds_per_task = 0, .num_threads = 0,
+                                  .parallel = true};
+}
 
+/// Serial reference: the same task decomposition on the calling thread.
+inline ns::engine::mc_options serial_options() {
+    ns::engine::mc_options options = parallel_options();
+    options.parallel = false;
+    return options;
+}
+
+/// Runs the simulator for each device count on deployments drawn with
+/// `seed`. `rounds` concurrent rounds per point, executed per `options`.
+inline std::vector<sweep_point> run_sweep(std::size_t rounds, std::uint64_t seed,
+                                          ns::sim::sim_config base_config = {},
+                                          ns::engine::mc_options options =
+                                              parallel_options()) {
+    std::vector<ns::engine::mc_job> jobs;
+    for (std::size_t n : paper_device_counts()) {
+        ns::engine::mc_job job;
+        job.dep_params = ns::sim::deployment_params{};
+        job.num_devices = n;
+        job.deployment_seed = seed;
+        job.config = base_config;
+        job.config.rounds = rounds;
+        job.config.seed = seed + n;
+        job.config.zero_padding = 4;  // keep the sweep fast; +-0.5 bin search holds
+        jobs.push_back(job);
+    }
+
+    const ns::engine::mc_runner runner(options);
+    const ns::engine::batch_result batch = runner.run_batch(jobs);
+
+    std::vector<sweep_point> points;
+    points.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
         sweep_point point;
-        point.num_devices = n;
-        point.mean_delivered = result.mean_delivered_per_round();
-        point.delivery_rate = result.delivery_rate();
-        for (const auto& device : dep.devices()) {
+        point.num_devices = jobs[j].num_devices;
+        point.mean_delivered = batch.results[j].mean_delivered_per_round();
+        point.delivery_rate = batch.results[j].delivery_rate();
+        for (const auto& device : batch.deployments[j].devices()) {
             point.uplink_rssi_dbm.push_back(device.uplink_rx_dbm);
         }
         points.push_back(std::move(point));

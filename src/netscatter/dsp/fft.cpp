@@ -1,8 +1,8 @@
 #include "netscatter/dsp/fft.hpp"
 
-#include <cmath>
-#include <numbers>
+#include <atomic>
 
+#include "netscatter/engine/fft_plan.hpp"
 #include "netscatter/util/error.hpp"
 
 namespace ns::dsp {
@@ -20,49 +20,41 @@ std::size_t next_power_of_two(std::size_t n) {
 
 namespace {
 
-// Bit-reversal permutation, then iterative butterflies. `sign` is -1 for
-// the forward transform (engineering convention e^{-j2πkn/N}) and +1 for
-// the inverse.
-void transform(cvec& data, int sign) {
-    const std::size_t n = data.size();
-    ns::util::require(is_power_of_two(n), "fft: size must be a power of two");
+std::atomic<bool> plan_caching_enabled{true};
 
-    // Bit reversal.
-    for (std::size_t i = 1, j = 0; i < n; ++i) {
-        std::size_t bit = n >> 1;
-        for (; j & bit; bit >>= 1) j ^= bit;
-        j ^= bit;
-        if (i < j) std::swap(data[i], data[j]);
-    }
-
-    // Butterflies. Twiddles are computed per stage with a complex
-    // multiplication recurrence refreshed from std::polar to bound error.
-    for (std::size_t len = 2; len <= n; len <<= 1) {
-        const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
-        const cplx wlen = std::polar(1.0, angle);
-        for (std::size_t i = 0; i < n; i += len) {
-            cplx w{1.0, 0.0};
-            for (std::size_t k = 0; k < len / 2; ++k) {
-                const cplx even = data[i + k];
-                const cplx odd = data[i + k + len / 2] * w;
-                data[i + k] = even + odd;
-                data[i + k + len / 2] = even - odd;
-                w *= wlen;
-            }
-        }
+// All transforms run through an ns::engine::fft_plan, which precomputes
+// the bit-reversal permutation and per-stage twiddle tables. With the
+// cache enabled (default) the plan is shared and reused across calls and
+// threads; with it disabled a throwaway plan is built per call — the
+// twiddles are still computed once per stage rather than per butterfly,
+// and the butterfly code is the same, so both paths are bit-identical.
+void transform(cvec& data, bool inverse) {
+    ns::util::require(is_power_of_two(data.size()), "fft: size must be a power of two");
+    if (plan_caching_enabled.load(std::memory_order_relaxed)) {
+        const auto plan = ns::engine::get_fft_plan(data.size());
+        inverse ? plan->inverse(data) : plan->forward(data);
+    } else {
+        const ns::engine::fft_plan plan(data.size());
+        inverse ? plan.inverse(data) : plan.forward(data);
     }
 }
 
 }  // namespace
 
+void set_fft_plan_caching(bool enabled) {
+    plan_caching_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool fft_plan_caching_enabled() {
+    return plan_caching_enabled.load(std::memory_order_relaxed);
+}
+
 void fft_inplace(cvec& data) {
-    transform(data, -1);
+    transform(data, false);
 }
 
 void ifft_inplace(cvec& data) {
-    transform(data, +1);
-    const double scale = 1.0 / static_cast<double>(data.size());
-    for (auto& value : data) value *= scale;
+    transform(data, true);
 }
 
 cvec fft(cvec data) {
@@ -80,8 +72,12 @@ cvec fft_zero_padded(const cvec& data, std::size_t padded_size) {
                       "fft_zero_padded: padded size smaller than data");
     ns::util::require(is_power_of_two(padded_size),
                       "fft_zero_padded: padded size must be a power of two");
-    cvec padded(padded_size, cplx{0.0, 0.0});
-    std::copy(data.begin(), data.end(), padded.begin());
+    // Copy the payload once and zero-fill only the tail, instead of
+    // zero-initializing the whole buffer and then overwriting the prefix.
+    cvec padded;
+    padded.reserve(padded_size);
+    padded.assign(data.begin(), data.end());
+    padded.resize(padded_size, cplx{0.0, 0.0});
     fft_inplace(padded);
     return padded;
 }

@@ -1,0 +1,89 @@
+// Reusable radix-2 FFT plans and a thread-safe process-wide plan cache.
+//
+// The NetScatter receiver runs one FFT per symbol for *every* symbol of
+// every round of every sweep point — at SF 9 with 8x zero padding that is
+// a 4096-point transform thousands of times per sweep, always over the
+// same handful of sizes (2^SF, padded sizes, STFT windows, the 2*2^SF
+// aggregate band). A plan precomputes what depends only on the size — the
+// bit-reversal permutation and the per-stage twiddle factors — so the
+// transform itself touches no trig at all. The cache shares immutable
+// plans across threads (the Monte-Carlo runner decodes many rounds
+// concurrently) and hands out per-thread scratch buffers so hot paths can
+// transform without allocating.
+//
+// Layer note: this header depends only on ns::dsp types; ns::dsp::fft
+// routes through the cache by default (see dsp/fft.cpp), so every
+// existing call site benefits without change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "netscatter/dsp/fft.hpp"
+
+namespace ns::engine {
+
+/// Precomputed plan for one power-of-two transform size. Immutable after
+/// construction, so a single instance is safely shared across threads.
+class fft_plan {
+public:
+    /// Builds the bit-reversal and twiddle tables for an n-point
+    /// transform. Requires n to be a power of two.
+    explicit fft_plan(std::size_t n);
+
+    std::size_t size() const { return n_; }
+
+    /// In-place forward transform (engineering convention e^{-j2πkn/N},
+    /// no normalization). Requires data.size() == size().
+    void forward(ns::dsp::cvec& data) const;
+
+    /// In-place inverse transform, normalized by 1/N.
+    void inverse(ns::dsp::cvec& data) const;
+
+private:
+    void transform(ns::dsp::cvec& data, bool inverse) const;
+
+    std::size_t n_;
+    std::vector<std::uint32_t> bit_reverse_;  ///< permutation table, n entries
+    /// Forward twiddles for all stages, concatenated: the stage with
+    /// butterfly span `len` stores w_len^k = e^{-j2πk/len} for
+    /// k in [0, len/2) at offset len/2 - 1. Total n - 1 entries.
+    ns::dsp::cvec twiddles_;
+};
+
+/// Thread-safe cache of shared fft_plan instances keyed by size.
+class fft_plan_cache {
+public:
+    /// The process-wide cache used by ns::dsp::fft_inplace.
+    static fft_plan_cache& instance();
+
+    /// Returns the shared plan for size n, building it on first use.
+    std::shared_ptr<const fft_plan> get(std::size_t n);
+
+    /// Number of distinct sizes currently cached.
+    std::size_t cached_sizes() const;
+
+    /// Drops all cached plans (plans already handed out stay valid).
+    void clear();
+
+    /// A per-thread scratch buffer resized to n complex samples. Valid
+    /// until the next thread_scratch call on the same thread; lets hot
+    /// paths (e.g. zero-padded per-symbol spectra) transform without a
+    /// heap allocation per call.
+    static ns::dsp::cvec& thread_scratch(std::size_t n);
+
+private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::size_t, std::shared_ptr<const fft_plan>> plans_;
+};
+
+/// Convenience: fetch a shared plan from the process-wide cache, with a
+/// per-thread memo of the most recent size so repeated same-size lookups
+/// (the receiver hot path) take no lock.
+std::shared_ptr<const fft_plan> get_fft_plan(std::size_t n);
+
+}  // namespace ns::engine

@@ -1,0 +1,94 @@
+#include "netscatter/engine/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::engine {
+
+std::size_t thread_pool::default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+thread_pool::thread_pool(std::size_t num_threads) {
+    const std::size_t count = num_threads == 0 ? default_thread_count() : num_threads;
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    shutdown();
+}
+
+void thread_pool::enqueue(std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_) {
+            throw ns::util::invalid_state("thread_pool: submit after shutdown");
+        }
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) return;  // stop_ set and queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();  // packaged_task: exceptions land in the future
+    }
+}
+
+void thread_pool::parallel_for(std::size_t begin, std::size_t end,
+                               const std::function<void(std::size_t)>& body,
+                               std::size_t grain) {
+    ns::util::require(begin <= end, "parallel_for: begin must be <= end");
+    if (begin == end) return;
+    const std::size_t step = std::max<std::size_t>(1, grain);
+
+    std::vector<std::future<void>> futures;
+    futures.reserve((end - begin + step - 1) / step);
+    for (std::size_t chunk = begin; chunk < end; chunk += step) {
+        const std::size_t chunk_end = std::min(chunk + step, end);
+        futures.push_back(submit([&body, chunk, chunk_end] {
+            for (std::size_t i = chunk; i < chunk_end; ++i) body(i);
+        }));
+    }
+
+    // Wait for every chunk, then rethrow the first failure (chunk order,
+    // not completion order, so the error surfaced is deterministic).
+    std::exception_ptr first_error;
+    for (auto& future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first_error) first_error = std::current_exception();
+        }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+void thread_pool::shutdown() {
+    // Idempotent from one thread; concurrent shutdown() calls racing on
+    // join() are the caller's bug.
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+}
+
+}  // namespace ns::engine

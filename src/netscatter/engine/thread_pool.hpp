@@ -1,0 +1,82 @@
+// Fixed-size thread pool for the parallel execution engine.
+//
+// The network-scale sweeps (Figs. 17-19) decompose into hundreds of
+// independent (device-count, round-block) simulations, and a production
+// AP would decode rounds from many antennas/channels concurrently. This
+// pool is deliberately simple — one shared FIFO queue, no work stealing —
+// because engine tasks are coarse (milliseconds to seconds each), so
+// queue contention is negligible and simplicity wins: exceptions
+// propagate through std::future, shutdown is deterministic, and task
+// order is whatever the caller submits (the Monte-Carlo runner relies on
+// merging by task index, never on completion order).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ns::engine {
+
+class thread_pool {
+public:
+    /// Spawns `num_threads` workers; 0 means hardware_concurrency()
+    /// (at least 1).
+    explicit thread_pool(std::size_t num_threads = 0);
+
+    /// Joins all workers. Tasks already queued are completed first.
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Number of worker threads.
+    std::size_t size() const { return workers_.size(); }
+
+    /// Hardware concurrency clamped to at least 1.
+    static std::size_t default_thread_count();
+
+    /// Schedules `fn` and returns a future for its result. An exception
+    /// thrown by `fn` is captured and rethrown by future::get().
+    /// Throws ns::util::invalid_state after shutdown().
+    template <typename F>
+    auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+        using result_t = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<result_t()>>(
+            std::forward<F>(fn));
+        std::future<result_t> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /// Runs body(i) for every i in [begin, end) across the pool, blocking
+    /// until all iterations finish. Iterations are dispatched in
+    /// contiguous chunks of at most `grain` indices. The first exception
+    /// thrown by any iteration (in index order of the chunks) is
+    /// rethrown; remaining chunks still run to completion.
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& body,
+                      std::size_t grain = 1);
+
+    /// Stops accepting tasks and joins the workers after the queue
+    /// drains. Idempotent; the destructor calls it.
+    void shutdown();
+
+private:
+    void enqueue(std::function<void()> task);
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+}  // namespace ns::engine

@@ -5,6 +5,7 @@
 
 #include "netscatter/dsp/fft.hpp"
 #include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/engine/fft_plan.hpp"
 #include "netscatter/util/error.hpp"
 
 namespace ns::phy {
@@ -17,7 +18,20 @@ demodulator::demodulator(css_params params, std::size_t zero_padding_factor)
 }
 
 std::vector<double> demodulator::symbol_power_spectrum(const cvec& symbol) const {
-    return ns::dsp::power_spectrum(symbol_spectrum(symbol));
+    // Payload-slicing hot path: dechirp straight into the per-thread
+    // scratch buffer, zero-pad, transform in place. Same arithmetic as
+    // symbol_spectrum (so powers are bit-identical), minus one padded
+    // complex allocation per symbol.
+    ns::util::require(symbol.size() == params_.samples_per_symbol(),
+                      "demodulator: symbol length mismatch");
+    ns::dsp::cvec& scratch = ns::engine::fft_plan_cache::thread_scratch(padded_size());
+    for (std::size_t i = 0; i < symbol.size(); ++i) {
+        scratch[i] = symbol[i] * downchirp_[i];
+    }
+    std::fill(scratch.begin() + static_cast<std::ptrdiff_t>(symbol.size()),
+              scratch.end(), ns::dsp::cplx{0.0, 0.0});
+    ns::dsp::fft_inplace(scratch);
+    return ns::dsp::power_spectrum(scratch);
 }
 
 cvec demodulator::symbol_spectrum(const cvec& symbol) const {

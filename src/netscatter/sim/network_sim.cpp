@@ -11,6 +11,15 @@
 
 namespace ns::sim {
 
+void sim_result::merge(const sim_result& other) {
+    rounds.insert(rounds.end(), other.rounds.begin(), other.rounds.end());
+    total_transmitting += other.total_transmitting;
+    total_delivered += other.total_delivered;
+    total_detected += other.total_detected;
+    total_bit_errors += other.total_bit_errors;
+    total_bits += other.total_bits;
+}
+
 double sim_result::delivery_rate() const {
     if (total_transmitting == 0) return 0.0;
     return static_cast<double>(total_delivered) / static_cast<double>(total_transmitting);

@@ -69,6 +69,12 @@ struct sim_result {
     std::size_t total_bit_errors = 0;
     std::size_t total_bits = 0;
 
+    /// Appends another result's rounds and adds its totals. Used by the
+    /// parallel Monte-Carlo runner (engine/mc_runner) to combine
+    /// independent round-blocks; merging in task order keeps the combined
+    /// statistics identical regardless of execution order.
+    void merge(const sim_result& other);
+
     /// Fraction of transmitted packets that passed CRC.
     double delivery_rate() const;
     /// Bit error rate over every transmitted payload+CRC bit.

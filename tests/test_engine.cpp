@@ -1,0 +1,304 @@
+// Unit tests for ns::engine — thread pool, deterministic Monte-Carlo
+// runner, FFT plan cache.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "netscatter/dsp/fft.hpp"
+#include "netscatter/engine/fft_plan.hpp"
+#include "netscatter/engine/mc_runner.hpp"
+#include "netscatter/engine/thread_pool.hpp"
+#include "netscatter/util/error.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace {
+
+using namespace ns::engine;
+
+// ---------------------------------------------------------- thread_pool --
+
+TEST(thread_pool, submit_returns_results) {
+    thread_pool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    auto a = pool.submit([] { return 19; });
+    auto b = pool.submit([] { return std::string("netscatter"); });
+    EXPECT_EQ(a.get(), 19);
+    EXPECT_EQ(b.get(), "netscatter");
+}
+
+TEST(thread_pool, zero_means_hardware_concurrency) {
+    thread_pool pool(0);
+    EXPECT_EQ(pool.size(), thread_pool::default_thread_count());
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(thread_pool, parallel_for_visits_every_index_once) {
+    thread_pool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    pool.parallel_for(0, n, [&](std::size_t i) { ++visits[i]; }, /*grain=*/7);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(thread_pool, parallel_for_empty_range_is_noop) {
+    thread_pool pool(2);
+    bool ran = false;
+    pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(thread_pool, submit_propagates_exceptions) {
+    thread_pool pool(2);
+    auto future = pool.submit([]() -> int {
+        throw std::runtime_error("task failed");
+    });
+    EXPECT_THROW(future.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(thread_pool, parallel_for_propagates_exceptions) {
+    thread_pool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        pool.parallel_for(0, 64,
+                          [&](std::size_t i) {
+                              if (i == 13) throw std::runtime_error("iteration 13");
+                              ++completed;
+                          }),
+        std::runtime_error);
+    // Every other iteration still ran (no early abandonment).
+    EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(thread_pool, queued_tasks_finish_before_shutdown) {
+    std::atomic<int> sum{0};
+    {
+        thread_pool pool(2);
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&sum] { ++sum; });
+        }
+        pool.shutdown();
+        EXPECT_EQ(sum.load(), 100);
+    }
+}
+
+TEST(thread_pool, submit_after_shutdown_throws) {
+    thread_pool pool(1);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([] { return 1; }), ns::util::invalid_state);
+}
+
+// ----------------------------------------------------------- split_seed --
+
+TEST(split_seed, deterministic_and_distinct) {
+    EXPECT_EQ(split_seed(1, 2, 3), split_seed(1, 2, 3));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base : {0ULL, 1ULL, 42ULL}) {
+        for (std::uint64_t stream = 0; stream < 4; ++stream) {
+            for (std::uint64_t block = 0; block < 8; ++block) {
+                seen.insert(split_seed(base, stream, block));
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), 3u * 4u * 8u);  // no collisions across the grid
+}
+
+// ------------------------------------------------------------ mc_runner --
+
+ns::sim::sim_config small_sim_config() {
+    ns::sim::sim_config config;
+    config.phy = ns::phy::css_params{.bandwidth_hz = 500e3, .spreading_factor = 7};
+    config.rounds = 4;
+    config.seed = 99;
+    config.zero_padding = 4;
+    return config;
+}
+
+void expect_same_result(const ns::sim::sim_result& a, const ns::sim::sim_result& b) {
+    EXPECT_EQ(a.total_transmitting, b.total_transmitting);
+    EXPECT_EQ(a.total_delivered, b.total_delivered);
+    EXPECT_EQ(a.total_detected, b.total_detected);
+    EXPECT_EQ(a.total_bit_errors, b.total_bit_errors);
+    EXPECT_EQ(a.total_bits, b.total_bits);
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+        EXPECT_EQ(a.rounds[r].transmitting, b.rounds[r].transmitting) << r;
+        EXPECT_EQ(a.rounds[r].skipped, b.rounds[r].skipped) << r;
+        EXPECT_EQ(a.rounds[r].detected, b.rounds[r].detected) << r;
+        EXPECT_EQ(a.rounds[r].delivered, b.rounds[r].delivered) << r;
+        EXPECT_EQ(a.rounds[r].bit_errors, b.rounds[r].bit_errors) << r;
+        EXPECT_EQ(a.rounds[r].bits_sent, b.rounds[r].bits_sent) << r;
+    }
+}
+
+TEST(mc_runner, parallel_bit_identical_to_serial) {
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 6, 11);
+    const ns::sim::sim_config config = small_sim_config();
+
+    mc_options serial{.rounds_per_task = 1, .num_threads = 0, .parallel = false};
+    mc_options parallel{.rounds_per_task = 1, .num_threads = 4, .parallel = true};
+    const ns::sim::sim_result a = mc_runner(serial).run(dep, config);
+    const ns::sim::sim_result b = mc_runner(parallel).run(dep, config);
+
+    ASSERT_EQ(a.rounds.size(), config.rounds);
+    expect_same_result(a, b);
+}
+
+TEST(mc_runner, matches_manual_block_decomposition) {
+    // The runner's result must equal running each block's simulator by
+    // hand with the split seeds and merging in order.
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 4, 12);
+    ns::sim::sim_config config = small_sim_config();
+    config.rounds = 3;
+
+    mc_options options{.rounds_per_task = 2, .num_threads = 2, .parallel = true};
+    const ns::sim::sim_result runner_result = mc_runner(options).run(dep, config);
+
+    ns::sim::sim_result manual;
+    const std::size_t blocks[] = {2, 1};  // 3 rounds in blocks of 2
+    for (std::size_t b = 0; b < 2; ++b) {
+        ns::sim::sim_config block_config = config;
+        block_config.rounds = blocks[b];
+        block_config.seed = split_seed(config.seed, 0, b);
+        ns::sim::network_simulator sim(dep, block_config);
+        manual.merge(sim.run());
+    }
+    expect_same_result(runner_result, manual);
+}
+
+TEST(mc_runner, run_batch_matches_per_job_runs) {
+    std::vector<mc_job> jobs;
+    for (std::size_t n : {3, 5}) {
+        mc_job job;
+        job.num_devices = n;
+        job.deployment_seed = 7;
+        job.config = small_sim_config();
+        job.config.rounds = 2;
+        jobs.push_back(job);
+    }
+
+    mc_options parallel{.rounds_per_task = 1, .num_threads = 3, .parallel = true};
+    mc_options serial = parallel;
+    serial.parallel = false;
+    const auto par = mc_runner(parallel).run_batch(jobs);
+    const auto ser = mc_runner(serial).run_batch(jobs);
+    ASSERT_EQ(par.results.size(), 2u);
+    ASSERT_EQ(ser.results.size(), 2u);
+    ASSERT_EQ(par.deployments.size(), 2u);
+    EXPECT_EQ(par.deployments[1].devices().size(), 5u);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        expect_same_result(par.results[j], ser.results[j]);
+    }
+
+    // A single-job batch agrees with run() on the same deployment.
+    const ns::sim::deployment dep(jobs[0].dep_params, jobs[0].num_devices,
+                                  jobs[0].deployment_seed);
+    const auto direct = mc_runner(parallel).run(dep, jobs[0].config);
+    expect_same_result(par.results[0], direct);
+}
+
+TEST(mc_runner, default_keeps_whole_job_in_one_block) {
+    // rounds_per_task = 0 (the default) must not split the job: the
+    // result equals one network_simulator carrying state across all
+    // rounds, seeded with the job's single block seed.
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 5, 13);
+    const ns::sim::sim_config config = small_sim_config();
+
+    const ns::sim::sim_result runner_result = mc_runner().run(dep, config);
+
+    ns::sim::sim_config whole = config;
+    whole.seed = split_seed(config.seed, 0, 0);
+    ns::sim::network_simulator sim(dep, whole);
+    expect_same_result(runner_result, sim.run());
+}
+
+// ------------------------------------------------------------- fft_plan --
+
+ns::dsp::cvec random_vector(std::size_t n, std::uint64_t seed) {
+    ns::util::rng gen(seed);
+    ns::dsp::cvec v(n);
+    for (auto& x : v) x = ns::dsp::cplx{gen.gaussian(), gen.gaussian()};
+    return v;
+}
+
+TEST(fft_plan, rejects_non_power_of_two) {
+    EXPECT_THROW(fft_plan(12), ns::util::invalid_argument);
+    EXPECT_THROW(fft_plan(0), ns::util::invalid_argument);
+}
+
+TEST(fft_plan, forward_matches_uncached_fft_api) {
+    // The plan path and the plan-free path must agree bit-for-bit: they
+    // execute the same butterfly code over the same tables.
+    for (const std::size_t n : {1u, 2u, 8u, 64u, 512u, 4096u}) {
+        const ns::dsp::cvec input = random_vector(n, 1000 + n);
+
+        ns::dsp::set_fft_plan_caching(false);
+        const ns::dsp::cvec uncached = ns::dsp::fft(input);
+        ns::dsp::set_fft_plan_caching(true);
+        const ns::dsp::cvec cached = ns::dsp::fft(input);
+
+        ASSERT_EQ(uncached.size(), cached.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(uncached[i].real(), cached[i].real()) << n << ":" << i;
+            EXPECT_EQ(uncached[i].imag(), cached[i].imag()) << n << ":" << i;
+        }
+    }
+}
+
+TEST(fft_plan, inverse_roundtrip) {
+    const std::size_t n = 256;
+    const ns::dsp::cvec input = random_vector(n, 5);
+    ns::dsp::cvec data = input;
+    const fft_plan plan(n);
+    plan.forward(data);
+    plan.inverse(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(data[i].real(), input[i].real(), 1e-9);
+        EXPECT_NEAR(data[i].imag(), input[i].imag(), 1e-9);
+    }
+}
+
+TEST(fft_plan, plan_rejects_mismatched_size) {
+    const fft_plan plan(64);
+    ns::dsp::cvec data(32);
+    EXPECT_THROW(plan.forward(data), ns::util::invalid_argument);
+}
+
+TEST(fft_plan, cache_shares_one_plan_per_size) {
+    auto& cache = fft_plan_cache::instance();
+    const auto a = cache.get(1024);
+    const auto b = cache.get(1024);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_GE(cache.cached_sizes(), 1u);
+}
+
+TEST(fft_plan, thread_scratch_resizes) {
+    auto& small = fft_plan_cache::thread_scratch(16);
+    EXPECT_EQ(small.size(), 16u);
+    auto& big = fft_plan_cache::thread_scratch(64);
+    EXPECT_EQ(big.size(), 64u);
+}
+
+TEST(fft_plan, concurrent_transforms_are_correct) {
+    // Many threads hammering the same cached plan must all get the right
+    // answer (shared plans are immutable; scratch is per-thread).
+    const std::size_t n = 512;
+    const ns::dsp::cvec input = random_vector(n, 77);
+    const ns::dsp::cvec expected = ns::dsp::fft(input);
+
+    thread_pool pool(8);
+    std::atomic<int> mismatches{0};
+    pool.parallel_for(0, 64, [&](std::size_t) {
+        const ns::dsp::cvec out = ns::dsp::fft(input);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (out[i] != expected[i]) ++mismatches;
+        }
+    });
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
