@@ -1,0 +1,280 @@
+// netscatter_sim — the unified scenario CLI.
+//
+// Lists and runs the registered scenarios (scenario/scenario_registry)
+// through the deterministic scenario runner, prints the network metrics
+// as a table, and writes a bench_report-style JSON file per scenario
+// (scalars + a per-round "points" series) so CI can track every
+// workload's trajectory next to the paper-figure benches.
+//
+// Usage:
+//   netscatter_sim --list
+//   netscatter_sim --scenario warehouse-1k --rounds 200 --threads 8
+//                  --seed 3 --json out.json   (one line)
+//   netscatter_sim --all --rounds 10
+//
+// Options:
+//   --scenario NAME   run one registered scenario
+//   --all             run every registered scenario
+//   --rounds N        override the spec's per-replica round count
+//   --replicas N      override the spec's replica count
+//   --seed S          override the spec's base seed
+//   --threads N       worker threads (0 = all cores)
+//   --serial          run the serial reference order (same results)
+//   --json PATH       output path (single scenario only; default
+//                     SCENARIO_<name>.json in the working directory)
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.hpp"
+#include "netscatter/scenario/scenario_registry.hpp"
+#include "netscatter/scenario/scenario_runner.hpp"
+#include "netscatter/util/table.hpp"
+#include "netscatter/util/units.hpp"
+
+namespace {
+
+struct cli_options {
+    bool list = false;
+    bool all = false;
+    std::vector<std::string> scenarios;
+    std::optional<std::size_t> rounds;
+    std::optional<std::size_t> replicas;
+    std::optional<std::uint64_t> seed;
+    std::size_t threads = 0;
+    bool parallel = true;
+    std::string json_path;
+};
+
+void print_usage() {
+    std::cout
+        << "usage: netscatter_sim (--list | --scenario NAME | --all) [options]\n"
+           "  --rounds N     override per-replica rounds\n"
+           "  --replicas N   override replica count\n"
+           "  --seed S       override base seed\n"
+           "  --threads N    worker threads (0 = all cores)\n"
+           "  --serial       serial reference execution (identical results)\n"
+           "  --json PATH    JSON output path (single scenario only)\n";
+}
+
+std::optional<cli_options> parse(int argc, char** argv) {
+    cli_options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::optional<std::string> {
+            if (i + 1 >= argc) return std::nullopt;
+            return std::string(argv[++i]);
+        };
+        if (arg == "--list") {
+            options.list = true;
+        } else if (arg == "--all") {
+            options.all = true;
+        } else if (arg == "--scenario") {
+            const auto name = value();
+            if (!name) return std::nullopt;
+            options.scenarios.push_back(*name);
+        } else if (arg == "--rounds") {
+            const auto text = value();
+            if (!text) return std::nullopt;
+            options.rounds = static_cast<std::size_t>(std::atoll(text->c_str()));
+        } else if (arg == "--replicas") {
+            const auto text = value();
+            if (!text) return std::nullopt;
+            options.replicas = static_cast<std::size_t>(std::atoll(text->c_str()));
+        } else if (arg == "--seed") {
+            const auto text = value();
+            if (!text) return std::nullopt;
+            options.seed = static_cast<std::uint64_t>(std::atoll(text->c_str()));
+        } else if (arg == "--threads") {
+            const auto text = value();
+            if (!text) return std::nullopt;
+            options.threads = static_cast<std::size_t>(std::atoll(text->c_str()));
+        } else if (arg == "--serial") {
+            options.parallel = false;
+        } else if (arg == "--json") {
+            const auto path = value();
+            if (!path) return std::nullopt;
+            options.json_path = *path;
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage();
+            std::exit(0);
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return std::nullopt;
+        }
+    }
+    return options;
+}
+
+void list_scenarios() {
+    ns::util::text_table table("Registered scenarios",
+                               {"name", "devices", "rounds x replicas", "description"});
+    for (const auto& spec : ns::scenario::registry()) {
+        table.add_row({spec.name, std::to_string(spec.geometry.num_devices),
+                       std::to_string(spec.sim.rounds) + " x " +
+                           std::to_string(spec.replicas),
+                       spec.description});
+    }
+    table.print(std::cout);
+}
+
+void write_json(const ns::scenario::scenario_result& result,
+                const std::string& path) {
+    bench::bench_report report("scenario_" + result.spec.name);
+    report.set_scalar("scenario", result.spec.name);
+    report.set_scalar("description", result.spec.description);
+    report.set_scalar("num_devices",
+                      static_cast<double>(result.spec.geometry.num_devices));
+    report.set_scalar("rounds_per_replica",
+                      static_cast<double>(result.spec.sim.rounds));
+    report.set_scalar("replicas", static_cast<double>(result.replicas));
+    report.set_scalar("seed", static_cast<double>(result.spec.sim.seed));
+    report.set_scalar("round_time_s", result.round_time_s);
+    report.set_scalar("delivery_rate", result.sim.delivery_rate());
+    report.set_scalar("loss_rate", result.loss_rate());
+    report.set_scalar("ber", result.sim.ber());
+    report.set_scalar("mean_delivered_per_round",
+                      result.sim.mean_delivered_per_round());
+    report.set_scalar("throughput_bps", result.throughput_bps());
+    report.set_scalar("skip_rate", result.sim.skip_rate());
+    report.set_scalar("idle_rate", result.sim.idle_rate());
+    report.set_scalar("offered_load", result.stats.offered_load());
+    report.set_scalar("join_requests", static_cast<double>(result.stats.join_requests));
+    report.set_scalar("joins", static_cast<double>(result.sim.total_joins));
+    report.set_scalar("leaves", static_cast<double>(result.sim.total_leaves));
+    report.set_scalar("rejected_joins",
+                      static_cast<double>(result.sim.total_rejected_joins));
+    report.set_scalar("reassociations",
+                      static_cast<double>(result.sim.total_reassociations));
+    report.set_scalar("realloc_events",
+                      static_cast<double>(result.sim.total_realloc_events));
+    report.set_scalar("full_reassignments",
+                      static_cast<double>(result.sim.total_full_reassignments));
+    report.set_scalar("mean_reassoc_latency_rounds",
+                      result.stats.mean_join_latency_rounds());
+    report.set_scalar("interference_events",
+                      static_cast<double>(result.stats.interference_events));
+    report.set_scalar("wall_clock_s", result.wall_clock_s);
+
+    const double payload_bits =
+        static_cast<double>(result.spec.sim.frame.payload_bits);
+    const std::size_t rounds_per_replica = result.spec.sim.rounds;
+    for (std::size_t i = 0; i < result.sim.rounds.size(); ++i) {
+        const auto& round = result.sim.rounds[i];
+        const double throughput =
+            result.round_time_s > 0.0
+                ? static_cast<double>(round.delivered) * payload_bits /
+                      result.round_time_s
+                : 0.0;
+        const double loss =
+            round.transmitting > 0
+                ? 1.0 - static_cast<double>(round.delivered) /
+                            static_cast<double>(round.transmitting)
+                : 0.0;
+        const double reassoc_latency =
+            i < result.stats.join_latency_series.size()
+                ? result.stats.join_latency_series[i]
+                : 0.0;
+        // The merged series concatenates replicas; index each point by
+        // (replica, round) so consumers never stitch independent
+        // timelines together.
+        report.add_point(
+            {{"replica", static_cast<double>(i / rounds_per_replica)},
+             {"round", static_cast<double>(i % rounds_per_replica)},
+             {"active", static_cast<double>(round.active)},
+             {"transmitting", static_cast<double>(round.transmitting)},
+             {"delivered", static_cast<double>(round.delivered)},
+             {"skipped", static_cast<double>(round.skipped)},
+             {"idle", static_cast<double>(round.idle)},
+             {"joins", static_cast<double>(round.joins)},
+             {"leaves", static_cast<double>(round.leaves)},
+             {"realloc_events", static_cast<double>(round.realloc_events)},
+             {"reassoc_latency_rounds", reassoc_latency},
+             {"throughput_bps", throughput},
+             {"loss_rate", loss}});
+    }
+    report.write(path);
+}
+
+int run(const cli_options& options) {
+    std::vector<ns::scenario::scenario_spec> specs;
+    if (options.all) {
+        specs = ns::scenario::registry();
+    } else {
+        for (const auto& name : options.scenarios) {
+            const auto spec = ns::scenario::find_scenario(name);
+            if (!spec) {
+                std::cerr << "unknown scenario: " << name
+                          << " (see --list)\n";
+                return 1;
+            }
+            specs.push_back(*spec);
+        }
+    }
+    if (specs.empty()) {
+        print_usage();
+        return 1;
+    }
+    if (!options.json_path.empty() && specs.size() > 1) {
+        std::cerr << "--json applies to a single scenario; "
+                     "multi-scenario runs write SCENARIO_<name>.json each\n";
+        return 1;
+    }
+
+    ns::util::text_table table(
+        "netscatter_sim",
+        {"scenario", "devices", "delivery", "thpt [kbps]", "skip", "idle",
+         "joins/leaves", "realloc", "latency [rd]"});
+
+    for (auto spec : specs) {
+        if (options.rounds) spec.sim.rounds = *options.rounds;
+        if (options.replicas) spec.replicas = *options.replicas;
+        if (options.seed) spec.sim.seed = *options.seed;
+
+        const auto result = ns::scenario::run_scenario(
+            spec, {.num_threads = options.threads, .parallel = options.parallel});
+
+        table.add_row(
+            {spec.name, std::to_string(spec.geometry.num_devices),
+             ns::util::format_double(100.0 * result.sim.delivery_rate(), 1) + " %",
+             ns::util::format_double(result.throughput_bps() / 1e3, 1),
+             ns::util::format_double(100.0 * result.sim.skip_rate(), 1) + " %",
+             ns::util::format_double(100.0 * result.sim.idle_rate(), 1) + " %",
+             std::to_string(result.sim.total_joins) + "/" +
+                 std::to_string(result.sim.total_leaves),
+             std::to_string(result.sim.total_realloc_events),
+             ns::util::format_double(result.stats.mean_join_latency_rounds(), 2)});
+
+        const std::string path = options.json_path.empty()
+                                     ? "SCENARIO_" + spec.name + ".json"
+                                     : options.json_path;
+        write_json(result, path);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto options = parse(argc, argv);
+    if (!options) {
+        print_usage();
+        return 1;
+    }
+    if (options->list) {
+        list_scenarios();
+        return 0;
+    }
+    try {
+        return run(*options);
+    } catch (const std::exception& error) {
+        // Out-of-domain option values (e.g. --rounds 0) surface here as
+        // sim_config::validate() contract violations.
+        std::cerr << "netscatter_sim: " << error.what() << "\n";
+        return 1;
+    }
+}

@@ -7,10 +7,15 @@
 //
 // The writer is a minimal flat schema — a top-level object of scalars
 // plus one "points" array of flat objects — which covers every bench
-// here without pulling in a JSON dependency.
+// here without pulling in a JSON dependency. Values may be numbers or
+// strings; non-finite numbers (NaN/±inf from empty sweeps) are emitted
+// as `null` and every string (names, keys, values) is escaped, so the
+// output is always valid JSON.
 #pragma once
 
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,56 +39,107 @@ private:
     std::chrono::steady_clock::time_point start_;
 };
 
+/// A JSON scalar: number or string.
+struct json_value {
+    bool is_string = false;
+    double number = 0.0;
+    std::string text;
+
+    json_value(double value) : number(value) {}  // any arithmetic type converts
+    json_value(std::string value) : is_string(true), text(std::move(value)) {}
+    json_value(const char* value) : is_string(true), text(value) {}
+};
+
+/// Escapes a string for inclusion in a JSON document (quotes,
+/// backslashes and control characters).
+inline std::string json_escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
 /// Accumulates one bench run and writes BENCH_<name>.json.
 class bench_report {
 public:
     explicit bench_report(std::string name) : name_(std::move(name)) {}
 
-    /// Adds a top-level scalar (e.g. wall_clock_s, speedup).
-    void set_scalar(const std::string& key, double value) {
-        scalars_.emplace_back(key, value);
+    /// Adds a top-level scalar (number or string).
+    void set_scalar(const std::string& key, json_value value) {
+        scalars_.emplace_back(key, std::move(value));
     }
 
-    /// Appends one point as flat key/value pairs.
-    void add_point(std::vector<std::pair<std::string, double>> fields) {
+    /// Appends one point as flat key/value pairs (numbers or strings).
+    void add_point(std::vector<std::pair<std::string, json_value>> fields) {
         points_.push_back(std::move(fields));
     }
 
-    /// Writes BENCH_<name>.json into the working directory and reports
-    /// the path on stdout.
-    void write() const {
+    /// Writes the report to `path` (default: BENCH_<name>.json in the
+    /// working directory) and reports the path on stdout.
+    void write(const std::string& path = "") const {
         std::ostringstream out;
         out.precision(12);
-        out << "{\n  \"bench\": \"" << name_ << "\"";
+        out << "{\n  \"bench\": \"" << json_escape(name_) << "\"";
         for (const auto& [key, value] : scalars_) {
-            out << ",\n  \"" << key << "\": " << value;
+            out << ",\n  \"" << json_escape(key) << "\": ";
+            emit(out, value);
         }
         out << ",\n  \"points\": [";
         for (std::size_t i = 0; i < points_.size(); ++i) {
             out << (i == 0 ? "\n" : ",\n") << "    {";
             const auto& fields = points_[i];
             for (std::size_t f = 0; f < fields.size(); ++f) {
-                out << (f == 0 ? "" : ", ") << "\"" << fields[f].first
-                    << "\": " << fields[f].second;
+                out << (f == 0 ? "" : ", ") << "\"" << json_escape(fields[f].first)
+                    << "\": ";
+                emit(out, fields[f].second);
             }
             out << "}";
         }
         out << "\n  ]\n}\n";
 
-        const std::string path = "BENCH_" + name_ + ".json";
-        std::ofstream file(path);
+        const std::string target = path.empty() ? "BENCH_" + name_ + ".json" : path;
+        std::ofstream file(target);
         if (!file) {
-            std::cout << "\ncould not write " << path << "\n";
+            std::cout << "\ncould not write " << target << "\n";
             return;
         }
         file << out.str();
-        std::cout << "\nwrote " << path << "\n";
+        std::cout << "\nwrote " << target << "\n";
     }
 
 private:
+    /// Numbers print as-is; non-finite numbers (the JSON grammar has no
+    /// nan/inf tokens) degrade to null; strings are quoted and escaped.
+    static void emit(std::ostringstream& out, const json_value& value) {
+        if (value.is_string) {
+            out << "\"" << json_escape(value.text) << "\"";
+        } else if (!std::isfinite(value.number)) {
+            out << "null";
+        } else {
+            out << value.number;
+        }
+    }
+
     std::string name_;
-    std::vector<std::pair<std::string, double>> scalars_;
-    std::vector<std::vector<std::pair<std::string, double>>> points_;
+    std::vector<std::pair<std::string, json_value>> scalars_;
+    std::vector<std::vector<std::pair<std::string, json_value>>> points_;
 };
 
 }  // namespace bench

@@ -1,0 +1,55 @@
+// Scenario matrix bench: every registered scenario at a reduced round
+// count, one JSON point per scenario — the coarse "is every workload
+// still healthy, and what does it cost" trajectory tracked across PRs
+// (full per-round series come from the netscatter_sim CLI).
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_report.hpp"
+#include "netscatter/scenario/scenario_registry.hpp"
+#include "netscatter/scenario/scenario_runner.hpp"
+#include "netscatter/util/table.hpp"
+
+int main() {
+    const std::size_t rounds =
+        std::getenv("NS_BENCH_SCENARIO_ROUNDS")
+            ? static_cast<std::size_t>(
+                  std::atoll(std::getenv("NS_BENCH_SCENARIO_ROUNDS")))
+            : 6;
+
+    bench::bench_report report("scenario_matrix");
+    bench::stopwatch clock;
+
+    ns::util::text_table table(
+        "Scenario matrix (" + std::to_string(rounds) + " rounds/replica)",
+        {"scenario", "devices", "delivery", "skip", "idle", "joins", "wall [s]"});
+
+    for (auto spec : ns::scenario::registry()) {
+        spec.sim.rounds = rounds;
+        const auto result = ns::scenario::run_scenario(spec);
+        table.add_row({spec.name, std::to_string(spec.geometry.num_devices),
+                       ns::util::format_double(100.0 * result.sim.delivery_rate(), 1) + " %",
+                       ns::util::format_double(100.0 * result.sim.skip_rate(), 1) + " %",
+                       ns::util::format_double(100.0 * result.sim.idle_rate(), 1) + " %",
+                       std::to_string(result.sim.total_joins),
+                       ns::util::format_double(result.wall_clock_s, 2)});
+        report.add_point(
+            {{"scenario", spec.name},
+             {"num_devices", static_cast<double>(spec.geometry.num_devices)},
+             {"delivery_rate", result.sim.delivery_rate()},
+             {"throughput_bps", result.throughput_bps()},
+             {"skip_rate", result.sim.skip_rate()},
+             {"idle_rate", result.sim.idle_rate()},
+             {"joins", static_cast<double>(result.sim.total_joins)},
+             {"leaves", static_cast<double>(result.sim.total_leaves)},
+             {"realloc_events", static_cast<double>(result.sim.total_realloc_events)},
+             {"mean_reassoc_latency_rounds", result.stats.mean_join_latency_rounds()},
+             {"wall_clock_s", result.wall_clock_s}});
+    }
+
+    table.print(std::cout);
+    report.set_scalar("rounds_per_replica", static_cast<double>(rounds));
+    report.set_scalar("wall_clock_s", clock.seconds());
+    report.write();
+    return 0;
+}

@@ -2,11 +2,13 @@
 // simulation — 256 backscatter sensors spread over a multi-room office
 // floor, all reporting concurrently to one AP.
 //
-// The example generates the deployment, runs the power-aware allocation
-// and several concurrent rounds at sample level, then reports the
-// Figs. 17-19 style network metrics.
+// The example runs the registered `office-256` scenario through the
+// scenario engine — the supported entry point for network-scale
+// experiments — then reports the Figs. 17-19 style network metrics.
+// Overriding the population, round count and seed shows how any
+// registered spec can be customized before running.
 //
-// Usage: ./build/examples/office_sensing [num_devices] [rounds] [seed]
+// Usage: ./build/example_office_sensing [num_devices] [rounds] [seed]
 #include <cstdlib>
 #include <iostream>
 
@@ -21,8 +23,18 @@ int main(int argc, char** argv) {
     std::cout << "Office deployment: " << num_devices << " devices, " << rounds
               << " concurrent rounds (seed " << seed << ")\n\n";
 
-    // Place the sensors across the office floor.
-    const ns::sim::deployment dep(ns::sim::deployment_params{}, num_devices, seed);
+    // Start from the registered office scenario and customize it.
+    ns::scenario::scenario_spec spec =
+        *ns::scenario::find_scenario("office-256");
+    spec.geometry.num_devices = num_devices;
+    spec.sim.rounds = rounds;
+    spec.sim.seed = seed;
+    spec.replicas = 1;
+
+    // The deployment's link budget (regenerate the same floor the runner
+    // will simulate — both are pure functions of the spec).
+    const ns::sim::deployment dep(ns::scenario::resolve_geometry(spec.geometry),
+                                  num_devices, seed);
     double min_snr = 1e9, max_snr = -1e9;
     for (const auto& device : dep.devices()) {
         min_snr = std::min(min_snr, device.uplink_snr_db);
@@ -33,25 +45,23 @@ int main(int argc, char** argv) {
               << " dB (near-far spread " << ns::util::format_double(max_snr - min_snr, 1)
               << " dB)\n";
 
-    // Run the network.
-    ns::sim::sim_config config;
-    config.rounds = rounds;
-    config.seed = seed;
-    ns::sim::network_simulator sim(dep, config);
-    const ns::sim::sim_result result = sim.run();
+    // Run the scenario.
+    const ns::scenario::scenario_result result = ns::scenario::run_scenario(spec);
 
     std::cout << "delivery rate: "
-              << ns::util::format_double(100.0 * result.delivery_rate(), 1)
+              << ns::util::format_double(100.0 * result.sim.delivery_rate(), 1)
               << " % of transmitted packets (BER "
-              << ns::util::format_double(result.ber(), 4) << ")\n\n";
+              << ns::util::format_double(result.sim.ber(), 4) << ", goodput "
+              << ns::util::format_double(result.throughput_bps() / 1e3, 1)
+              << " kbps)\n\n";
 
     // Network metrics per round (Fig. 17/18/19 quantities).
-    const double delivered = result.mean_delivered_per_round();
+    const double delivered = result.sim.mean_delivered_per_round();
     const auto metrics = ns::sim::netscatter_metrics(
-        config.frame, config.phy, ns::sim::query_config::config1,
+        spec.sim.frame, spec.sim.phy, ns::sim::query_config::config1,
         static_cast<std::size_t>(delivered), num_devices);
     const auto lora =
-        ns::baseline::fixed_rate_network(config.frame, num_devices);
+        ns::baseline::fixed_rate_network(spec.sim.frame, num_devices);
 
     ns::util::text_table table("NetScatter vs LoRa backscatter (query-response TDMA)",
                                {"metric", "NetScatter", "LoRa backscatter", "gain"});

@@ -14,6 +14,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "netscatter/engine/thread_pool.hpp"
@@ -79,6 +81,33 @@ public:
     /// one pool so a sweep saturates the machine even when individual
     /// points have few blocks.
     batch_result run_batch(const std::vector<mc_job>& jobs) const;
+
+    /// Generic deterministic fan-out: runs `count` independent tasks —
+    /// each a pure function of its index — serially or across a pool per
+    /// the runner's options, and returns the results in index order.
+    /// Same contract as run_batch: the parallel run is bit-identical to
+    /// the serial run on any thread count. The scenario runner executes
+    /// its Monte-Carlo replicas through this. The result type must be
+    /// default-constructible (slots are pre-allocated) and must not be
+    /// bool: std::vector<bool> packs bits, so concurrent writes to
+    /// distinct indices would race — wrap a bool in a struct instead.
+    template <typename Task>
+    auto run_indexed(std::size_t count, Task&& task) const
+        -> std::vector<std::invoke_result_t<Task&, std::size_t>> {
+        using result_t = std::invoke_result_t<Task&, std::size_t>;
+        static_assert(!std::is_same_v<result_t, bool>,
+                      "run_indexed: bool results race in vector<bool>; "
+                      "wrap the flag in a struct");
+        std::vector<result_t> results(count);
+        const auto run_one = [&](std::size_t i) { results[i] = task(i); };
+        if (options_.parallel && count > 1) {
+            thread_pool pool(pool_threads(count));
+            pool.parallel_for(0, count, run_one);
+        } else {
+            for (std::size_t i = 0; i < count; ++i) run_one(i);
+        }
+        return results;
+    }
 
 private:
     /// Configured worker count clamped to the number of tasks.

@@ -61,4 +61,18 @@
 #include "netscatter/sim/deployment.hpp"
 #include "netscatter/sim/grouped_sim.hpp"
 #include "netscatter/sim/network_sim.hpp"
+#include "netscatter/sim/round_hooks.hpp"
 #include "netscatter/sim/timeline.hpp"
+
+#include "netscatter/engine/fft_plan.hpp"
+#include "netscatter/engine/mc_runner.hpp"
+#include "netscatter/engine/thread_pool.hpp"
+
+#include "netscatter/scenario/churn.hpp"
+#include "netscatter/scenario/interference.hpp"
+#include "netscatter/scenario/mobility.hpp"
+#include "netscatter/scenario/scenario_driver.hpp"
+#include "netscatter/scenario/scenario_registry.hpp"
+#include "netscatter/scenario/scenario_runner.hpp"
+#include "netscatter/scenario/scenario_spec.hpp"
+#include "netscatter/scenario/traffic.hpp"

@@ -1,0 +1,98 @@
+#include "netscatter/scenario/churn.hpp"
+
+#include <algorithm>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::scenario {
+
+churn_process::churn_process(churn_spec spec, std::size_t universe,
+                             std::size_t capacity, std::uint64_t seed)
+    : spec_(spec),
+      universe_(universe),
+      capacity_(capacity),
+      rng_(seed),
+      active_(universe, false),
+      pending_(universe, false) {
+    ns::util::require(universe > 0, "churn: universe must be non-empty");
+    ns::util::require(spec_.join_rate_per_round >= 0.0 &&
+                          spec_.leave_rate_per_round >= 0.0,
+                      "churn: rates must be >= 0");
+    const std::size_t initial =
+        std::min({spec_.initial_active, universe, capacity});
+    initial_active_.reserve(initial);
+    for (std::size_t i = 0; i < initial; ++i) {
+        active_[i] = true;
+        initial_active_.push_back(static_cast<std::uint32_t>(i));
+    }
+    active_count_ = initial;
+}
+
+std::vector<std::uint32_t> churn_process::pick(std::size_t count,
+                                               const std::vector<bool>& eligible) {
+    std::vector<std::uint32_t> pool;
+    pool.reserve(universe_);
+    for (std::size_t i = 0; i < universe_; ++i) {
+        if (eligible[i]) pool.push_back(static_cast<std::uint32_t>(i));
+    }
+    std::vector<std::uint32_t> chosen;
+    chosen.reserve(std::min(count, pool.size()));
+    for (std::size_t n = 0; n < count && !pool.empty(); ++n) {
+        const std::size_t at = static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
+        chosen.push_back(pool[at]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    return chosen;
+}
+
+churn_events churn_process::step(std::size_t round) {
+    churn_events events;
+
+    // Departures first: they free capacity for this round's admissions.
+    const std::size_t departures =
+        static_cast<std::size_t>(rng_.poisson(spec_.leave_rate_per_round));
+    events.leaves = pick(departures, active_);
+    for (std::uint32_t id : events.leaves) {
+        active_[id] = false;
+        --active_count_;
+        ++total_leaves_;
+    }
+
+    // New join requests queue up (a device already waiting doesn't
+    // re-request).
+    const std::size_t requests =
+        static_cast<std::size_t>(rng_.poisson(spec_.join_rate_per_round));
+    std::vector<bool> eligible(universe_, false);
+    for (std::size_t i = 0; i < universe_; ++i) {
+        eligible[i] = !active_[i] && !pending_[i];
+    }
+    for (std::uint32_t id : pick(requests, eligible)) {
+        pending_[id] = true;
+        queue_.emplace_back(id, round);
+        ++total_requests_;
+    }
+
+    // Serve the association queue: bounded per round and by capacity.
+    double wait_sum = 0.0;
+    while (!queue_.empty() && events.joins.size() < spec_.max_joins_per_round &&
+           active_count_ < capacity_) {
+        const auto [id, requested] = queue_.front();
+        queue_.pop_front();
+        pending_[id] = false;
+        active_[id] = true;
+        ++active_count_;
+        events.joins.push_back(id);
+        const double wait = static_cast<double>(round - requested) + 1.0;
+        wait_sum += wait;
+        total_wait_rounds_ += wait;
+        ++total_joins_;
+    }
+    if (!events.joins.empty()) {
+        events.mean_join_latency_rounds =
+            wait_sum / static_cast<double>(events.joins.size());
+    }
+    return events;
+}
+
+}  // namespace ns::scenario

@@ -1,0 +1,70 @@
+// Poisson join/leave churn over a device universe.
+//
+// Devices request to join per a Poisson process and depart likewise; the
+// AP serves at most `max_joins_per_round` association slots per round
+// (and never past the allocator's capacity), so joiners queue — the
+// measured wait is the re-association latency the churn scenarios
+// report. Admitted joins and departures flow to the simulator through
+// round_plan, which drives the AP's incremental slot allocation and
+// full-reassignment fallback end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "netscatter/scenario/scenario_spec.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace ns::scenario {
+
+/// One round's membership changes plus the latency of completed joins.
+struct churn_events {
+    std::vector<std::uint32_t> joins;
+    std::vector<std::uint32_t> leaves;
+    /// Mean rounds-from-request-to-slot of this round's admitted joins
+    /// (0 when none joined).
+    double mean_join_latency_rounds = 0.0;
+};
+
+/// Deterministic churn process.
+class churn_process {
+public:
+    /// `universe` is the number of placed devices (ids 0..universe-1);
+    /// `capacity` the allocator's concurrent-device limit.
+    churn_process(churn_spec spec, std::size_t universe, std::size_t capacity,
+                  std::uint64_t seed);
+
+    /// Devices associated before round 0.
+    const std::vector<std::uint32_t>& initial_active() const { return initial_active_; }
+
+    /// Advances one round.
+    churn_events step(std::size_t round);
+
+    std::size_t total_join_requests() const { return total_requests_; }
+    std::size_t total_joins() const { return total_joins_; }
+    std::size_t total_leaves() const { return total_leaves_; }
+    double total_join_wait_rounds() const { return total_wait_rounds_; }
+    std::size_t pending_joins() const { return queue_.size(); }
+
+private:
+    /// Picks `count` distinct ids satisfying `eligible`, uniformly.
+    std::vector<std::uint32_t> pick(std::size_t count,
+                                    const std::vector<bool>& eligible);
+
+    churn_spec spec_;
+    std::size_t universe_;
+    std::size_t capacity_;
+    ns::util::rng rng_;
+    std::vector<bool> active_;
+    std::vector<bool> pending_;
+    std::deque<std::pair<std::uint32_t, std::size_t>> queue_;  ///< (id, request round)
+    std::vector<std::uint32_t> initial_active_;
+    std::size_t active_count_ = 0;
+    std::size_t total_requests_ = 0;
+    std::size_t total_joins_ = 0;
+    std::size_t total_leaves_ = 0;
+    double total_wait_rounds_ = 0.0;
+};
+
+}  // namespace ns::scenario

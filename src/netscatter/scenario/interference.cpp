@@ -1,0 +1,81 @@
+#include "netscatter/scenario/interference.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "netscatter/phy/modulator.hpp"
+#include "netscatter/util/error.hpp"
+
+namespace ns::scenario {
+
+interference_source::interference_source(interference_spec spec,
+                                         ns::phy::css_params phy,
+                                         std::size_t packet_samples,
+                                         std::uint64_t seed)
+    : spec_(spec), phy_(phy), packet_samples_(packet_samples), rng_(seed) {
+    ns::util::require(packet_samples_ > 0, "interference: empty capture window");
+    ns::util::require(spec_.period_rounds >= 1,
+                      "interference: period_rounds must be >= 1");
+}
+
+ns::channel::tx_contribution interference_source::make_tone(double tone_hz) const {
+    ns::channel::tx_contribution tx;
+    tx.waveform.resize(packet_samples_);
+    const double step = 2.0 * std::numbers::pi * tone_hz / phy_.bandwidth_hz;
+    for (std::size_t n = 0; n < packet_samples_; ++n) {
+        tx.waveform[n] = std::polar(1.0, step * static_cast<double>(n));
+    }
+    tx.snr_db = spec_.snr_db;
+    tx.random_phase = true;
+    return tx;
+}
+
+ns::channel::tx_contribution interference_source::make_lora_frame() {
+    // A foreign classic-CSS frame: same (BW, SF) chirps carrying random
+    // symbol values, misaligned by a random integer + fractional sample
+    // offset, so its dechirped peaks are neither slot- nor bin-aligned.
+    const ns::phy::lora_modulator modulator(phy_);
+    const std::size_t sps = phy_.samples_per_symbol();
+    const std::size_t symbols = packet_samples_ / sps + 1;
+    std::vector<std::uint32_t> values(symbols);
+    for (auto& value : values) {
+        value = static_cast<std::uint32_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(phy_.num_bins()) - 1));
+    }
+    ns::channel::tx_contribution tx;
+    tx.waveform = modulator.modulate(values);
+    tx.snr_db = spec_.snr_db;
+    tx.timing_offset_s = rng_.uniform(0.0, phy_.symbol_duration_s());
+    tx.sample_delay = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(sps) - 1));
+    tx.random_phase = true;
+    return tx;
+}
+
+std::vector<ns::channel::tx_contribution> interference_source::step(std::size_t round) {
+    std::vector<ns::channel::tx_contribution> contributions;
+    switch (spec_.kind) {
+        case interference_kind::none:
+            break;
+        case interference_kind::periodic_tone:
+            if (round % spec_.period_rounds == 0) {
+                contributions.push_back(make_tone(spec_.tone_hz));
+            }
+            break;
+        case interference_kind::bursty_tone:
+            if (rng_.bernoulli(spec_.burst_probability)) {
+                contributions.push_back(make_tone(
+                    rng_.uniform(-phy_.bandwidth_hz / 2.0, phy_.bandwidth_hz / 2.0)));
+            }
+            break;
+        case interference_kind::lora_frame:
+            if (rng_.bernoulli(spec_.burst_probability)) {
+                contributions.push_back(make_lora_frame());
+            }
+            break;
+    }
+    total_events_ += contributions.size();
+    return contributions;
+}
+
+}  // namespace ns::scenario

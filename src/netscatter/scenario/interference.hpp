@@ -1,0 +1,48 @@
+// In-band interference injection.
+//
+// The paper deploys in the 900 MHz ISM band, which NetScatter shares
+// with everything else that lives there. This injector synthesizes the
+// two interferer families that matter for a CSS receiver and hands them
+// to the superposition channel as extra contributions:
+//  * narrowband tones (periodic or bursty) — a tone lands in a handful
+//    of dechirped FFT bins and raids whoever is parked nearby;
+//  * classic-CSS (LoRa) frames — same chirp slope as NetScatter, so a
+//    misaligned foreign frame dechirps into moving peaks that sweep
+//    across the registered shifts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netscatter/channel/superposition.hpp"
+#include "netscatter/phy/css_params.hpp"
+#include "netscatter/scenario/scenario_spec.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace ns::scenario {
+
+/// Deterministic per-round interference source.
+class interference_source {
+public:
+    /// `packet_samples` is the AP capture-window length the contribution
+    /// must fill (the simulator's per-round window).
+    interference_source(interference_spec spec, ns::phy::css_params phy,
+                        std::size_t packet_samples, std::uint64_t seed);
+
+    /// Contributions to sum into `round`'s channel (possibly empty).
+    std::vector<ns::channel::tx_contribution> step(std::size_t round);
+
+    std::size_t total_events() const { return total_events_; }
+
+private:
+    ns::channel::tx_contribution make_tone(double tone_hz) const;
+    ns::channel::tx_contribution make_lora_frame();
+
+    interference_spec spec_;
+    ns::phy::css_params phy_;
+    std::size_t packet_samples_;
+    ns::util::rng rng_;
+    std::size_t total_events_ = 0;
+};
+
+}  // namespace ns::scenario

@@ -1,0 +1,93 @@
+#include "netscatter/scenario/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netscatter/channel/pathloss.hpp"
+#include "netscatter/util/error.hpp"
+#include "netscatter/util/units.hpp"
+
+namespace ns::scenario {
+
+namespace {
+
+double distance_to_ap(const ns::sim::deployment& dep, double x_m, double y_m) {
+    // Avoid the pathological log-distance singularity right at the AP.
+    return std::max(0.5, std::hypot(x_m - dep.ap_x_m(), y_m - dep.ap_y_m()));
+}
+
+}  // namespace
+
+mobility_process::mobility_process(mobility_spec spec, const ns::sim::deployment& dep,
+                                   std::uint64_t seed)
+    : spec_(spec), deployment_(&dep), rng_(seed) {
+    ns::util::require(spec_.mobile_fraction >= 0.0 && spec_.mobile_fraction <= 1.0,
+                      "mobility: mobile_fraction must be in [0, 1]");
+    ns::util::require(spec_.speed_mps >= 0.0 && spec_.round_period_s > 0.0,
+                      "mobility: speed must be >= 0 and round period > 0");
+    for (const auto& device : dep.devices()) {
+        if (!rng_.bernoulli(spec_.mobile_fraction)) continue;
+        mover m;
+        m.id = device.id;
+        m.x_m = device.x_m;
+        m.y_m = device.y_m;
+        m.waypoint_x_m = rng_.uniform(0.0, dep.params().floor_width_m);
+        m.waypoint_y_m = rng_.uniform(0.0, dep.params().floor_depth_m);
+        // The placement's loss includes a lognormal shadowing draw; keep
+        // the device's offset from the deterministic model frozen as it
+        // moves (its local clutter travels with it).
+        const double deterministic = ns::channel::oneway_loss_db(
+            dep.params().pathloss, distance_to_ap(dep, m.x_m, m.y_m), device.walls);
+        m.shadow_db = device.oneway_loss_db - deterministic;
+        movers_.push_back(m);
+    }
+}
+
+ns::sim::link_update mobility_process::derive_update(mover& m,
+                                                     double prev_distance_m) const {
+    const ns::sim::deployment& dep = *deployment_;
+    const double distance = distance_to_ap(dep, m.x_m, m.y_m);
+    const int walls = dep.walls_between(m.x_m, m.y_m);
+    const double oneway = ns::channel::oneway_loss_db(dep.params().pathloss, distance,
+                                                      walls) +
+                          m.shadow_db;
+
+    ns::sim::link_update update;
+    update.device_id = m.id;
+    update.query_rssi_dbm = dep.params().ap_tx_dbm - oneway;
+    update.uplink_rx_dbm = dep.params().ap_tx_dbm -
+                           (2.0 * oneway + dep.params().conversion_loss_db);
+    update.tof_s = distance / ns::util::speed_of_light_mps;
+    // Radial velocity toward the AP gives a positive Doppler shift; the
+    // backscatter round trip doubles it.
+    const double radial_mps = (prev_distance_m - distance) / spec_.round_period_s;
+    update.doppler_hz = 2.0 * radial_mps / ns::util::speed_of_light_mps *
+                        spec_.carrier_hz;
+    return update;
+}
+
+std::vector<ns::sim::link_update> mobility_process::step(std::size_t round) {
+    (void)round;
+    std::vector<ns::sim::link_update> updates;
+    updates.reserve(movers_.size());
+    const double step_m = spec_.speed_mps * spec_.round_period_s;
+    for (mover& m : movers_) {
+        const double prev_distance = distance_to_ap(*deployment_, m.x_m, m.y_m);
+        const double to_wx = m.waypoint_x_m - m.x_m;
+        const double to_wy = m.waypoint_y_m - m.y_m;
+        const double remaining = std::hypot(to_wx, to_wy);
+        if (remaining <= step_m || remaining == 0.0) {
+            m.x_m = m.waypoint_x_m;
+            m.y_m = m.waypoint_y_m;
+            m.waypoint_x_m = rng_.uniform(0.0, deployment_->params().floor_width_m);
+            m.waypoint_y_m = rng_.uniform(0.0, deployment_->params().floor_depth_m);
+        } else {
+            m.x_m += step_m * to_wx / remaining;
+            m.y_m += step_m * to_wy / remaining;
+        }
+        updates.push_back(derive_update(m, prev_distance));
+    }
+    return updates;
+}
+
+}  // namespace ns::scenario

@@ -1,0 +1,90 @@
+#include "netscatter/scenario/scenario_driver.hpp"
+
+#include "netscatter/engine/mc_runner.hpp"
+#include "netscatter/mac/allocator.hpp"
+
+namespace ns::scenario {
+
+void driver_stats::merge(const driver_stats& other) {
+    join_requests += other.join_requests;
+    joins += other.joins;
+    leaves += other.leaves;
+    interference_events += other.interference_events;
+    offered += other.offered;
+    gated += other.gated;
+    total_join_wait_rounds += other.total_join_wait_rounds;
+    join_latency_series.insert(join_latency_series.end(),
+                               other.join_latency_series.begin(),
+                               other.join_latency_series.end());
+}
+
+double driver_stats::mean_join_latency_rounds() const {
+    if (joins == 0) return 0.0;
+    return total_join_wait_rounds / static_cast<double>(joins);
+}
+
+double driver_stats::offered_load() const {
+    const std::size_t total = offered + gated;
+    if (total == 0) return 0.0;
+    return static_cast<double>(offered) / static_cast<double>(total);
+}
+
+std::size_t concurrency_capacity(const scenario_spec& spec) {
+    const ns::mac::shift_allocator allocator(ns::mac::allocation_params{
+        .phy = spec.sim.phy, .skip = spec.sim.skip, .num_association_slots = 0});
+    return allocator.num_data_slots();
+}
+
+scenario_driver::scenario_driver(const scenario_spec& spec,
+                                 const ns::sim::deployment& dep, std::uint64_t seed)
+    : spec_(spec),
+      has_churn_(spec.churn.join_rate_per_round > 0.0 ||
+                 spec.churn.leave_rate_per_round > 0.0 ||
+                 spec.churn.initial_active < dep.devices().size()),
+      traffic_(spec.traffic, dep.devices().size(),
+               ns::engine::split_seed(seed, 1, 0)),
+      churn_(spec.churn, dep.devices().size(), concurrency_capacity(spec),
+             ns::engine::split_seed(seed, 2, 0)),
+      mobility_(spec.mobility, dep, ns::engine::split_seed(seed, 3, 0)),
+      interference_(spec.interference, spec.sim.phy,
+                    (spec.sim.frame.preamble_symbols +
+                     spec.sim.frame.payload_plus_crc_bits()) *
+                        spec.sim.phy.samples_per_symbol(),
+                    ns::engine::split_seed(seed, 4, 0)) {}
+
+std::optional<std::vector<std::uint32_t>> scenario_driver::initial_active() {
+    if (!has_churn_) return std::nullopt;  // everyone, batch-associated
+    return churn_.initial_active();
+}
+
+ns::sim::round_plan scenario_driver::plan_round(std::size_t round) {
+    ns::sim::round_plan plan;
+    if (has_churn_) {
+        churn_events events = churn_.step(round);
+        plan.joins = std::move(events.joins);
+        plan.leaves = std::move(events.leaves);
+        stats_.join_latency_series.push_back(events.mean_join_latency_rounds);
+        stats_.joins = churn_.total_joins();
+        stats_.leaves = churn_.total_leaves();
+        stats_.join_requests = churn_.total_join_requests();
+        stats_.total_join_wait_rounds = churn_.total_join_wait_rounds();
+    } else {
+        stats_.join_latency_series.push_back(0.0);
+    }
+    plan.link_updates = mobility_.step(round);
+    plan.interference = interference_.step(round);
+    stats_.interference_events = interference_.total_events();
+    return plan;
+}
+
+bool scenario_driver::offers_traffic(std::size_t round, std::uint32_t device_id) {
+    const bool offers = traffic_.offers(round, device_id);
+    if (offers) {
+        ++stats_.offered;
+    } else {
+        ++stats_.gated;
+    }
+    return offers;
+}
+
+}  // namespace ns::scenario

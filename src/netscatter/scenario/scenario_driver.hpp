@@ -1,0 +1,73 @@
+// Composition of the scenario models into the simulator's hook interface.
+//
+// One driver instance serves one simulator replica: it owns a traffic
+// model, a churn process, a mobility process and an interference source
+// — each on an independent seed stream split from the replica seed — and
+// translates their per-round decisions into the round_plan the simulator
+// applies. It also accumulates the scenario-level statistics (offered
+// load, join latency) that the simulator cannot see.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netscatter/scenario/churn.hpp"
+#include "netscatter/scenario/interference.hpp"
+#include "netscatter/scenario/mobility.hpp"
+#include "netscatter/scenario/scenario_spec.hpp"
+#include "netscatter/scenario/traffic.hpp"
+#include "netscatter/sim/deployment.hpp"
+#include "netscatter/sim/round_hooks.hpp"
+
+namespace ns::scenario {
+
+/// Control-plane statistics a driver gathers over one replica.
+struct driver_stats {
+    std::size_t join_requests = 0;
+    std::size_t joins = 0;
+    std::size_t leaves = 0;
+    std::size_t interference_events = 0;
+    std::size_t offered = 0;  ///< device-rounds that had data
+    std::size_t gated = 0;    ///< device-rounds without data
+    double total_join_wait_rounds = 0.0;
+    /// Per-round mean re-association latency (rounds; 0 when nothing
+    /// joined that round). Concatenated across replicas by merge().
+    std::vector<double> join_latency_series;
+
+    void merge(const driver_stats& other);
+    /// Mean rounds a joiner waited for its slot (0 when none joined).
+    double mean_join_latency_rounds() const;
+    /// Realized offered load over gated+offered device-rounds.
+    double offered_load() const;
+};
+
+/// round_hooks implementation backed by the scenario models.
+class scenario_driver final : public ns::sim::round_hooks {
+public:
+    /// `seed` is the replica's base seed; the four models split it into
+    /// independent streams. `dep` must outlive the driver.
+    scenario_driver(const scenario_spec& spec, const ns::sim::deployment& dep,
+                    std::uint64_t seed);
+
+    std::optional<std::vector<std::uint32_t>> initial_active() override;
+    ns::sim::round_plan plan_round(std::size_t round) override;
+    bool offers_traffic(std::size_t round, std::uint32_t device_id) override;
+
+    const driver_stats& stats() const { return stats_; }
+
+private:
+    scenario_spec spec_;
+    bool has_churn_ = false;
+    traffic_model traffic_;
+    churn_process churn_;
+    mobility_process mobility_;
+    interference_source interference_;
+    driver_stats stats_;
+};
+
+/// Allocator slot capacity for the spec's PHY/skip configuration — the
+/// concurrency ceiling churn admission respects.
+std::size_t concurrency_capacity(const scenario_spec& spec);
+
+}  // namespace ns::scenario

@@ -1,0 +1,24 @@
+// Named, reproducible workloads.
+//
+// The registry is the catalogue `netscatter_sim --list` prints and the
+// benches/CI smoke run from. Every entry is a plain scenario_spec — to
+// add a scenario, append one here (or build a spec by hand and hand it
+// straight to run_scenario; registration is a convenience, not a
+// requirement).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netscatter/scenario/scenario_spec.hpp"
+
+namespace ns::scenario {
+
+/// All registered scenarios, in presentation order.
+const std::vector<scenario_spec>& registry();
+
+/// Looks a scenario up by name.
+std::optional<scenario_spec> find_scenario(const std::string& name);
+
+}  // namespace ns::scenario

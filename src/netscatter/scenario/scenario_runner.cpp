@@ -1,0 +1,73 @@
+#include "netscatter/scenario/scenario_runner.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "netscatter/sim/timeline.hpp"
+#include "netscatter/util/error.hpp"
+
+namespace ns::scenario {
+
+double scenario_result::throughput_bps() const {
+    if (sim.rounds.empty() || round_time_s <= 0.0) return 0.0;
+    const double payload_bits =
+        static_cast<double>(sim.total_delivered) *
+        static_cast<double>(spec.sim.frame.payload_bits);
+    return payload_bits /
+           (static_cast<double>(sim.rounds.size()) * round_time_s);
+}
+
+double scenario_result::loss_rate() const {
+    if (sim.total_transmitting == 0) return 0.0;
+    return 1.0 - sim.delivery_rate();
+}
+
+scenario_result run_scenario(const scenario_spec& spec, run_options options) {
+    ns::util::require(spec.replicas >= 1, "scenario: replicas must be >= 1");
+    spec.sim.validate();
+    const auto start = std::chrono::steady_clock::now();
+
+    const ns::sim::deployment_params dep_params = resolve_geometry(spec.geometry);
+
+    struct replica_outcome {
+        ns::sim::sim_result sim;
+        driver_stats stats;
+    };
+
+    const ns::engine::mc_runner runner(
+        {.rounds_per_task = 0,  // replicas never split mid-stream
+         .num_threads = options.num_threads,
+         .parallel = options.parallel});
+    std::vector<replica_outcome> replicas =
+        runner.run_indexed(spec.replicas, [&](std::size_t r) {
+            // Every replica rebuilds the (identical) deployment rather
+            // than sharing one: replica tasks stay pure functions of
+            // their index with no cross-thread reads.
+            const ns::sim::deployment dep(dep_params, spec.geometry.num_devices,
+                                          spec.sim.seed);
+            scenario_driver driver(
+                spec, dep, ns::engine::split_seed(spec.sim.seed, 0xd21f, r));
+            ns::sim::sim_config config = spec.sim;
+            config.seed = ns::engine::split_seed(spec.sim.seed, 0x51a1, r);
+            ns::sim::network_simulator sim(dep, config, &driver);
+            return replica_outcome{sim.run(), driver.stats()};
+        });
+
+    scenario_result result;
+    result.spec = spec;
+    result.replicas = spec.replicas;
+    for (auto& replica : replicas) {
+        result.sim.merge(replica.sim);
+        result.stats.merge(replica.stats);
+    }
+    result.round_time_s =
+        ns::sim::netscatter_round(spec.sim.frame, spec.sim.phy,
+                                  ns::sim::query_config::config1)
+            .total_time_s;
+    result.wall_clock_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+}  // namespace ns::scenario

@@ -1,0 +1,50 @@
+// Deterministic scenario execution at scale.
+//
+// A scenario runs as `spec.replicas` independent Monte-Carlo replicas.
+// Each replica is a pure function of (spec, replica index): it builds
+// the deployment, a scenario_driver on a split seed, and a simulator,
+// and runs the full round sequence — cross-round state (fading memory,
+// churn queues, waypoint positions, power-adaptation baselines) stays
+// inside its replica. Replicas fan out through the engine's mc_runner
+// and merge in replica order, so a run is bit-identical on any thread
+// count — the contract tests/test_scenario.cpp enforces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netscatter/engine/mc_runner.hpp"
+#include "netscatter/scenario/scenario_driver.hpp"
+#include "netscatter/scenario/scenario_spec.hpp"
+#include "netscatter/sim/network_sim.hpp"
+
+namespace ns::scenario {
+
+/// Execution policy for one scenario run.
+struct run_options {
+    std::size_t num_threads = 0;  ///< 0 = hardware_concurrency()
+    bool parallel = true;         ///< false = serial reference order
+};
+
+/// Outcome of one scenario run.
+struct scenario_result {
+    scenario_spec spec;        ///< the spec as executed
+    ns::sim::sim_result sim;   ///< per-round outcomes, replicas concatenated
+    driver_stats stats;        ///< control-plane stats, replicas merged
+    std::size_t replicas = 0;
+    double round_time_s = 0.0;   ///< airtime of one query-response round
+    double wall_clock_s = 0.0;   ///< host time (excluded from determinism)
+
+    /// Mean delivered goodput in bit/s over the simulated airtime.
+    double throughput_bps() const;
+    /// 1 - delivery_rate over transmitted packets.
+    double loss_rate() const;
+};
+
+/// Runs `spec` and returns the merged result. Deterministic in
+/// (spec, options.parallel ? any thread count : serial) — i.e. the same
+/// spec gives bit-identical results for every execution policy.
+scenario_result run_scenario(const scenario_spec& spec, run_options options = {});
+
+}  // namespace ns::scenario

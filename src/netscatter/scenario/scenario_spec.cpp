@@ -1,0 +1,44 @@
+#include "netscatter/scenario/scenario_spec.hpp"
+
+namespace ns::scenario {
+
+ns::sim::deployment_params resolve_geometry(const geometry_spec& geometry) {
+    ns::sim::deployment_params params;  // office defaults
+    switch (geometry.preset) {
+        case geometry_preset::office:
+            break;
+        case geometry_preset::warehouse_aisle:
+            // A long open hall: racking rows act as light partitions, the
+            // open structure propagates closer to free space than an
+            // office, and the AP hangs mid-hall.
+            params.floor_width_m = 60.0;
+            params.floor_depth_m = 24.0;
+            params.rooms_x = 8;  // rack rows
+            params.rooms_y = 1;
+            params.min_distance_m = 6.0;
+            params.pathloss.exponent = 2.0;
+            params.pathloss.wall_loss_db = 3.0;
+            params.pathloss.shadowing_sigma_db = 1.0;
+            break;
+        case geometry_preset::open_field:
+            params.floor_width_m = 70.0;
+            params.floor_depth_m = 70.0;
+            params.rooms_x = 1;  // no interior walls
+            params.rooms_y = 1;
+            params.min_distance_m = 10.0;
+            params.pathloss.exponent = 2.0;
+            params.pathloss.wall_loss_db = 0.0;
+            params.pathloss.shadowing_sigma_db = 2.0;
+            break;
+    }
+    if (geometry.floor_width_m) params.floor_width_m = *geometry.floor_width_m;
+    if (geometry.floor_depth_m) params.floor_depth_m = *geometry.floor_depth_m;
+    if (geometry.rooms_x) params.rooms_x = *geometry.rooms_x;
+    if (geometry.rooms_y) params.rooms_y = *geometry.rooms_y;
+    if (geometry.ap_tx_dbm) params.ap_tx_dbm = *geometry.ap_tx_dbm;
+    if (geometry.pathloss_exponent) params.pathloss.exponent = *geometry.pathloss_exponent;
+    if (geometry.wall_loss_db) params.pathloss.wall_loss_db = *geometry.wall_loss_db;
+    return params;
+}
+
+}  // namespace ns::scenario

@@ -1,0 +1,121 @@
+// Declarative scenario description.
+//
+// A scenario_spec names everything a reproducible workload needs: the
+// deployment geometry (a preset plus overrides), the traffic model that
+// decides which devices have data each round, the churn process that
+// joins/leaves devices through the AP's re-association machinery, the
+// mobility process that re-derives link budgets as devices move, the
+// interference injector that shares the band, and the simulator knobs.
+// Specs are plain aggregates: the registry (scenario_registry.hpp) ships
+// named instances and the runner (scenario_runner.hpp) executes any spec
+// deterministically at scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netscatter/sim/deployment.hpp"
+#include "netscatter/sim/network_sim.hpp"
+
+namespace ns::scenario {
+
+/// Deployment geometry presets.
+enum class geometry_preset {
+    office,           ///< the paper's multi-room office floor (Fig. 1)
+    warehouse_aisle,  ///< long open hall with racking rows
+    open_field,       ///< free-space deployment, no interior walls
+};
+
+/// Geometry = preset + population + optional overrides.
+struct geometry_spec {
+    geometry_preset preset = geometry_preset::office;
+    std::size_t num_devices = 256;
+    std::optional<double> floor_width_m;
+    std::optional<double> floor_depth_m;
+    std::optional<std::size_t> rooms_x;
+    std::optional<std::size_t> rooms_y;
+    std::optional<double> ap_tx_dbm;
+    std::optional<double> pathloss_exponent;
+    std::optional<double> wall_loss_db;
+};
+
+/// Resolves a geometry spec into concrete deployment parameters.
+ns::sim::deployment_params resolve_geometry(const geometry_spec& geometry);
+
+/// Traffic model kinds (scenario/traffic.hpp).
+enum class traffic_kind {
+    saturated,  ///< every device has data every round (the paper's mode)
+    periodic,   ///< duty-cycled reporting with a per-device phase
+    poisson,    ///< independent Poisson arrivals into a per-device queue
+    bursty,     ///< event-driven: idle until a burst of backlog arrives
+};
+
+struct traffic_spec {
+    traffic_kind kind = traffic_kind::saturated;
+    /// periodic: fraction of each period with data.
+    double duty_cycle = 1.0;
+    /// periodic: period length in rounds.
+    std::size_t period_rounds = 1;
+    /// poisson: mean packet arrivals per device per round.
+    double arrivals_per_round = 1.0;
+    /// bursty: probability an idle device starts a burst each round.
+    double burst_probability = 0.05;
+    /// bursty: packets of backlog per burst.
+    std::size_t burst_length = 5;
+};
+
+/// Poisson join/leave churn (scenario/churn.hpp).
+struct churn_spec {
+    double join_rate_per_round = 0.0;   ///< mean join requests per round
+    double leave_rate_per_round = 0.0;  ///< mean departures per round
+    /// Devices associated at round 0; SIZE_MAX means the whole universe
+    /// (clamped to the allocator's slot capacity).
+    std::size_t initial_active = static_cast<std::size_t>(-1);
+    /// Association slots served per round: queued joiners beyond this
+    /// wait, which is what the re-association latency metric measures.
+    std::size_t max_joins_per_round = 2;
+};
+
+/// Waypoint-drift mobility (scenario/mobility.hpp).
+struct mobility_spec {
+    double mobile_fraction = 0.0;  ///< fraction of devices that move
+    double speed_mps = 1.4;        ///< walking pace
+    double round_period_s = 0.05;  ///< wall-clock time between rounds
+    double carrier_hz = 900e6;     ///< for the Doppler term
+};
+
+/// In-band interference injector (scenario/interference.hpp).
+enum class interference_kind {
+    none,
+    periodic_tone,  ///< a fixed tone every `period_rounds` rounds
+    bursty_tone,    ///< random-frequency tone with per-round probability
+    lora_frame,     ///< misaligned classic-CSS (LoRa) frames
+};
+
+struct interference_spec {
+    interference_kind kind = interference_kind::none;
+    double snr_db = 15.0;          ///< interferer strength over the noise floor
+    std::size_t period_rounds = 4; ///< periodic_tone cadence
+    double burst_probability = 0.2;///< bursty_tone / lora_frame per-round odds
+    double tone_hz = 100e3;        ///< periodic_tone frequency (baseband)
+};
+
+/// One complete, reproducible workload.
+struct scenario_spec {
+    std::string name;
+    std::string description;
+    geometry_spec geometry{};
+    traffic_spec traffic{};
+    churn_spec churn{};
+    mobility_spec mobility{};
+    interference_spec interference{};
+    /// Simulator knobs. `sim.rounds` is the per-replica round count and
+    /// `sim.seed` the base seed every replica/model stream splits from.
+    ns::sim::sim_config sim{};
+    /// Independent Monte-Carlo repetitions; replicas fan out in parallel
+    /// and merge in replica order (bit-identical on any thread count).
+    std::size_t replicas = 2;
+};
+
+}  // namespace ns::scenario

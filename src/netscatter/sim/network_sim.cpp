@@ -11,6 +11,21 @@
 
 namespace ns::sim {
 
+void sim_config::validate() const {
+    ns::util::require(rounds > 0, "sim_config: rounds must be > 0");
+    ns::util::require(skip >= 1, "sim_config: skip must be >= 1");
+    ns::util::require(skip < phy.num_bins(),
+                      "sim_config: skip must be < the number of FFT bins");
+    ns::util::require(detection_factor > 0.0,
+                      "sim_config: detection_factor must be > 0");
+    ns::util::require(zero_padding >= 1, "sim_config: zero_padding must be >= 1");
+    ns::util::require(fading_sigma_db >= 0.0,
+                      "sim_config: fading_sigma_db must be >= 0");
+    ns::util::require(fading_rho >= 0.0 && fading_rho < 1.0,
+                      "sim_config: fading_rho must be in [0, 1)");
+    ns::util::require(frame.payload_bits > 0, "sim_config: payload_bits must be > 0");
+}
+
 void sim_result::merge(const sim_result& other) {
     rounds.insert(rounds.end(), other.rounds.begin(), other.rounds.end());
     total_transmitting += other.total_transmitting;
@@ -18,6 +33,15 @@ void sim_result::merge(const sim_result& other) {
     total_detected += other.total_detected;
     total_bit_errors += other.total_bit_errors;
     total_bits += other.total_bits;
+    total_skipped += other.total_skipped;
+    total_idle += other.total_idle;
+    total_active_rounds += other.total_active_rounds;
+    total_joins += other.total_joins;
+    total_leaves += other.total_leaves;
+    total_rejected_joins += other.total_rejected_joins;
+    total_reassociations += other.total_reassociations;
+    total_realloc_events += other.total_realloc_events;
+    total_full_reassignments += other.total_full_reassignments;
 }
 
 double sim_result::delivery_rate() const {
@@ -42,6 +66,16 @@ double sim_result::variance_delivered_per_round() const {
     return stats.variance();
 }
 
+double sim_result::skip_rate() const {
+    if (total_active_rounds == 0) return 0.0;
+    return static_cast<double>(total_skipped) / static_cast<double>(total_active_rounds);
+}
+
+double sim_result::idle_rate() const {
+    if (total_active_rounds == 0) return 0.0;
+    return static_cast<double>(total_idle) / static_cast<double>(total_active_rounds);
+}
+
 namespace {
 
 ns::device::device_params make_device_params(const sim_config& config) {
@@ -63,23 +97,43 @@ ns::device::device_params make_device_params(const sim_config& config) {
 
 }  // namespace
 
-network_simulator::network_simulator(const deployment& dep, sim_config config)
+network_simulator::network_simulator(const deployment& dep, sim_config config,
+                                     round_hooks* hooks)
     : deployment_(&dep),
       config_(config),
+      hooks_(hooks),
       rng_(config.seed),
+      allocator_(ns::mac::allocation_params{
+          .phy = config.phy, .skip = config.skip, .num_association_slots = 0}),
       receiver_(ns::rx::receiver_params{.phy = config.phy,
                                         .zero_padding_factor = config.zero_padding,
                                         .detection_factor = config.detection_factor,
                                         .skip = config.skip,
                                         .frame = config.frame}) {
+    config_.validate();
     const auto& placed = dep.devices();
     const ns::device::device_params dev_params = make_device_params(config_);
     const double noise_floor = dep.noise_floor_dbm(config_.phy.bandwidth_hz);
 
+    // Which devices start associated: the hooks' initial set (a scenario
+    // may deploy a larger universe than fits one concurrency group and
+    // rotate membership through churn), or everyone.
+    std::vector<bool> initially_active(placed.size(), true);
+    if (hooks_) {
+        if (const auto initial = hooks_->initial_active()) {
+            std::fill(initially_active.begin(), initially_active.end(), false);
+            for (std::uint32_t id : *initial) {
+                for (std::size_t i = 0; i < placed.size(); ++i) {
+                    if (placed[i].id == id) initially_active[i] = true;
+                }
+            }
+        }
+    }
+
     // --- Association phase (devices join one at a time, §3.3.2) ---------
     // Determine each device's association-time gain by the same rule the
     // device applies, then run the power-aware batch allocation the AP
-    // would have converged to.
+    // would have converged to over the initially-active population.
     ns::device::switch_network network;
     std::vector<ns::mac::device_power> powers;
     powers.reserve(placed.size());
@@ -91,33 +145,28 @@ network_simulator::network_simulator(const deployment& dep, sim_config config)
         gain_levels[i] = weak ? network.max_level() : network.middle_level();
         const double gain_db = network.gain_db(gain_levels[i]);
         const double uplink_dbm = placed[i].uplink_rx_dbm + gain_db;
-        powers.push_back({placed[i].id, uplink_dbm});
+        if (initially_active[i]) powers.push_back({placed[i].id, uplink_dbm});
         association_snr_db_.push_back(uplink_dbm - noise_floor);
     }
 
-    ns::mac::allocation_params alloc_params{
-        .phy = config_.phy, .skip = config_.skip, .num_association_slots = 0};
-    ns::mac::shift_allocator allocator(alloc_params);
     if (config_.power_aware_allocation) {
-        allocation_ = allocator.allocate(powers).shifts;
+        allocation_ = allocator_.allocate(powers).shifts;
     } else {
         // Ablation: power-agnostic assignment — same spreading stride, but
         // slots are handed out in device-id order, so strong and weak
         // devices land next to each other.
         std::vector<ns::mac::device_power> by_id = powers;
         for (auto& p : by_id) p.rx_power_dbm = 0.0;  // identical keys: id order
-        allocation_ = allocator.allocate(by_id).shifts;
+        allocation_ = allocator_.allocate(by_id).shifts;
     }
 
     // --- Instantiate devices -------------------------------------------
     slots_.reserve(placed.size());
-    std::vector<std::uint32_t> shifts;
-    shifts.reserve(placed.size());
     const double ap_x = dep.ap_x_m();
     const double ap_y = dep.ap_y_m();
     for (std::size_t i = 0; i < placed.size(); ++i) {
-        const std::uint32_t shift = allocation_.at(placed[i].id);
-        shifts.push_back(shift);
+        const bool active = initially_active[i];
+        const std::uint32_t shift = active ? allocation_.at(placed[i].id) : 0;
         device_slot slot{
             .placement = placed[i],
             .device = ns::device::backscatter_device(placed[i].id, dev_params, rng_()),
@@ -126,11 +175,121 @@ network_simulator::network_simulator(const deployment& dep, sim_config config)
                                                        config_.fading_rho, rng_.fork()),
             .tof_s = std::hypot(placed[i].x_m - ap_x, placed[i].y_m - ap_y) /
                      ns::util::speed_of_light_mps,
+            .active = active,
         };
-        slot.device.force_associate(shift, placed[i].query_rssi_dbm, gain_levels[i]);
+        if (active) {
+            slot.device.force_associate(shift, placed[i].query_rssi_dbm, gain_levels[i]);
+            ++active_count_;
+        }
+        slot_index_[placed[i].id] = slots_.size();
         slots_.push_back(std::move(slot));
     }
-    receiver_.set_registered_shifts(shifts);
+    register_active_shifts();
+}
+
+void network_simulator::register_active_shifts() {
+    std::vector<std::uint32_t> shifts;
+    shifts.reserve(active_count_);
+    for (const auto& slot : slots_) {
+        if (slot.active) shifts.push_back(slot.device.cyclic_shift());
+    }
+    receiver_.set_registered_shifts(std::move(shifts));
+    membership_dirty_ = false;
+}
+
+std::vector<std::pair<std::uint32_t, double>> network_simulator::occupied_powers(
+    std::optional<std::uint32_t> excluded_id) const {
+    std::vector<std::pair<std::uint32_t, double>> occupied;
+    occupied.reserve(active_count_);
+    for (const auto& slot : slots_) {
+        if (!slot.active) continue;
+        if (excluded_id && slot.placement.id == *excluded_id) continue;
+        occupied.emplace_back(slot.device.cyclic_shift(),
+                              slot.placement.uplink_rx_dbm + slot.device.current_gain_db());
+    }
+    return occupied;
+}
+
+void network_simulator::associate_slot(std::size_t slot_index, std::uint32_t shift,
+                                       double baseline_rssi_dbm) {
+    device_slot& slot = slots_[slot_index];
+    const ns::device::switch_network network;
+    const bool weak = baseline_rssi_dbm < slot.device.params().low_rssi_threshold_dbm;
+    const std::size_t gain_level =
+        weak ? network.max_level() : network.middle_level();
+    slot.modulator = ns::phy::distributed_modulator(config_.phy, shift);
+    slot.device.force_associate(shift, baseline_rssi_dbm, gain_level);
+    allocation_[slot.placement.id] = shift;
+}
+
+void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& outcome) {
+    // Mobility first: joins below must see this round's link budget.
+    for (const link_update& update : plan.link_updates) {
+        const auto it = slot_index_.find(update.device_id);
+        if (it == slot_index_.end()) continue;
+        device_slot& slot = slots_[it->second];
+        slot.placement.query_rssi_dbm = update.query_rssi_dbm;
+        slot.placement.uplink_rx_dbm = update.uplink_rx_dbm;
+        slot.tof_s = update.tof_s;
+        slot.doppler_hz = update.doppler_hz;
+    }
+
+    for (std::uint32_t id : plan.leaves) {
+        const auto it = slot_index_.find(id);
+        if (it == slot_index_.end() || !slots_[it->second].active) continue;
+        slots_[it->second].active = false;
+        allocation_.erase(id);
+        --active_count_;
+        ++outcome.leaves;
+        membership_dirty_ = true;
+    }
+
+    for (std::uint32_t id : plan.joins) {
+        const auto it = slot_index_.find(id);
+        if (it == slot_index_.end() || slots_[it->second].active) continue;
+        if (active_count_ >= allocator_.num_data_slots()) {
+            ++outcome.rejected_joins;
+            continue;
+        }
+        device_slot& slot = slots_[it->second];
+        const ns::device::switch_network network;
+        const bool weak = slot.placement.query_rssi_dbm <
+                          slot.device.params().low_rssi_threshold_dbm;
+        const double join_power =
+            slot.placement.uplink_rx_dbm +
+            network.gain_db(weak ? network.max_level() : network.middle_level());
+
+        const auto incremental =
+            allocator_.assign_incremental(join_power, occupied_powers());
+        if (incremental) {
+            associate_slot(it->second, *incremental, slot.placement.query_rssi_dbm);
+            ++outcome.realloc_events;
+        } else {
+            // The incremental allocator cannot fit the newcomer next to
+            // power-compatible neighbours: full reassignment (§3.3.3).
+            std::vector<ns::mac::device_power> powers;
+            powers.reserve(active_count_ + 1);
+            for (const auto& s : slots_) {
+                if (!s.active) continue;
+                powers.push_back({s.placement.id,
+                                  s.placement.uplink_rx_dbm + s.device.current_gain_db()});
+            }
+            powers.push_back({id, join_power});
+            const auto shifts = allocator_.allocate(powers).shifts;
+            for (auto& s : slots_) {
+                if (!s.active) continue;
+                associate_slot(slot_index_.at(s.placement.id), shifts.at(s.placement.id),
+                               s.placement.query_rssi_dbm);
+            }
+            associate_slot(it->second, shifts.at(id), slot.placement.query_rssi_dbm);
+            outcome.realloc_events += powers.size();
+            ++outcome.full_reassignments;
+        }
+        slot.active = true;
+        ++active_count_;
+        ++outcome.joins;
+        membership_dirty_ = true;
+    }
 }
 
 sim_result network_simulator::run() {
@@ -143,28 +302,52 @@ sim_result network_simulator::run() {
 
     for (std::size_t round = 0; round < config_.rounds; ++round) {
         round_outcome outcome;
+        round_plan plan;
+        if (hooks_) plan = hooks_->plan_round(round);
+        apply_round_plan(plan, outcome);
+        if (membership_dirty_) register_active_shifts();
+        outcome.active = active_count_;
+
         std::vector<ns::channel::tx_contribution> contributions;
         // shift -> sent bits, for accounting.
         std::unordered_map<std::uint32_t, std::vector<bool>> sent_bits;
 
         for (auto& slot : slots_) {
+            // Advance every device's fading process — active or not — so
+            // the channel time series of a device is independent of its
+            // membership history.
             const double fade_db = slot.fading.next_db();
+            if (!slot.active) continue;
             const double query_rssi = slot.placement.query_rssi_dbm + fade_db;
+
+            if (hooks_ && !hooks_->offers_traffic(round, slot.placement.id)) {
+                ++outcome.idle;
+                continue;
+            }
 
             ns::device::transmit_intent intent;
             if (config_.power_adaptation) {
                 intent = slot.device.handle_query(query_rssi, std::nullopt);
                 if (intent.action == ns::device::device_action::association_request) {
                     // The device fell persistently out of tolerance and
-                    // re-initiated association. The AP reassigns (here: the
-                    // same shift, with a fresh RSSI baseline and gain) and
-                    // the device resumes next round (§3.2.3 / §3.3.4).
-                    const ns::device::switch_network network;
-                    const bool weak = query_rssi <
-                                      slot.device.params().low_rssi_threshold_dbm;
-                    slot.device.force_associate(
-                        slot.device.cyclic_shift(), query_rssi,
-                        weak ? network.max_level() : network.middle_level());
+                    // re-initiated association (§3.2.3 / §3.3.4). Under a
+                    // scenario the AP re-places it with the incremental
+                    // allocator — the same slot when its neighbourhood is
+                    // still the best fit, a different one when the network
+                    // drifted; the static simulator keeps the historic
+                    // same-slot reassignment so seed results are stable.
+                    std::optional<std::uint32_t> moved;
+                    if (hooks_) {
+                        moved = allocator_.assign_incremental(
+                            slot.placement.uplink_rx_dbm + slot.device.current_gain_db(),
+                            occupied_powers(slot.placement.id));
+                    }
+                    const std::uint32_t shift =
+                        moved ? *moved : slot.device.cyclic_shift();
+                    associate_slot(slot_index_.at(slot.placement.id), shift, query_rssi);
+                    ++outcome.reassociations;
+                    ++outcome.realloc_events;
+                    membership_dirty_ = true;
                     ++outcome.skipped;
                     continue;
                 }
@@ -204,9 +387,17 @@ sim_result network_simulator::run() {
                 config_.model_timing_jitter ? config_.delay_model.mean_us * 1e-6 : 0.0;
             tx.timing_offset_s =
                 intent.hardware_delay_s - sync_point_s + 2.0 * slot.tof_s;
-            tx.frequency_offset_hz = intent.frequency_offset_hz;
+            tx.frequency_offset_hz = intent.frequency_offset_hz + slot.doppler_hz;
             contributions.push_back(std::move(tx));
             ++outcome.transmitting;
+        }
+
+        // Re-associations may have moved shifts; refresh before decoding.
+        if (membership_dirty_) register_active_shifts();
+
+        // In-band interferers (scenario-injected) share the channel.
+        for (const auto& interferer : plan.interference) {
+            contributions.push_back(interferer);
         }
 
         // Superpose and decode.
@@ -239,6 +430,15 @@ sim_result network_simulator::run() {
         result.total_detected += outcome.detected;
         result.total_bit_errors += outcome.bit_errors;
         result.total_bits += outcome.bits_sent;
+        result.total_skipped += outcome.skipped;
+        result.total_idle += outcome.idle;
+        result.total_active_rounds += outcome.active;
+        result.total_joins += outcome.joins;
+        result.total_leaves += outcome.leaves;
+        result.total_rejected_joins += outcome.rejected_joins;
+        result.total_reassociations += outcome.reassociations;
+        result.total_realloc_events += outcome.realloc_events;
+        result.total_full_reassignments += outcome.full_reassignments;
     }
     return result;
 }

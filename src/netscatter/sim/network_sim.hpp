@@ -22,6 +22,7 @@
 #include "netscatter/phy/modulator.hpp"
 #include "netscatter/rx/receiver.hpp"
 #include "netscatter/sim/deployment.hpp"
+#include "netscatter/sim/round_hooks.hpp"
 #include "netscatter/util/rng.hpp"
 
 namespace ns::sim {
@@ -48,16 +49,33 @@ struct sim_config {
 
     ns::channel::hardware_delay_model delay_model{};
     ns::channel::crystal_model crystal{};
+
+    /// Throws ns::util::invalid_argument when a field is outside its
+    /// documented domain (rounds == 0, skip outside [1, bins), a
+    /// non-positive detection factor, ...). network_simulator calls this
+    /// on construction, so a bad configuration fails loudly instead of
+    /// producing undefined or garbage results.
+    void validate() const;
 };
 
 /// Outcome counters of one round.
 struct round_outcome {
+    std::size_t active = 0;        ///< devices associated this round
     std::size_t transmitting = 0;  ///< devices that sent this round
     std::size_t skipped = 0;       ///< devices that sat out (power adaptation)
+    std::size_t idle = 0;          ///< devices with no data (traffic gating)
     std::size_t detected = 0;      ///< preamble detected
     std::size_t delivered = 0;     ///< CRC passed
     std::size_t bit_errors = 0;    ///< payload+CRC bit errors across devices
     std::size_t bits_sent = 0;
+
+    // Churn / control-plane counters (zero without hooks).
+    std::size_t joins = 0;             ///< devices that joined this round
+    std::size_t leaves = 0;            ///< devices that left this round
+    std::size_t rejected_joins = 0;    ///< joins refused (network full)
+    std::size_t reassociations = 0;    ///< in-tolerance re-association events
+    std::size_t realloc_events = 0;    ///< per-device slot (re)assignments
+    std::size_t full_reassignments = 0;///< whole-network reallocation runs
 };
 
 /// Aggregated simulation result.
@@ -68,6 +86,15 @@ struct sim_result {
     std::size_t total_detected = 0;
     std::size_t total_bit_errors = 0;
     std::size_t total_bits = 0;
+    std::size_t total_skipped = 0;
+    std::size_t total_idle = 0;
+    std::size_t total_active_rounds = 0;  ///< sum of per-round active counts
+    std::size_t total_joins = 0;
+    std::size_t total_leaves = 0;
+    std::size_t total_rejected_joins = 0;
+    std::size_t total_reassociations = 0;
+    std::size_t total_realloc_events = 0;
+    std::size_t total_full_reassignments = 0;
 
     /// Appends another result's rounds and adds its totals. Used by the
     /// parallel Monte-Carlo runner (engine/mc_runner) to combine
@@ -83,17 +110,31 @@ struct sim_result {
     double mean_delivered_per_round() const;
     /// Sample variance of delivered-per-round.
     double variance_delivered_per_round() const;
+    /// Fraction of active device-rounds spent in a power-adaptation skip.
+    double skip_rate() const;
+    /// Fraction of active device-rounds with no data to send.
+    double idle_rate() const;
 };
 
 /// The simulator.
+///
+/// Without hooks it behaves exactly as it always has: every placed
+/// device is associated up front (batch power-aware allocation) and
+/// transmits every round. With hooks (see round_hooks.hpp) the active
+/// set, per-round traffic, link budgets and in-band interference are all
+/// injectable, and membership changes flow through the AP's incremental
+/// allocator with a full reassignment fallback (§3.3.3).
 class network_simulator {
 public:
-    network_simulator(const deployment& dep, sim_config config);
+    /// `hooks` (optional, non-owning, may be nullptr) must outlive the
+    /// simulator.
+    network_simulator(const deployment& dep, sim_config config,
+                      round_hooks* hooks = nullptr);
 
     /// Runs the configured number of rounds.
     sim_result run();
 
-    /// Cyclic shift assigned to each device.
+    /// Cyclic shift of each currently-associated device.
     const std::unordered_map<std::uint32_t, std::uint32_t>& allocation() const {
         return allocation_;
     }
@@ -101,21 +142,46 @@ public:
     /// The uplink SNR (dB, at the association-time gain) per device.
     const std::vector<double>& association_snrs_db() const { return association_snr_db_; }
 
+    /// Devices currently associated.
+    std::size_t active_count() const { return active_count_; }
+
 private:
     struct device_slot {
         placed_device placement;
         ns::device::backscatter_device device;
         ns::phy::distributed_modulator modulator;
         ns::channel::gauss_markov_fading fading;
-        double tof_s = 0.0;  ///< propagation time of flight
+        double tof_s = 0.0;       ///< propagation time of flight
+        double doppler_hz = 0.0;  ///< mobility-induced Doppler this round
+        bool active = false;      ///< currently associated
     };
+
+    /// Applies a scenario's round plan: link updates, leaves, then joins
+    /// (incremental allocation with full-reassignment fallback).
+    void apply_round_plan(const round_plan& plan, round_outcome& outcome);
+    /// Associates the device in `slot_index` on `shift` with the
+    /// association-time gain rule, using `baseline_rssi_dbm` as the
+    /// device's fresh downlink baseline.
+    void associate_slot(std::size_t slot_index, std::uint32_t shift,
+                        double baseline_rssi_dbm);
+    /// Occupied (shift, power) pairs of active devices, excluding
+    /// `excluded_id`; deterministic slot order.
+    std::vector<std::pair<std::uint32_t, double>> occupied_powers(
+        std::optional<std::uint32_t> excluded_id = std::nullopt) const;
+    /// Refreshes the receiver's registered shifts from the active set.
+    void register_active_shifts();
 
     const deployment* deployment_;
     sim_config config_;
+    round_hooks* hooks_ = nullptr;
     ns::util::rng rng_;
     std::vector<device_slot> slots_;
+    std::unordered_map<std::uint32_t, std::size_t> slot_index_;  ///< id -> slot
     std::unordered_map<std::uint32_t, std::uint32_t> allocation_;
     std::vector<double> association_snr_db_;
+    ns::mac::shift_allocator allocator_;
+    std::size_t active_count_ = 0;
+    bool membership_dirty_ = false;
     ns::rx::receiver receiver_;
 };
 

@@ -56,6 +56,11 @@ public:
     /// Exponential sample with the given mean. Requires mean > 0.
     double exponential(double mean);
 
+    /// Poisson sample with the given mean (Knuth's product method; meant
+    /// for the small rates of the scenario traffic/churn processes).
+    /// Requires mean >= 0.
+    std::uint64_t poisson(double mean);
+
     /// Bernoulli sample: true with probability p.
     bool bernoulli(double p);
 

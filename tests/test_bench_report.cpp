@@ -1,0 +1,82 @@
+// Tests for the bench JSON writer: non-finite numbers must degrade to
+// null (bare nan/inf tokens are not JSON) and names/keys/values must be
+// escaped, so the BENCH_*.json artifacts always parse.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_report.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream file(path);
+    std::ostringstream out;
+    out << file.rdbuf();
+    return out.str();
+}
+
+TEST(bench_report, non_finite_numbers_emit_null) {
+    bench::bench_report report("nonfinite");
+    report.set_scalar("empty_mean", std::numeric_limits<double>::quiet_NaN());
+    report.set_scalar("overflowed", std::numeric_limits<double>::infinity());
+    report.set_scalar("negative", -std::numeric_limits<double>::infinity());
+    report.set_scalar("fine", 1.5);
+    report.add_point({{"value", std::numeric_limits<double>::quiet_NaN()},
+                      {"ok", 2.0}});
+    const std::string path = "test_bench_report_nonfinite.json";
+    report.write(path);
+    const std::string json = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_NE(json.find("\"empty_mean\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"overflowed\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"negative\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"fine\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"value\": null"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(bench_report, names_keys_and_values_are_escaped) {
+    bench::bench_report report("we\"ird\\name");
+    report.set_scalar("ke\"y", 1.0);
+    report.set_scalar("label", "va\\lue\nwith newline");
+    report.add_point({{"po\"int_key", "str\"val"}});
+    const std::string path = "test_bench_report_escape.json";
+    report.write(path);
+    const std::string json = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_NE(json.find("\"bench\": \"we\\\"ird\\\\name\""), std::string::npos);
+    EXPECT_NE(json.find("\"ke\\\"y\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"va\\\\lue\\nwith newline\""), std::string::npos);
+    EXPECT_NE(json.find("\"po\\\"int_key\": \"str\\\"val\""), std::string::npos);
+}
+
+TEST(bench_report, string_scalars_and_custom_path) {
+    bench::bench_report report("strings");
+    report.set_scalar("scenario", "office-256");
+    report.add_point({{"name", "point-a"}, {"x", 3.0}});
+    const std::string path = "test_bench_report_strings.json";
+    report.write(path);
+    const std::string json = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_NE(json.find("\"scenario\": \"office-256\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"point-a\", \"x\": 3"), std::string::npos);
+}
+
+TEST(bench_report, json_escape_handles_control_characters) {
+    EXPECT_EQ(bench::json_escape("plain"), "plain");
+    EXPECT_EQ(bench::json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(bench::json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(bench::json_escape("a\tb\n"), "a\\tb\\n");
+    EXPECT_EQ(bench::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace

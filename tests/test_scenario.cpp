@@ -1,0 +1,387 @@
+// Unit tests for the scenario subsystem: registry, traffic/churn/
+// mobility/interference models, hook integration with the simulator,
+// and — the load-bearing contract — bit-identical results on any
+// thread count for every registered scenario.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "netscatter/scenario/churn.hpp"
+#include "netscatter/scenario/interference.hpp"
+#include "netscatter/scenario/mobility.hpp"
+#include "netscatter/scenario/scenario_driver.hpp"
+#include "netscatter/scenario/scenario_registry.hpp"
+#include "netscatter/scenario/scenario_runner.hpp"
+#include "netscatter/scenario/traffic.hpp"
+#include "netscatter/sim/deployment.hpp"
+#include "netscatter/sim/network_sim.hpp"
+
+namespace {
+
+using namespace ns::scenario;
+
+// ------------------------------------------------------------ registry --
+
+TEST(registry, ships_at_least_eight_unique_runnable_scenarios) {
+    const auto& scenarios = registry();
+    EXPECT_GE(scenarios.size(), 8u);
+    std::set<std::string> names;
+    for (const auto& spec : scenarios) {
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_FALSE(spec.description.empty());
+        EXPECT_GT(spec.geometry.num_devices, 0u);
+        EXPECT_GT(spec.sim.rounds, 0u);
+        EXPECT_GE(spec.replicas, 1u);
+        names.insert(spec.name);
+        EXPECT_TRUE(find_scenario(spec.name).has_value());
+    }
+    EXPECT_EQ(names.size(), scenarios.size());
+    EXPECT_FALSE(find_scenario("no-such-scenario").has_value());
+}
+
+TEST(registry, geometry_presets_resolve_distinctly) {
+    geometry_spec office{};
+    geometry_spec warehouse{};
+    warehouse.preset = geometry_preset::warehouse_aisle;
+    geometry_spec field{};
+    field.preset = geometry_preset::open_field;
+    const auto o = resolve_geometry(office);
+    const auto w = resolve_geometry(warehouse);
+    const auto f = resolve_geometry(field);
+    EXPECT_NE(o.floor_width_m, w.floor_width_m);
+    EXPECT_EQ(f.rooms_x * f.rooms_y, 1u);  // no interior walls in the field
+    // Overrides win over the preset.
+    field.ap_tx_dbm = 12.5;
+    EXPECT_DOUBLE_EQ(resolve_geometry(field).ap_tx_dbm, 12.5);
+}
+
+// --------------------------------------------------------- determinism --
+
+/// Everything determinism guarantees, as a comparable string (wall clock
+/// excluded on purpose).
+std::string fingerprint(const scenario_result& result) {
+    std::ostringstream out;
+    out.precision(17);
+    const auto& s = result.sim;
+    out << s.total_transmitting << ' ' << s.total_delivered << ' '
+        << s.total_detected << ' ' << s.total_bit_errors << ' ' << s.total_bits
+        << ' ' << s.total_skipped << ' ' << s.total_idle << ' '
+        << s.total_active_rounds << ' ' << s.total_joins << ' ' << s.total_leaves
+        << ' ' << s.total_rejected_joins << ' ' << s.total_reassociations << ' '
+        << s.total_realloc_events << ' ' << s.total_full_reassignments << '\n';
+    for (const auto& round : s.rounds) {
+        out << round.active << ',' << round.transmitting << ',' << round.skipped
+            << ',' << round.idle << ',' << round.detected << ',' << round.delivered
+            << ',' << round.bit_errors << ',' << round.joins << ',' << round.leaves
+            << ',' << round.realloc_events << ';';
+    }
+    out << '\n' << result.stats.join_requests << ' ' << result.stats.joins << ' '
+        << result.stats.total_join_wait_rounds << ' ' << result.stats.offered
+        << ' ' << result.stats.gated;
+    for (const double latency : result.stats.join_latency_series) {
+        out << ' ' << latency;
+    }
+    return out.str();
+}
+
+/// Shrinks a spec so the all-scenarios sweep stays fast while still
+/// walking every model's code path.
+scenario_spec shrink(scenario_spec spec, std::size_t rounds,
+                     std::size_t max_devices) {
+    spec.sim.rounds = rounds;
+    spec.replicas = 2;
+    if (spec.geometry.num_devices > max_devices) {
+        spec.geometry.num_devices = max_devices;
+        spec.churn.initial_active =
+            std::min(spec.churn.initial_active, max_devices / 2);
+    }
+    return spec;
+}
+
+TEST(scenario_runner, every_registered_scenario_is_bit_identical_serial_vs_8_threads) {
+    for (const auto& registered : registry()) {
+        const scenario_spec spec = shrink(registered, 3, 96);
+        const auto serial = run_scenario(spec, {.num_threads = 1, .parallel = false});
+        const auto threaded = run_scenario(spec, {.num_threads = 8, .parallel = true});
+        EXPECT_EQ(fingerprint(serial), fingerprint(threaded)) << registered.name;
+    }
+}
+
+TEST(scenario_runner, churn_and_mobility_identical_across_1_2_8_threads) {
+    for (const char* name : {"churn-heavy", "commute-mobility"}) {
+        const auto registered = find_scenario(name);
+        ASSERT_TRUE(registered.has_value());
+        scenario_spec spec = *registered;
+        spec.sim.rounds = 4;
+        spec.replicas = 3;  // more tasks than some thread counts
+        const auto t1 = run_scenario(spec, {.num_threads = 1, .parallel = true});
+        const auto t2 = run_scenario(spec, {.num_threads = 2, .parallel = true});
+        const auto t8 = run_scenario(spec, {.num_threads = 8, .parallel = true});
+        EXPECT_EQ(fingerprint(t1), fingerprint(t2)) << name;
+        EXPECT_EQ(fingerprint(t2), fingerprint(t8)) << name;
+    }
+}
+
+TEST(scenario_runner, churn_heavy_drives_reassociation_end_to_end) {
+    auto spec = *find_scenario("churn-heavy");
+    spec.sim.rounds = 10;
+    const auto result = run_scenario(spec);
+    EXPECT_GT(result.sim.total_joins, 0u);
+    EXPECT_GT(result.sim.total_leaves, 0u);
+    EXPECT_GT(result.sim.total_realloc_events, 0u);
+    EXPECT_GE(result.stats.mean_join_latency_rounds(), 1.0);
+    EXPECT_EQ(result.sim.total_joins, result.stats.joins);
+    // The per-round latency series aligns with the concatenated rounds.
+    EXPECT_EQ(result.stats.join_latency_series.size(), result.sim.rounds.size());
+}
+
+TEST(scenario_runner, oversubscribed_universe_respects_capacity) {
+    auto spec = *find_scenario("warehouse-1k");
+    spec.sim.rounds = 3;
+    spec.replicas = 1;
+    const auto result = run_scenario(spec);
+    const std::size_t capacity = concurrency_capacity(spec);
+    ASSERT_LT(capacity, spec.geometry.num_devices);  // genuinely oversubscribed
+    for (const auto& round : result.sim.rounds) {
+        EXPECT_LE(round.active, capacity);
+    }
+    EXPECT_GT(result.sim.total_joins, 0u);
+}
+
+// ------------------------------------------------------------- traffic --
+
+TEST(traffic, saturated_always_offers) {
+    traffic_model model({}, 16, 1);
+    for (std::size_t round = 0; round < 8; ++round) {
+        for (std::uint32_t id = 0; id < 16; ++id) {
+            EXPECT_TRUE(model.offers(round, id));
+        }
+    }
+    EXPECT_DOUBLE_EQ(model.expected_offered_load(), 1.0);
+}
+
+TEST(traffic, periodic_duty_cycle_is_exact_over_full_periods) {
+    traffic_spec spec;
+    spec.kind = traffic_kind::periodic;
+    spec.duty_cycle = 0.25;
+    spec.period_rounds = 8;
+    traffic_model model(spec, 32, 7);
+    std::size_t offered = 0;
+    const std::size_t rounds = 64;  // 8 full periods
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::uint32_t id = 0; id < 32; ++id) {
+            offered += model.offers(round, id) ? 1 : 0;
+        }
+    }
+    EXPECT_DOUBLE_EQ(model.expected_offered_load(), 0.25);
+    EXPECT_EQ(offered, static_cast<std::size_t>(0.25 * 32 * rounds));
+}
+
+TEST(traffic, poisson_offered_load_within_tolerance) {
+    traffic_spec spec;
+    spec.kind = traffic_kind::poisson;
+    spec.arrivals_per_round = 0.3;
+    traffic_model model(spec, 64, 11);
+    std::size_t offered = 0;
+    const std::size_t rounds = 400;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::uint32_t id = 0; id < 64; ++id) {
+            offered += model.offers(round, id) ? 1 : 0;
+        }
+    }
+    const double load = static_cast<double>(offered) / (64.0 * rounds);
+    EXPECT_NEAR(load, model.expected_offered_load(), 0.02);
+}
+
+TEST(traffic, bursty_offered_load_within_tolerance) {
+    traffic_spec spec;
+    spec.kind = traffic_kind::bursty;
+    spec.burst_probability = 0.05;
+    spec.burst_length = 6;
+    traffic_model model(spec, 64, 13);
+    std::size_t offered = 0;
+    const std::size_t rounds = 1500;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::uint32_t id = 0; id < 64; ++id) {
+            offered += model.offers(round, id) ? 1 : 0;
+        }
+    }
+    const double load = static_cast<double>(offered) / (64.0 * rounds);
+    // Renewal argument: busy L rounds, idle 1/p rounds on average.
+    EXPECT_NEAR(model.expected_offered_load(), 6.0 / (6.0 + 20.0), 1e-12);
+    EXPECT_NEAR(load, model.expected_offered_load(), 0.03);
+}
+
+// --------------------------------------------------------------- churn --
+
+TEST(churn, admission_respects_rate_and_capacity) {
+    churn_spec spec;
+    spec.join_rate_per_round = 5.0;
+    spec.leave_rate_per_round = 0.0;
+    spec.initial_active = 0;
+    spec.max_joins_per_round = 2;
+    churn_process churn(spec, 20, 10, 3);
+    EXPECT_TRUE(churn.initial_active().empty());
+    std::size_t active = 0;
+    for (std::size_t round = 0; round < 30; ++round) {
+        const churn_events events = churn.step(round);
+        EXPECT_LE(events.joins.size(), 2u);
+        active += events.joins.size();
+        EXPECT_LE(active, 10u);  // never past the allocator capacity
+        if (!events.joins.empty()) {
+            EXPECT_GE(events.mean_join_latency_rounds, 1.0);
+        }
+    }
+    EXPECT_EQ(active, 10u);  // filled to capacity
+    EXPECT_EQ(churn.total_joins(), 10u);
+    EXPECT_GT(churn.total_join_requests(), churn.total_joins());
+    EXPECT_GT(churn.pending_joins(), 0u);
+}
+
+// ------------------------------------------------------------ mobility --
+
+TEST(mobility, movers_stay_in_bounds_with_bounded_doppler) {
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 32, 5);
+    mobility_spec spec;
+    spec.mobile_fraction = 1.0;
+    spec.speed_mps = 2.0;
+    spec.round_period_s = 0.5;  // 1 m per round
+    mobility_process mobility(spec, dep, 9);
+    ASSERT_EQ(mobility.mobile_count(), 32u);
+    const double max_doppler =
+        2.0 * spec.speed_mps / 299792458.0 * spec.carrier_hz + 1e-9;
+    for (std::size_t round = 0; round < 60; ++round) {
+        const auto updates = mobility.step(round);
+        ASSERT_EQ(updates.size(), 32u);
+        for (const auto& update : updates) {
+            EXPECT_TRUE(std::isfinite(update.query_rssi_dbm));
+            EXPECT_TRUE(std::isfinite(update.uplink_rx_dbm));
+            EXPECT_LT(update.uplink_rx_dbm, update.query_rssi_dbm);
+            EXPECT_LE(std::abs(update.doppler_hz), max_doppler);
+            EXPECT_GT(update.tof_s, 0.0);
+        }
+        for (std::size_t i = 0; i < mobility.mobile_count(); ++i) {
+            const auto [x, y] = mobility.position(i);
+            EXPECT_GE(x, 0.0);
+            EXPECT_LE(x, dep.params().floor_width_m);
+            EXPECT_GE(y, 0.0);
+            EXPECT_LE(y, dep.params().floor_depth_m);
+        }
+    }
+}
+
+TEST(mobility, budgets_actually_move) {
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 8, 6);
+    mobility_spec spec;
+    spec.mobile_fraction = 1.0;
+    spec.speed_mps = 2.0;
+    spec.round_period_s = 1.0;
+    mobility_process mobility(spec, dep, 21);
+    const auto first = mobility.step(0);
+    std::vector<ns::sim::link_update> last;
+    for (std::size_t round = 1; round < 20; ++round) last = mobility.step(round);
+    bool changed = false;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        if (std::abs(first[i].uplink_rx_dbm - last[i].uplink_rx_dbm) > 0.1) {
+            changed = true;
+        }
+    }
+    EXPECT_TRUE(changed);
+}
+
+// -------------------------------------------------------- interference --
+
+TEST(interference, periodic_tone_cadence_and_shape) {
+    interference_spec spec;
+    spec.kind = interference_kind::periodic_tone;
+    spec.period_rounds = 3;
+    spec.snr_db = 17.0;
+    interference_source source(spec, ns::phy::deployed_params(), 4096, 1);
+    std::size_t events = 0;
+    for (std::size_t round = 0; round < 9; ++round) {
+        const auto contributions = source.step(round);
+        if (round % 3 == 0) {
+            ASSERT_EQ(contributions.size(), 1u);
+            EXPECT_EQ(contributions[0].waveform.size(), 4096u);
+            EXPECT_DOUBLE_EQ(contributions[0].snr_db, 17.0);
+            ++events;
+        } else {
+            EXPECT_TRUE(contributions.empty());
+        }
+    }
+    EXPECT_EQ(source.total_events(), events);
+}
+
+TEST(interference, lora_frame_covers_window_and_misaligns) {
+    interference_spec spec;
+    spec.kind = interference_kind::lora_frame;
+    spec.burst_probability = 1.0;
+    interference_source source(spec, ns::phy::deployed_params(), 10000, 2);
+    const auto contributions = source.step(0);
+    ASSERT_EQ(contributions.size(), 1u);
+    EXPECT_GE(contributions[0].waveform.size(), 10000u);
+    EXPECT_GT(contributions[0].timing_offset_s, 0.0);
+}
+
+// -------------------------------------------- hooks/simulator coupling --
+
+/// Minimal hooks: devices with odd ids never have data; device 0 leaves
+/// in round 1 and rejoins in round 2.
+class toy_hooks final : public ns::sim::round_hooks {
+public:
+    ns::sim::round_plan plan_round(std::size_t round) override {
+        ns::sim::round_plan plan;
+        if (round == 1) plan.leaves.push_back(0);
+        if (round == 2) plan.joins.push_back(0);
+        return plan;
+    }
+    bool offers_traffic(std::size_t, std::uint32_t device_id) override {
+        return device_id % 2 == 0;
+    }
+};
+
+TEST(round_hooks, gating_churn_and_counters_flow_through_simulator) {
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 8, 12);
+    ns::sim::sim_config config;
+    config.rounds = 3;
+    config.seed = 5;
+    config.zero_padding = 4;
+    toy_hooks hooks;
+    ns::sim::network_simulator sim(dep, config, &hooks);
+    const auto result = sim.run();
+
+    ASSERT_EQ(result.rounds.size(), 3u);
+    // Odd-id devices are gated every round they are active.
+    EXPECT_EQ(result.rounds[0].idle, 4u);
+    EXPECT_EQ(result.rounds[0].active, 8u);
+    // Round 1: device 0 left before the queries.
+    EXPECT_EQ(result.rounds[1].leaves, 1u);
+    EXPECT_EQ(result.rounds[1].active, 7u);
+    // Round 2: it re-joined through the incremental allocator.
+    EXPECT_EQ(result.rounds[2].joins, 1u);
+    EXPECT_EQ(result.rounds[2].active, 8u);
+    EXPECT_GE(result.total_realloc_events, 1u);
+    EXPECT_EQ(sim.active_count(), 8u);
+    EXPECT_EQ(sim.allocation().size(), 8u);
+}
+
+TEST(round_hooks, default_hooks_match_hookless_simulator) {
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 12, 13);
+    ns::sim::sim_config config;
+    config.rounds = 3;
+    config.seed = 6;
+    config.zero_padding = 4;
+    ns::sim::network_simulator bare(dep, config);
+    ns::sim::round_hooks neutral;
+    ns::sim::network_simulator hooked(dep, config, &neutral);
+    const auto a = bare.run();
+    const auto b = hooked.run();
+    EXPECT_EQ(a.total_delivered, b.total_delivered);
+    EXPECT_EQ(a.total_transmitting, b.total_transmitting);
+    EXPECT_EQ(a.total_bit_errors, b.total_bit_errors);
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 #include "netscatter/sim/deployment.hpp"
 #include "netscatter/sim/network_sim.hpp"
 #include "netscatter/sim/timeline.hpp"
+#include "netscatter/util/error.hpp"
 #include "netscatter/util/stats.hpp"
 
 namespace {
@@ -139,6 +140,41 @@ sim_config fast_sim(std::size_t rounds = 3) {
     config.rounds = rounds;
     config.seed = 99;
     return config;
+}
+
+TEST(sim_config, validate_accepts_defaults_and_rejects_garbage) {
+    EXPECT_NO_THROW(sim_config{}.validate());
+
+    sim_config bad_rounds;
+    bad_rounds.rounds = 0;
+    EXPECT_THROW(bad_rounds.validate(), ns::util::invalid_argument);
+
+    sim_config bad_skip;
+    bad_skip.skip = 0;
+    EXPECT_THROW(bad_skip.validate(), ns::util::invalid_argument);
+
+    sim_config huge_skip;
+    huge_skip.skip = static_cast<std::uint32_t>(huge_skip.phy.num_bins());
+    EXPECT_THROW(huge_skip.validate(), ns::util::invalid_argument);
+
+    sim_config bad_detection;
+    bad_detection.detection_factor = 0.0;
+    EXPECT_THROW(bad_detection.validate(), ns::util::invalid_argument);
+
+    sim_config bad_padding;
+    bad_padding.zero_padding = 0;
+    EXPECT_THROW(bad_padding.validate(), ns::util::invalid_argument);
+
+    sim_config bad_rho;
+    bad_rho.fading_rho = 1.0;
+    EXPECT_THROW(bad_rho.validate(), ns::util::invalid_argument);
+
+    // The simulator validates on construction, so a bad config fails
+    // loudly instead of producing garbage results.
+    const deployment dep(deployment_params{}, 4, 1);
+    sim_config bad;
+    bad.rounds = 0;
+    EXPECT_THROW(network_simulator(dep, bad), ns::util::invalid_argument);
 }
 
 TEST(network_sim, small_network_delivers_everything) {
