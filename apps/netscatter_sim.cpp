@@ -32,6 +32,7 @@
 #include "bench/bench_report.hpp"
 #include "netscatter/scenario/scenario_registry.hpp"
 #include "netscatter/scenario/scenario_runner.hpp"
+#include "netscatter/sim/timeline.hpp"
 #include "netscatter/util/table.hpp"
 #include "netscatter/util/units.hpp"
 
@@ -46,6 +47,7 @@ struct cli_options {
     std::optional<std::uint64_t> seed;
     std::size_t threads = 0;
     bool parallel = true;
+    bool strip_wallclock = false;
     std::string json_path;
 };
 
@@ -57,7 +59,9 @@ void print_usage() {
            "  --seed S       override base seed\n"
            "  --threads N    worker threads (0 = all cores)\n"
            "  --serial       serial reference execution (identical results)\n"
-           "  --json PATH    JSON output path (single scenario only)\n";
+           "  --json PATH    JSON output path (single scenario only)\n"
+           "  --strip-wallclock  omit host timing from the JSON so reports\n"
+           "                     from different thread counts diff clean\n";
 }
 
 std::optional<cli_options> parse(int argc, char** argv) {
@@ -94,6 +98,8 @@ std::optional<cli_options> parse(int argc, char** argv) {
             options.threads = static_cast<std::size_t>(std::atoll(text->c_str()));
         } else if (arg == "--serial") {
             options.parallel = false;
+        } else if (arg == "--strip-wallclock") {
+            options.strip_wallclock = true;
         } else if (arg == "--json") {
             const auto path = value();
             if (!path) return std::nullopt;
@@ -122,7 +128,7 @@ void list_scenarios() {
 }
 
 void write_json(const ns::scenario::scenario_result& result,
-                const std::string& path) {
+                const std::string& path, bool strip_wallclock) {
     bench::bench_report report("scenario_" + result.spec.name);
     report.set_scalar("scenario", result.spec.name);
     report.set_scalar("description", result.spec.description);
@@ -155,13 +161,33 @@ void write_json(const ns::scenario::scenario_result& result,
                       static_cast<double>(result.sim.total_full_reassignments));
     report.set_scalar("mean_reassoc_latency_rounds",
                       result.stats.mean_join_latency_rounds());
+    report.set_scalar("reassoc_latency_p50_rounds",
+                      result.stats.join_wait_percentile(50.0));
+    report.set_scalar("reassoc_latency_p95_rounds",
+                      result.stats.join_wait_percentile(95.0));
+    report.set_scalar("association_tx",
+                      static_cast<double>(result.stats.association_tx));
+    report.set_scalar("association_collisions",
+                      static_cast<double>(result.stats.association_collisions));
     report.set_scalar("interference_events",
                       static_cast<double>(result.stats.interference_events));
-    report.set_scalar("wall_clock_s", result.wall_clock_s);
+    report.set_scalar("num_groups", static_cast<double>(result.num_groups));
+    report.set_scalar("regroups", static_cast<double>(result.sim.total_regroups));
+    report.set_scalar("control_overhead_s", result.control_overhead_s);
+    report.set_scalar("network_latency_s", result.network_latency_s());
+    if (!strip_wallclock) report.set_scalar("wall_clock_s", result.wall_clock_s);
 
     const double payload_bits =
         static_cast<double>(result.spec.sim.frame.payload_bits);
     const std::size_t rounds_per_replica = result.spec.sim.rounds;
+    const double config1_query_s =
+        ns::sim::netscatter_round(result.spec.sim.frame, result.spec.sim.phy,
+                                  ns::sim::query_config::config1)
+            .query_time_s;
+    const double config2_query_s =
+        ns::sim::netscatter_round(result.spec.sim.frame, result.spec.sim.phy,
+                                  ns::sim::query_config::config2)
+            .query_time_s;
     for (std::size_t i = 0; i < result.sim.rounds.size(); ++i) {
         const auto& round = result.sim.rounds[i];
         const double throughput =
@@ -178,6 +204,10 @@ void write_json(const ns::scenario::scenario_result& result,
             i < result.stats.join_latency_series.size()
                 ? result.stats.join_latency_series[i]
                 : 0.0;
+        // Query-overhead timeline (the same rule control_overhead_s sums).
+        const double query_time_s = ns::scenario::carries_config2_query(round)
+                                        ? config2_query_s
+                                        : config1_query_s;
         // The merged series concatenates replicas; index each point by
         // (replica, round) so consumers never stitch independent
         // timelines together.
@@ -185,6 +215,8 @@ void write_json(const ns::scenario::scenario_result& result,
             {{"replica", static_cast<double>(i / rounds_per_replica)},
              {"round", static_cast<double>(i % rounds_per_replica)},
              {"active", static_cast<double>(round.active)},
+             {"scheduled_group", static_cast<double>(round.scheduled_group)},
+             {"scheduled", static_cast<double>(round.scheduled)},
              {"transmitting", static_cast<double>(round.transmitting)},
              {"delivered", static_cast<double>(round.delivered)},
              {"skipped", static_cast<double>(round.skipped)},
@@ -192,9 +224,31 @@ void write_json(const ns::scenario::scenario_result& result,
              {"joins", static_cast<double>(round.joins)},
              {"leaves", static_cast<double>(round.leaves)},
              {"realloc_events", static_cast<double>(round.realloc_events)},
+             {"regroups", static_cast<double>(round.regroups)},
+             {"query_time_s", query_time_s},
              {"reassoc_latency_rounds", reassoc_latency},
              {"throughput_bps", throughput},
              {"loss_rate", loss}});
+    }
+    // Per-group breakdown (§3.3.3), keyed by scheduling slot and merged
+    // across replicas by group id. Counters span the whole run (all
+    // partitions a regroup produced); members and the power span
+    // describe the final partition.
+    for (std::size_t g = 0; g < result.sim.groups.size(); ++g) {
+        const ns::sim::group_metrics& group = result.sim.groups[g];
+        report.add_section_point(
+            "groups",
+            {{"group", static_cast<double>(g)},
+             {"members", static_cast<double>(group.members)},
+             {"scheduled_rounds", static_cast<double>(group.scheduled_rounds)},
+             {"transmitting", static_cast<double>(group.transmitting)},
+             {"delivered", static_cast<double>(group.delivered)},
+             {"delivery_rate", group.delivery_rate()},
+             {"bits_sent", static_cast<double>(group.bits_sent)},
+             {"bit_errors", static_cast<double>(group.bit_errors)},
+             {"min_power_dbm", group.min_power_dbm},
+             {"max_power_dbm", group.max_power_dbm},
+             {"dynamic_range_db", group.max_power_dbm - group.min_power_dbm}});
     }
     report.write(path);
 }
@@ -226,7 +280,7 @@ int run(const cli_options& options) {
 
     ns::util::text_table table(
         "netscatter_sim",
-        {"scenario", "devices", "delivery", "thpt [kbps]", "skip", "idle",
+        {"scenario", "devices", "groups", "delivery", "thpt [kbps]", "skip", "idle",
          "joins/leaves", "realloc", "latency [rd]"});
 
     for (auto spec : specs) {
@@ -239,6 +293,7 @@ int run(const cli_options& options) {
 
         table.add_row(
             {spec.name, std::to_string(spec.geometry.num_devices),
+             result.num_groups == 0 ? "-" : std::to_string(result.num_groups),
              ns::util::format_double(100.0 * result.sim.delivery_rate(), 1) + " %",
              ns::util::format_double(result.throughput_bps() / 1e3, 1),
              ns::util::format_double(100.0 * result.sim.skip_rate(), 1) + " %",
@@ -251,7 +306,7 @@ int run(const cli_options& options) {
         const std::string path = options.json_path.empty()
                                      ? "SCENARIO_" + spec.name + ".json"
                                      : options.json_path;
-        write_json(result, path);
+        write_json(result, path, options.strip_wallclock);
     }
     table.print(std::cout);
     return 0;

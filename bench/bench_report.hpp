@@ -91,6 +91,22 @@ public:
         points_.push_back(std::move(fields));
     }
 
+    /// Appends one point to a named auxiliary array (e.g. a per-group
+    /// breakdown next to the per-round "points"). Sections are emitted
+    /// after "points", in first-use order.
+    void add_section_point(const std::string& section,
+                           std::vector<std::pair<std::string, json_value>> fields) {
+        for (auto& [name, points] : sections_) {
+            if (name == section) {
+                points.push_back(std::move(fields));
+                return;
+            }
+        }
+        sections_.emplace_back(section,
+                               std::vector<std::vector<std::pair<std::string, json_value>>>{
+                                   std::move(fields)});
+    }
+
     /// Writes the report to `path` (default: BENCH_<name>.json in the
     /// working directory) and reports the path on stdout.
     void write(const std::string& path = "") const {
@@ -101,18 +117,11 @@ public:
             out << ",\n  \"" << json_escape(key) << "\": ";
             emit(out, value);
         }
-        out << ",\n  \"points\": [";
-        for (std::size_t i = 0; i < points_.size(); ++i) {
-            out << (i == 0 ? "\n" : ",\n") << "    {";
-            const auto& fields = points_[i];
-            for (std::size_t f = 0; f < fields.size(); ++f) {
-                out << (f == 0 ? "" : ", ") << "\"" << json_escape(fields[f].first)
-                    << "\": ";
-                emit(out, fields[f].second);
-            }
-            out << "}";
+        emit_array(out, "points", points_);
+        for (const auto& [section, points] : sections_) {
+            emit_array(out, section, points);
         }
-        out << "\n  ]\n}\n";
+        out << "\n}\n";
 
         const std::string target = path.empty() ? "BENCH_" + name_ + ".json" : path;
         std::ofstream file(target);
@@ -125,6 +134,8 @@ public:
     }
 
 private:
+    using point_list = std::vector<std::vector<std::pair<std::string, json_value>>>;
+
     /// Numbers print as-is; non-finite numbers (the JSON grammar has no
     /// nan/inf tokens) degrade to null; strings are quoted and escaped.
     static void emit(std::ostringstream& out, const json_value& value) {
@@ -137,9 +148,26 @@ private:
         }
     }
 
+    static void emit_array(std::ostringstream& out, const std::string& name,
+                           const point_list& points) {
+        out << ",\n  \"" << json_escape(name) << "\": [";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            out << (i == 0 ? "\n" : ",\n") << "    {";
+            const auto& fields = points[i];
+            for (std::size_t f = 0; f < fields.size(); ++f) {
+                out << (f == 0 ? "" : ", ") << "\"" << json_escape(fields[f].first)
+                    << "\": ";
+                emit(out, fields[f].second);
+            }
+            out << "}";
+        }
+        out << "\n  ]";
+    }
+
     std::string name_;
     std::vector<std::pair<std::string, json_value>> scalars_;
-    std::vector<std::vector<std::pair<std::string, json_value>>> points_;
+    point_list points_;
+    std::vector<std::pair<std::string, point_list>> sections_;
 };
 
 }  // namespace bench

@@ -22,12 +22,14 @@ int main() {
 
     ns::util::text_table table(
         "Scenario matrix (" + std::to_string(rounds) + " rounds/replica)",
-        {"scenario", "devices", "delivery", "skip", "idle", "joins", "wall [s]"});
+        {"scenario", "devices", "groups", "delivery", "skip", "idle", "joins",
+         "wall [s]"});
 
     for (auto spec : ns::scenario::registry()) {
         spec.sim.rounds = rounds;
         const auto result = ns::scenario::run_scenario(spec);
         table.add_row({spec.name, std::to_string(spec.geometry.num_devices),
+                       result.num_groups == 0 ? "-" : std::to_string(result.num_groups),
                        ns::util::format_double(100.0 * result.sim.delivery_rate(), 1) + " %",
                        ns::util::format_double(100.0 * result.sim.skip_rate(), 1) + " %",
                        ns::util::format_double(100.0 * result.sim.idle_rate(), 1) + " %",
@@ -36,6 +38,7 @@ int main() {
         report.add_point(
             {{"scenario", spec.name},
              {"num_devices", static_cast<double>(spec.geometry.num_devices)},
+             {"num_groups", static_cast<double>(result.num_groups)},
              {"delivery_rate", result.sim.delivery_rate()},
              {"throughput_bps", result.throughput_bps()},
              {"skip_rate", result.sim.skip_rate()},
@@ -43,6 +46,10 @@ int main() {
              {"joins", static_cast<double>(result.sim.total_joins)},
              {"leaves", static_cast<double>(result.sim.total_leaves)},
              {"realloc_events", static_cast<double>(result.sim.total_realloc_events)},
+             {"regroups", static_cast<double>(result.sim.total_regroups)},
+             {"control_overhead_s", result.control_overhead_s},
+             {"association_collisions",
+              static_cast<double>(result.stats.association_collisions)},
              {"mean_reassoc_latency_rounds", result.stats.mean_join_latency_rounds()},
              {"wall_clock_s", result.wall_clock_s}});
     }

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Bench regression guard.
+
+Compares a fresh BENCH_fig17_phy_rate.json (or any bench JSON with a
+"points" array) against the committed baseline and fails when any
+matched metric falls below baseline by more than the tolerance.
+
+Points are matched on a key field (default: num_devices); compared on a
+metric field (default: phy_rate_kbps). Regressions are one-sided — a
+faster/better run never fails — because the PHY-rate points are physical
+quantities whose upside is bounded by the ideal curve, while a drop
+means a decode path broke.
+
+Usage:
+  check_bench_regression.py CURRENT.json BASELINE.json \
+      [--key num_devices] [--metric phy_rate_kbps] [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path: str) -> list:
+    with open(path) as fh:
+        doc = json.load(fh)
+    points = doc.get("points", [])
+    if not points:
+        sys.exit(f"error: {path} has no points")
+    return points
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--key", default="num_devices")
+    parser.add_argument("--metric", default="phy_rate_kbps")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional drop below baseline")
+    args = parser.parse_args()
+
+    current = {p[args.key]: p for p in load_points(args.current) if args.key in p}
+    baseline = {p[args.key]: p for p in load_points(args.baseline) if args.key in p}
+
+    failures = []
+    compared = 0
+    for key, base_point in sorted(baseline.items()):
+        if key not in current:
+            failures.append(f"{args.key}={key}: point missing from current run")
+            continue
+        base = base_point.get(args.metric)
+        now = current[key].get(args.metric)
+        if base is None or now is None:
+            failures.append(f"{args.key}={key}: metric {args.metric} missing")
+            continue
+        compared += 1
+        floor = base * (1.0 - args.tolerance)
+        status = "ok"
+        if now < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{args.key}={key}: {args.metric} {now:.3f} < "
+                f"{floor:.3f} (baseline {base:.3f} - {args.tolerance:.0%})")
+        print(f"  {args.key}={key}: {args.metric} {now:.3f} vs baseline "
+              f"{base:.3f}  [{status}]")
+
+    if compared == 0:
+        print("error: no comparable points", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} points within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,4 +39,73 @@ void aloha_backoff::on_success() {
     draw_counter();
 }
 
+aloha_contention::aloha_contention(std::uint32_t initial_window,
+                                   std::uint32_t max_window)
+    : initial_window_(initial_window), max_window_(max_window) {}
+
+void aloha_contention::add(std::uint32_t device_id, ns::device::snr_region region,
+                           ns::util::rng rng) {
+    contenders_.push_back(contender{
+        .device_id = device_id,
+        .region = region,
+        .backoff = aloha_backoff(initial_window_, max_window_, rng),
+    });
+}
+
+void aloha_contention::remove(std::uint32_t device_id) {
+    for (std::size_t i = 0; i < contenders_.size(); ++i) {
+        if (contenders_[i].device_id == device_id) {
+            contenders_.erase(contenders_.begin() + static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+bool aloha_contention::contains(std::uint32_t device_id) const {
+    for (const contender& dev : contenders_) {
+        if (dev.device_id == device_id) return true;
+    }
+    return false;
+}
+
+contention_round aloha_contention::step(std::size_t max_grants) {
+    contention_round round;
+
+    // Every contender draws its Aloha slot; transmitters bucket onto
+    // their region's association shift.
+    std::vector<std::size_t> high_tx, low_tx;
+    for (std::size_t c = 0; c < contenders_.size(); ++c) {
+        if (!contenders_[c].backoff.should_transmit()) continue;
+        ++round.requests;
+        (contenders_[c].region == ns::device::snr_region::high ? high_tx : low_tx)
+            .push_back(c);
+    }
+
+    // Per shift: exactly one request decodes; two or more share the FFT
+    // bin, collide, and all back off. A lone requester beyond the grant
+    // budget retries next round without penalty.
+    std::vector<std::size_t> granted_indices;
+    for (auto* bucket : {&high_tx, &low_tx}) {
+        if (bucket->empty()) continue;
+        if (bucket->size() >= 2) {
+            round.collisions += bucket->size();
+            for (std::size_t c : *bucket) contenders_[c].backoff.on_collision();
+            continue;
+        }
+        if (granted_indices.size() >= max_grants) continue;
+        granted_indices.push_back(bucket->front());
+    }
+
+    for (std::size_t c : granted_indices) {
+        contenders_[c].backoff.on_success();
+        round.granted.push_back(contenders_[c].device_id);
+    }
+    // Erase in descending index order so earlier indices stay valid.
+    std::sort(granted_indices.rbegin(), granted_indices.rend());
+    for (std::size_t c : granted_indices) {
+        contenders_.erase(contenders_.begin() + static_cast<std::ptrdiff_t>(c));
+    }
+    return round;
+}
+
 }  // namespace ns::mac

@@ -7,8 +7,11 @@
 // extension, so large populations can join without manual sequencing.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
+#include "netscatter/device/backscatter_device.hpp"
 #include "netscatter/util/rng.hpp"
 
 namespace ns::mac {
@@ -43,6 +46,62 @@ private:
     std::uint32_t window_;
     std::uint32_t counter_ = 0;
     ns::util::rng rng_;
+};
+
+/// Outcome of one contention round.
+struct contention_round {
+    /// Devices granted an association response this round, in grant
+    /// order (high-SNR region first). At most `max_grants` entries.
+    std::vector<std::uint32_t> granted;
+    std::size_t requests = 0;    ///< association requests transmitted
+    std::size_t collisions = 0;  ///< same-shift simultaneous requests
+};
+
+/// A pool of devices contending for the two reserved association shifts
+/// via slotted Aloha (§3.3.2). One contender per unassociated device;
+/// each round every contender whose backoff expires transmits on its SNR
+/// region's shift. Two or more requests on the same shift land in the
+/// same FFT bin and are undecodable (§2.2, constraint 3): all collide
+/// and back off. A lone request decodes, but the query can only carry
+/// `max_grants` piggybacked responses (Fig. 11 carries one), so an
+/// ungranted lone requester simply retries — no backoff penalty.
+///
+/// The standalone association-phase simulator (sim/association_sim) and
+/// the scenario churn process (scenario/churn) both run their contention
+/// through this pool, so re-association latency under churn is shaped by
+/// exactly the collision/backoff dynamics of the association phase.
+class aloha_contention {
+public:
+    aloha_contention(std::uint32_t initial_window, std::uint32_t max_window);
+
+    /// Enters `device_id` into contention. `rng` seeds the device's
+    /// private backoff stream (fork it from the caller's stream so
+    /// contenders stay independent). Insertion order is the transmit
+    /// evaluation order — keep it deterministic.
+    void add(std::uint32_t device_id, ns::device::snr_region region,
+             ns::util::rng rng);
+
+    /// Runs one query round of contention. Granted devices leave the
+    /// pool; collided and deferred devices stay.
+    contention_round step(std::size_t max_grants);
+
+    /// Abandons contention (e.g. the device left the universe again).
+    void remove(std::uint32_t device_id);
+
+    bool contains(std::uint32_t device_id) const;
+    std::size_t size() const { return contenders_.size(); }
+    bool empty() const { return contenders_.empty(); }
+
+private:
+    struct contender {
+        std::uint32_t device_id;
+        ns::device::snr_region region;
+        aloha_backoff backoff;
+    };
+
+    std::uint32_t initial_window_;
+    std::uint32_t max_window_;
+    std::vector<contender> contenders_;  ///< insertion order
 };
 
 }  // namespace ns::mac

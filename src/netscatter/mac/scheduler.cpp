@@ -48,4 +48,27 @@ std::uint8_t group_scheduler::group_for_round(std::size_t round_index,
     return static_cast<std::uint8_t>(round_index % num_groups);
 }
 
+std::optional<std::size_t> group_scheduler::admit(
+    const std::vector<group_span>& groups, double power_dbm) const {
+    std::optional<std::size_t> best;
+    double best_stretch = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const group_span& span = groups[g];
+        if (span.members >= params_.group_capacity) continue;
+        double stretch = 0.0;
+        if (span.members > 0) {
+            const double new_min = std::min(span.min_power_dbm, power_dbm);
+            const double new_max = std::max(span.max_power_dbm, power_dbm);
+            if (new_max - new_min > params_.max_dynamic_range_db) continue;
+            stretch = (new_max - new_min) -
+                      (span.max_power_dbm - span.min_power_dbm);
+        }
+        if (!best || stretch < best_stretch) {
+            best = g;
+            best_stretch = stretch;
+        }
+    }
+    return best;
+}
+
 }  // namespace ns::mac

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "netscatter/mac/allocator.hpp"
@@ -33,6 +34,16 @@ struct scheduler_params {
     double max_dynamic_range_db = 35.0;   ///< Fig. 15b limit per group
 };
 
+/// Live occupancy of one group as it evolves under churn: the member
+/// count plus the power span, which only stretches on admissions (a
+/// departure does not shrink it — the AP re-tightens spans at the next
+/// full regroup).
+struct group_span {
+    std::size_t members = 0;
+    double min_power_dbm = 0.0;
+    double max_power_dbm = 0.0;
+};
+
 /// Signal-strength-aware group scheduler.
 class group_scheduler {
 public:
@@ -47,6 +58,16 @@ public:
     /// Round-robin schedule over `num_groups` groups starting from group
     /// 0: the group transmitting in round `round_index`.
     static std::uint8_t group_for_round(std::size_t round_index, std::size_t num_groups);
+
+    /// Incremental admission for one joining device: among the groups
+    /// with free capacity whose power span, stretched to cover
+    /// `power_dbm`, stays within the dynamic-range limit, returns the
+    /// one needing the least stretch (ties break toward the lowest group
+    /// index; an emptied group admits with zero stretch). Returns
+    /// std::nullopt when no existing group can take the device — the AP
+    /// then opens a new group or triggers a full regroup.
+    std::optional<std::size_t> admit(const std::vector<group_span>& groups,
+                                     double power_dbm) const;
 
     const scheduler_params& params() const { return params_; }
 

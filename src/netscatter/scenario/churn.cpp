@@ -7,17 +7,22 @@
 namespace ns::scenario {
 
 churn_process::churn_process(churn_spec spec, std::size_t universe,
-                             std::size_t capacity, std::uint64_t seed)
+                             std::size_t capacity, std::uint64_t seed,
+                             std::vector<bool> low_region)
     : spec_(spec),
       universe_(universe),
       capacity_(capacity),
       rng_(seed),
       active_(universe, false),
-      pending_(universe, false) {
+      pending_(universe, false),
+      low_region_(std::move(low_region)),
+      contention_(spec.aloha_initial_window, spec.aloha_max_window) {
     ns::util::require(universe > 0, "churn: universe must be non-empty");
     ns::util::require(spec_.join_rate_per_round >= 0.0 &&
                           spec_.leave_rate_per_round >= 0.0,
                       "churn: rates must be >= 0");
+    ns::util::require(low_region_.empty() || low_region_.size() == universe,
+                      "churn: low_region must be empty or universe-sized");
     const std::size_t initial =
         std::min({spec_.initial_active, universe, capacity});
     initial_active_.reserve(initial);
@@ -26,6 +31,12 @@ churn_process::churn_process(churn_spec spec, std::size_t universe,
         initial_active_.push_back(static_cast<std::uint32_t>(i));
     }
     active_count_ = initial;
+}
+
+std::size_t churn_process::pending_joins() const {
+    return spec_.association == association_mode::slotted_aloha
+               ? contention_.size()
+               : queue_.size();
 }
 
 std::vector<std::uint32_t> churn_process::pick(std::size_t count,
@@ -46,6 +57,20 @@ std::vector<std::uint32_t> churn_process::pick(std::size_t count,
     return chosen;
 }
 
+void churn_process::admit(std::uint32_t id, std::size_t request_round,
+                          std::size_t round, churn_events& events,
+                          double& wait_sum) {
+    pending_[id] = false;
+    active_[id] = true;
+    ++active_count_;
+    events.joins.push_back(id);
+    const double wait = static_cast<double>(round - request_round) + 1.0;
+    wait_sum += wait;
+    total_wait_rounds_ += wait;
+    join_waits_.push_back(wait);
+    ++total_joins_;
+}
+
 churn_events churn_process::step(std::size_t round) {
     churn_events events;
 
@@ -59,34 +84,55 @@ churn_events churn_process::step(std::size_t round) {
         ++total_leaves_;
     }
 
-    // New join requests queue up (a device already waiting doesn't
-    // re-request).
+    // New join requests enter the admission path (a device already
+    // waiting doesn't re-request).
     const std::size_t requests =
         static_cast<std::size_t>(rng_.poisson(spec_.join_rate_per_round));
     std::vector<bool> eligible(universe_, false);
     for (std::size_t i = 0; i < universe_; ++i) {
         eligible[i] = !active_[i] && !pending_[i];
     }
+    const bool aloha = spec_.association == association_mode::slotted_aloha;
     for (std::uint32_t id : pick(requests, eligible)) {
         pending_[id] = true;
-        queue_.emplace_back(id, round);
         ++total_requests_;
+        if (aloha) {
+            const bool low = !low_region_.empty() && low_region_[id];
+            request_round_[id] = round;
+            contention_.add(id,
+                            low ? ns::device::snr_region::low
+                                : ns::device::snr_region::high,
+                            rng_.fork());
+        } else {
+            queue_.emplace_back(id, round);
+        }
     }
 
-    // Serve the association queue: bounded per round and by capacity.
     double wait_sum = 0.0;
-    while (!queue_.empty() && events.joins.size() < spec_.max_joins_per_round &&
-           active_count_ < capacity_) {
-        const auto [id, requested] = queue_.front();
-        queue_.pop_front();
-        pending_[id] = false;
-        active_[id] = true;
-        ++active_count_;
-        events.joins.push_back(id);
-        const double wait = static_cast<double>(round - requested) + 1.0;
-        wait_sum += wait;
-        total_wait_rounds_ += wait;
-        ++total_joins_;
+    if (aloha) {
+        // Contend on the reserved association shifts; a grant only
+        // sticks while the network has room (a full network defers the
+        // winners — they keep contending).
+        const std::size_t room = active_count_ < capacity_
+                                     ? capacity_ - active_count_
+                                     : 0;
+        const std::size_t max_grants =
+            std::min(room, spec_.association_grants_per_round);
+        const ns::mac::contention_round contended = contention_.step(max_grants);
+        total_association_tx_ += contended.requests;
+        total_collisions_ += contended.collisions;
+        for (std::uint32_t id : contended.granted) {
+            admit(id, request_round_.at(id), round, events, wait_sum);
+            request_round_.erase(id);
+        }
+    } else {
+        // Serve the association queue: bounded per round and by capacity.
+        while (!queue_.empty() && events.joins.size() < spec_.max_joins_per_round &&
+               active_count_ < capacity_) {
+            const auto [id, requested] = queue_.front();
+            queue_.pop_front();
+            admit(id, requested, round, events, wait_sum);
+        }
     }
     if (!events.joins.empty()) {
         events.mean_join_latency_rounds =

@@ -1,9 +1,27 @@
 #include "netscatter/scenario/scenario_driver.hpp"
 
+#include <algorithm>
+
 #include "netscatter/engine/mc_runner.hpp"
 #include "netscatter/mac/allocator.hpp"
 
 namespace ns::scenario {
+
+namespace {
+
+/// Which devices' association requests use the low-SNR shift, by the
+/// same RSSI rule the devices apply (device_params threshold).
+std::vector<bool> low_region_flags(const ns::sim::deployment& dep) {
+    const double threshold = ns::device::device_params{}.low_rssi_threshold_dbm;
+    std::vector<bool> low;
+    low.reserve(dep.devices().size());
+    for (const auto& device : dep.devices()) {
+        low.push_back(device.query_rssi_dbm < threshold);
+    }
+    return low;
+}
+
+}  // namespace
 
 void driver_stats::merge(const driver_stats& other) {
     join_requests += other.join_requests;
@@ -13,9 +31,24 @@ void driver_stats::merge(const driver_stats& other) {
     offered += other.offered;
     gated += other.gated;
     total_join_wait_rounds += other.total_join_wait_rounds;
+    association_tx += other.association_tx;
+    association_collisions += other.association_collisions;
     join_latency_series.insert(join_latency_series.end(),
                                other.join_latency_series.begin(),
                                other.join_latency_series.end());
+    join_waits.insert(join_waits.end(), other.join_waits.begin(),
+                      other.join_waits.end());
+}
+
+double driver_stats::join_wait_percentile(double p) const {
+    if (join_waits.empty()) return 0.0;
+    std::vector<double> sorted = join_waits;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
 double driver_stats::mean_join_latency_rounds() const {
@@ -35,6 +68,15 @@ std::size_t concurrency_capacity(const scenario_spec& spec) {
     return allocator.num_data_slots();
 }
 
+std::size_t admission_capacity(const scenario_spec& spec, std::size_t universe) {
+    // With §3.3.3 grouping the AP schedules as many groups as the
+    // population needs — every placed device can hold a (group, slot)
+    // assignment, so churn admission is bounded by the universe, not by
+    // one round's concurrency.
+    if (spec.sim.grouping.enabled) return universe;
+    return concurrency_capacity(spec);
+}
+
 scenario_driver::scenario_driver(const scenario_spec& spec,
                                  const ns::sim::deployment& dep, std::uint64_t seed)
     : spec_(spec),
@@ -43,8 +85,9 @@ scenario_driver::scenario_driver(const scenario_spec& spec,
                  spec.churn.initial_active < dep.devices().size()),
       traffic_(spec.traffic, dep.devices().size(),
                ns::engine::split_seed(seed, 1, 0)),
-      churn_(spec.churn, dep.devices().size(), concurrency_capacity(spec),
-             ns::engine::split_seed(seed, 2, 0)),
+      churn_(spec.churn, dep.devices().size(),
+             admission_capacity(spec, dep.devices().size()),
+             ns::engine::split_seed(seed, 2, 0), low_region_flags(dep)),
       mobility_(spec.mobility, dep, ns::engine::split_seed(seed, 3, 0)),
       interference_(spec.interference, spec.sim.phy,
                     (spec.sim.frame.preamble_symbols +
@@ -68,6 +111,16 @@ ns::sim::round_plan scenario_driver::plan_round(std::size_t round) {
         stats_.leaves = churn_.total_leaves();
         stats_.join_requests = churn_.total_join_requests();
         stats_.total_join_wait_rounds = churn_.total_join_wait_rounds();
+        stats_.association_tx = churn_.total_association_tx();
+        stats_.association_collisions = churn_.total_collisions();
+        // Only this round's admissions are new; the churn process
+        // appends, so the tail beyond what we already copied is exactly
+        // the increment.
+        const std::vector<double>& waits = churn_.join_waits();
+        stats_.join_waits.insert(
+            stats_.join_waits.end(),
+            waits.begin() + static_cast<std::ptrdiff_t>(stats_.join_waits.size()),
+            waits.end());
     } else {
         stats_.join_latency_series.push_back(0.0);
     }

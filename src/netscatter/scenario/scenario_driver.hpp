@@ -31,15 +31,24 @@ struct driver_stats {
     std::size_t offered = 0;  ///< device-rounds that had data
     std::size_t gated = 0;    ///< device-rounds without data
     double total_join_wait_rounds = 0.0;
+    /// slotted_aloha churn: association requests transmitted / collided.
+    std::size_t association_tx = 0;
+    std::size_t association_collisions = 0;
     /// Per-round mean re-association latency (rounds; 0 when nothing
     /// joined that round). Concatenated across replicas by merge().
     std::vector<double> join_latency_series;
+    /// Per-join wait (rounds) in admission order — the re-association
+    /// latency distribution. Concatenated across replicas by merge().
+    std::vector<double> join_waits;
 
     void merge(const driver_stats& other);
     /// Mean rounds a joiner waited for its slot (0 when none joined).
     double mean_join_latency_rounds() const;
     /// Realized offered load over gated+offered device-rounds.
     double offered_load() const;
+    /// p-th percentile (0..100) of the join-wait distribution (0 when
+    /// nothing joined).
+    double join_wait_percentile(double p) const;
 };
 
 /// round_hooks implementation backed by the scenario models.
@@ -66,8 +75,13 @@ private:
     driver_stats stats_;
 };
 
-/// Allocator slot capacity for the spec's PHY/skip configuration — the
-/// concurrency ceiling churn admission respects.
+/// Allocator slot capacity for the spec's PHY/skip configuration — one
+/// concurrent round's device ceiling.
 std::size_t concurrency_capacity(const scenario_spec& spec);
+
+/// Churn admission ceiling: one round's concurrency without grouping,
+/// the whole universe when §3.3.3 group scheduling is on (every device
+/// can hold a (group, slot) assignment).
+std::size_t admission_capacity(const scenario_spec& spec, std::size_t universe);
 
 }  // namespace ns::scenario

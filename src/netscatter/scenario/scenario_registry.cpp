@@ -48,6 +48,81 @@ std::vector<scenario_spec> build_registry() {
         scenarios.push_back(spec);
     }
     {
+        // The same 1k-device hall served the §3.3.3 way: the whole
+        // population is partitioned into >= 4 signal-strength groups and
+        // one group is addressed per query, round-robin. Joins contend
+        // on the reserved association shifts (slotted Aloha), movers
+        // drift the partition, and a periodic regroup re-tightens it —
+        // the regroup's config-2 query cost lands on the overhead
+        // timeline.
+        scenario_spec spec;
+        spec.name = "warehouse-1k-grouped";
+        spec.description =
+            "1000 tags in a racked hall as >= 4 scheduled groups; Aloha churn, "
+            "periodic regroup";
+        spec.geometry.preset = geometry_preset::warehouse_aisle;
+        spec.geometry.num_devices = 1000;
+        spec.traffic.kind = traffic_kind::periodic;
+        spec.traffic.duty_cycle = 0.5;
+        spec.traffic.period_rounds = 4;
+        spec.churn.join_rate_per_round = 0.5;
+        spec.churn.leave_rate_per_round = 0.5;
+        spec.churn.association = association_mode::slotted_aloha;
+        spec.mobility.mobile_fraction = 0.1;
+        spec.sim = base_sim(16, 12);
+        spec.sim.grouping.enabled = true;
+        spec.sim.grouping.group_capacity = 250;
+        spec.sim.grouping.policy = ns::sim::regroup_policy::periodic;
+        spec.sim.grouping.regroup_period_rounds = 8;
+        scenarios.push_back(spec);
+    }
+    {
+        // A 10k-device open-field universe: ~40 scheduled groups, lazy
+        // modulators keeping the per-replica footprint sane, and a
+        // load-triggered full reassignment when churn drifts the
+        // partition. The scale item the ROADMAP flagged.
+        scenario_spec spec;
+        spec.name = "field-10k";
+        spec.description =
+            "10000 duty-cycled tags across a wide field, ~40 scheduled groups";
+        spec.geometry.preset = geometry_preset::open_field;
+        spec.geometry.num_devices = 10000;
+        spec.geometry.floor_width_m = 90.0;
+        spec.geometry.floor_depth_m = 90.0;
+        spec.traffic.kind = traffic_kind::periodic;
+        spec.traffic.duty_cycle = 0.5;
+        spec.traffic.period_rounds = 2;
+        spec.churn.join_rate_per_round = 0.3;
+        spec.churn.leave_rate_per_round = 0.3;
+        spec.churn.association = association_mode::slotted_aloha;
+        spec.sim = base_sim(6, 13);
+        spec.sim.grouping.enabled = true;
+        spec.sim.grouping.policy = ns::sim::regroup_policy::load_triggered;
+        spec.sim.grouping.load_trigger_misfits = 4;
+        spec.replicas = 1;
+        scenarios.push_back(spec);
+    }
+    {
+        // Heavy simultaneous joining with the association protocol the
+        // paper suggests (§3.3.2): slotted Aloha on the reserved shifts
+        // with binary exponential backoff. Collisions and backoff — not
+        // a FIFO queue — shape the re-association latency distribution.
+        scenario_spec spec;
+        spec.name = "churn-aloha";
+        spec.description =
+            "192-device office joining via slotted-Aloha association under churn";
+        spec.geometry.preset = geometry_preset::office;
+        spec.geometry.num_devices = 192;
+        spec.churn.join_rate_per_round = 3.0;
+        spec.churn.leave_rate_per_round = 1.0;
+        spec.churn.initial_active = 96;
+        spec.churn.association = association_mode::slotted_aloha;
+        spec.churn.aloha_initial_window = 2;
+        spec.churn.aloha_max_window = 32;
+        spec.sim = base_sim(30, 14);
+        scenarios.push_back(spec);
+    }
+    {
         // Long links near the sensitivity edge: power adaptation pushes
         // max gain and the weakest reporters skip rounds.
         scenario_spec spec;

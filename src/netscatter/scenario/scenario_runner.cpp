@@ -22,6 +22,14 @@ double scenario_result::loss_rate() const {
     return 1.0 - sim.delivery_rate();
 }
 
+double scenario_result::network_latency_s() const {
+    return round_time_s * static_cast<double>(num_groups == 0 ? 1 : num_groups);
+}
+
+bool carries_config2_query(const ns::sim::round_outcome& round) {
+    return round.full_reassignments > 0 || round.regroups > 0;
+}
+
 scenario_result run_scenario(const scenario_spec& spec, run_options options) {
     ns::util::require(spec.replicas >= 1, "scenario: replicas must be >= 1");
     spec.sim.validate();
@@ -64,6 +72,21 @@ scenario_result run_scenario(const scenario_spec& spec, run_options options) {
         ns::sim::netscatter_round(spec.sim.frame, spec.sim.phy,
                                   ns::sim::query_config::config1)
             .total_time_s;
+    result.num_groups = result.sim.num_groups;
+    // Control-plane cost on the query-overhead timeline (§3.3.3): see
+    // carries_config2_query for the rule.
+    const double config2_extra_s =
+        ns::sim::netscatter_round(spec.sim.frame, spec.sim.phy,
+                                  ns::sim::query_config::config2)
+            .query_time_s -
+        ns::sim::netscatter_round(spec.sim.frame, spec.sim.phy,
+                                  ns::sim::query_config::config1)
+            .query_time_s;
+    std::size_t config2_rounds = 0;
+    for (const auto& round : result.sim.rounds) {
+        if (carries_config2_query(round)) ++config2_rounds;
+    }
+    result.control_overhead_s = static_cast<double>(config2_rounds) * config2_extra_s;
     result.wall_clock_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();

@@ -34,13 +34,29 @@ struct scenario_result {
     driver_stats stats;        ///< control-plane stats, replicas merged
     std::size_t replicas = 0;
     double round_time_s = 0.0;   ///< airtime of one query-response round
+    /// §3.3.3: scheduled-group count (0 when grouping is off). Serving
+    /// the whole population once takes num_groups rounds.
+    std::size_t num_groups = 0;
+    /// Extra airtime the control plane spent on full-reassignment /
+    /// regroup queries (the config-2 1760-bit ordering message instead
+    /// of the 32-bit config-1 query), summed over the run.
+    double control_overhead_s = 0.0;
     double wall_clock_s = 0.0;   ///< host time (excluded from determinism)
 
     /// Mean delivered goodput in bit/s over the simulated airtime.
     double throughput_bps() const;
     /// 1 - delivery_rate over transmitted packets.
     double loss_rate() const;
+    /// Time to serve every device once: one round per scheduled group.
+    double network_latency_s() const;
 };
+
+/// Whether a round's query carried a config-2 ordering message (a full
+/// reassignment or regroup rode it): that round pays the 1760-bit query
+/// airtime instead of the 32-bit query. One query per round, however
+/// many events it carried — control_overhead_s and the per-round
+/// query_time_s series both follow this rule.
+bool carries_config2_query(const ns::sim::round_outcome& round);
 
 /// Runs `spec` and returns the merged result. Deterministic in
 /// (spec, options.parallel ? any thread count : serial) — i.e. the same

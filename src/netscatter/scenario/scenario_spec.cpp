@@ -38,6 +38,10 @@ ns::sim::deployment_params resolve_geometry(const geometry_spec& geometry) {
     if (geometry.ap_tx_dbm) params.ap_tx_dbm = *geometry.ap_tx_dbm;
     if (geometry.pathloss_exponent) params.pathloss.exponent = *geometry.pathloss_exponent;
     if (geometry.wall_loss_db) params.pathloss.wall_loss_db = *geometry.wall_loss_db;
+    if (geometry.min_distance_m) params.min_distance_m = *geometry.min_distance_m;
+    if (geometry.shadowing_sigma_db) {
+        params.pathloss.shadowing_sigma_db = *geometry.shadowing_sigma_db;
+    }
     return params;
 }
 

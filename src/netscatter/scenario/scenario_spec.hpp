@@ -38,6 +38,8 @@ struct geometry_spec {
     std::optional<double> ap_tx_dbm;
     std::optional<double> pathloss_exponent;
     std::optional<double> wall_loss_db;
+    std::optional<double> min_distance_m;
+    std::optional<double> shadowing_sigma_db;
 };
 
 /// Resolves a geometry spec into concrete deployment parameters.
@@ -65,16 +67,36 @@ struct traffic_spec {
     std::size_t burst_length = 5;
 };
 
+/// How joiners are admitted into the network (scenario/churn.hpp).
+enum class association_mode {
+    /// Bounded FIFO queue: up to max_joins_per_round admissions per
+    /// round. A scheduling abstraction, not a protocol model.
+    bounded_queue,
+    /// Slotted Aloha with binary exponential backoff on the reserved
+    /// association shifts (§3.3.2, mac/aloha): simultaneous requests on
+    /// a shift collide and back off, and at most
+    /// association_grants_per_round responses ride each query (Fig. 11
+    /// carries one) — collisions and backoff shape the re-association
+    /// latency distribution.
+    slotted_aloha,
+};
+
 /// Poisson join/leave churn (scenario/churn.hpp).
 struct churn_spec {
     double join_rate_per_round = 0.0;   ///< mean join requests per round
     double leave_rate_per_round = 0.0;  ///< mean departures per round
     /// Devices associated at round 0; SIZE_MAX means the whole universe
-    /// (clamped to the allocator's slot capacity).
+    /// (clamped to the admission capacity).
     std::size_t initial_active = static_cast<std::size_t>(-1);
-    /// Association slots served per round: queued joiners beyond this
-    /// wait, which is what the re-association latency metric measures.
+    /// bounded_queue: association slots served per round; queued joiners
+    /// beyond this wait, which the re-association latency measures.
     std::size_t max_joins_per_round = 2;
+
+    association_mode association = association_mode::bounded_queue;
+    std::uint32_t aloha_initial_window = 2;
+    std::uint32_t aloha_max_window = 64;
+    /// slotted_aloha: piggybacked association responses per query.
+    std::size_t association_grants_per_round = 1;
 };
 
 /// Waypoint-drift mobility (scenario/mobility.hpp).

@@ -11,32 +11,30 @@ association_result simulate_association(const deployment& dep,
     ns::util::rng rng(params.seed);
     ns::mac::access_point ap(params.allocation);
 
-    struct contender {
-        std::size_t index;                  // into dep.devices()
-        ns::device::snr_region region;
-        ns::mac::aloha_backoff backoff;
-        bool joined = false;
-        bool awaiting_ack = false;
-    };
-    std::vector<contender> contenders;
-    contenders.reserve(devices.size());
+    // Every device contends on its region's association shift through
+    // the shared slotted-Aloha pool (mac/aloha) — the same machinery the
+    // scenario churn process joins through.
+    ns::mac::aloha_contention pool(params.aloha_initial_window,
+                                   params.aloha_max_window);
+    std::vector<ns::device::snr_region> region_of;
+    std::unordered_map<std::uint32_t, std::size_t> index_of;
+    region_of.reserve(devices.size());
     for (std::size_t i = 0; i < devices.size(); ++i) {
         const bool weak = devices[i].query_rssi_dbm < params.low_rssi_threshold_dbm;
-        contenders.push_back(contender{
-            .index = i,
-            .region = weak ? ns::device::snr_region::low : ns::device::snr_region::high,
-            .backoff = ns::mac::aloha_backoff(params.aloha_initial_window,
-                                              params.aloha_max_window, rng.fork()),
-        });
+        const auto region =
+            weak ? ns::device::snr_region::low : ns::device::snr_region::high;
+        region_of.push_back(region);
+        index_of[devices[i].id] = i;
+        pool.add(devices[i].id, region, rng.fork());
     }
 
     association_result result;
     result.join_round.assign(devices.size(), 0);
     std::size_t joined = 0;
     // Only one assignment can ride per query (Fig. 11 carries a single
-    // association response); a granted device ACKs in the next round.
-    // (Sentinel index instead of std::optional to sidestep a GCC 12
-    // -Wmaybe-uninitialized false positive.)
+    // association response); a granted device ACKs in the following
+    // round. (Sentinel index instead of std::optional to sidestep a GCC
+    // 12 -Wmaybe-uninitialized false positive.)
     constexpr std::size_t no_grant = static_cast<std::size_t>(-1);
     std::size_t pending_grant = no_grant;
 
@@ -46,57 +44,32 @@ association_result simulate_association(const deployment& dep,
 
         // The pending grantee ACKs first (its request already succeeded).
         if (pending_grant != no_grant) {
-            contender& winner = contenders[pending_grant];
-            ap.handle_association_ack(devices[winner.index].id);
-            winner.joined = true;
-            winner.awaiting_ack = false;
-            result.join_round[winner.index] = round;
+            ap.handle_association_ack(devices[pending_grant].id);
+            result.join_round[pending_grant] = round;
             ++joined;
             pending_grant = no_grant;
         }
 
-        // Contention: every unassociated device draws its Aloha slot.
-        std::vector<std::size_t> high_tx, low_tx;
-        for (std::size_t c = 0; c < contenders.size(); ++c) {
-            contender& dev = contenders[c];
-            if (dev.joined || dev.awaiting_ack) continue;
-            if (!dev.backoff.should_transmit()) continue;
-            ++result.requests_sent;
-            (dev.region == ns::device::snr_region::high ? high_tx : low_tx).push_back(c);
-        }
-
-        // Per region: exactly one request decodes; >=2 on the same shift
-        // collide in the same FFT bin and all back off.
-        for (auto* bucket : {&high_tx, &low_tx}) {
-            if (bucket->empty()) continue;
-            if (bucket->size() >= 2) {
-                result.collisions += bucket->size();
-                for (std::size_t c : *bucket) contenders[c].backoff.on_collision();
-                continue;
-            }
-            const std::size_t c = bucket->front();
-            if (pending_grant != no_grant) {
-                // The query can only carry one response; the other
-                // region's winner retries (no collision penalty).
-                continue;
-            }
-            contender& dev = contenders[c];
-            ap.handle_association_request(
-                {.device_id = devices[dev.index].id,
-                 .region = dev.region,
-                 .rx_power_dbm = devices[dev.index].uplink_rx_dbm});
-            dev.backoff.on_success();
-            dev.awaiting_ack = true;
-            pending_grant = c;
+        // Contention: every unassociated device draws its Aloha slot;
+        // per region, one lone request decodes and at most one grant
+        // rides the next query.
+        const ns::mac::contention_round contention = pool.step(1);
+        result.requests_sent += contention.requests;
+        result.collisions += contention.collisions;
+        if (!contention.granted.empty()) {
+            const std::uint32_t id = contention.granted.front();
+            const std::size_t index = index_of.at(id);
+            ap.handle_association_request({.device_id = id,
+                                           .region = region_of[index],
+                                           .rx_power_dbm = devices[index].uplink_rx_dbm});
+            pending_grant = index;
         }
     }
 
     // Final ACK if one grant is still in flight at the horizon.
     if (pending_grant != no_grant && result.rounds_used < params.max_rounds) {
-        contender& winner = contenders[pending_grant];
-        ap.handle_association_ack(devices[winner.index].id);
-        winner.joined = true;
-        result.join_round[winner.index] = ++result.rounds_used;
+        ap.handle_association_ack(devices[pending_grant].id);
+        result.join_round[pending_grant] = ++result.rounds_used;
         ++joined;
     }
 

@@ -24,6 +24,20 @@ void sim_config::validate() const {
     ns::util::require(fading_rho >= 0.0 && fading_rho < 1.0,
                       "sim_config: fading_rho must be in [0, 1)");
     ns::util::require(frame.payload_bits > 0, "sim_config: payload_bits must be > 0");
+    if (grouping.enabled) {
+        ns::util::require(grouping.group_capacity >= 1,
+                          "sim_config: grouping.group_capacity must be >= 1");
+        ns::util::require(grouping.max_dynamic_range_db > 0.0,
+                          "sim_config: grouping.max_dynamic_range_db must be > 0");
+        if (grouping.policy == regroup_policy::periodic) {
+            ns::util::require(grouping.regroup_period_rounds >= 1,
+                              "sim_config: regroup_period_rounds must be >= 1");
+        }
+        if (grouping.policy == regroup_policy::load_triggered) {
+            ns::util::require(grouping.load_trigger_misfits >= 1,
+                              "sim_config: load_trigger_misfits must be >= 1");
+        }
+    }
 }
 
 void sim_result::merge(const sim_result& other) {
@@ -42,6 +56,27 @@ void sim_result::merge(const sim_result& other) {
     total_reassociations += other.total_reassociations;
     total_realloc_events += other.total_realloc_events;
     total_full_reassignments += other.total_full_reassignments;
+    total_regroups += other.total_regroups;
+    if (groups.size() < other.groups.size()) groups.resize(other.groups.size());
+    for (std::size_t g = 0; g < other.groups.size(); ++g) {
+        group_metrics& mine = groups[g];
+        const group_metrics& theirs = other.groups[g];
+        if (theirs.members > 0) {
+            mine.min_power_dbm = mine.members > 0
+                                     ? std::min(mine.min_power_dbm, theirs.min_power_dbm)
+                                     : theirs.min_power_dbm;
+            mine.max_power_dbm = mine.members > 0
+                                     ? std::max(mine.max_power_dbm, theirs.max_power_dbm)
+                                     : theirs.max_power_dbm;
+        }
+        mine.members += theirs.members;
+        mine.scheduled_rounds += theirs.scheduled_rounds;
+        mine.transmitting += theirs.transmitting;
+        mine.delivered += theirs.delivered;
+        mine.bits_sent += theirs.bits_sent;
+        mine.bit_errors += theirs.bit_errors;
+    }
+    num_groups = std::max(num_groups, other.num_groups);
 }
 
 double sim_result::delivery_rate() const {
@@ -149,7 +184,11 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
         association_snr_db_.push_back(uplink_dbm - noise_floor);
     }
 
-    if (config_.power_aware_allocation) {
+    if (grouped()) {
+        // §3.3.3: partition the initially-active population into
+        // signal-strength groups with per-group shift allocations.
+        partition_into_groups(powers);
+    } else if (config_.power_aware_allocation) {
         allocation_ = allocator_.allocate(powers).shifts;
     } else {
         // Ablation: power-agnostic assignment — same spreading stride, but
@@ -170,7 +209,7 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
         device_slot slot{
             .placement = placed[i],
             .device = ns::device::backscatter_device(placed[i].id, dev_params, rng_()),
-            .modulator = ns::phy::distributed_modulator(config_.phy, shift),
+            .modulator = std::nullopt,  // built lazily on first transmission
             .fading = ns::channel::gauss_markov_fading(config_.fading_sigma_db,
                                                        config_.fading_rho, rng_.fork()),
             .tof_s = std::hypot(placed[i].x_m - ap_x, placed[i].y_m - ap_y) /
@@ -187,23 +226,102 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
     register_active_shifts();
 }
 
-void network_simulator::register_active_shifts() {
+void network_simulator::register_active_shifts(std::optional<std::size_t> group) {
     std::vector<std::uint32_t> shifts;
     shifts.reserve(active_count_);
     for (const auto& slot : slots_) {
-        if (slot.active) shifts.push_back(slot.device.cyclic_shift());
+        if (!slot.active) continue;
+        if (group) {
+            const auto it = group_of_.find(slot.placement.id);
+            if (it == group_of_.end() || it->second != *group) continue;
+        }
+        shifts.push_back(slot.device.cyclic_shift());
     }
     receiver_.set_registered_shifts(std::move(shifts));
     membership_dirty_ = false;
 }
 
+std::optional<std::size_t> network_simulator::group_of(std::uint32_t device_id) const {
+    const auto it = group_of_.find(device_id);
+    if (it == group_of_.end()) return std::nullopt;
+    return it->second;
+}
+
+ns::mac::group_scheduler network_simulator::make_scheduler() const {
+    return ns::mac::group_scheduler(ns::mac::scheduler_params{
+        .group_capacity =
+            std::min(config_.grouping.group_capacity, allocator_.num_data_slots()),
+        .max_dynamic_range_db = config_.grouping.max_dynamic_range_db});
+}
+
+void network_simulator::partition_into_groups(
+    const std::vector<ns::mac::device_power>& powers) {
+    std::unordered_map<std::uint32_t, double> power_of;
+    power_of.reserve(powers.size());
+    for (const auto& p : powers) power_of[p.device_id] = p.rx_power_dbm;
+
+    const std::vector<ns::mac::device_group> partition =
+        make_scheduler().partition(powers);
+    ns::util::require(partition.size() <= max_groups,
+                      "grouping: population needs more groups than the 8-bit "
+                      "group-id field can address; raise group_capacity or "
+                      "max_dynamic_range_db");
+
+    allocation_.clear();
+    group_of_.clear();
+    group_spans_.clear();
+    group_spans_.reserve(partition.size());
+    for (std::size_t g = 0; g < partition.size(); ++g) {
+        const ns::mac::device_group& group = partition[g];
+        group_spans_.push_back({.members = group.size(),
+                                .min_power_dbm = group.min_power_dbm,
+                                .max_power_dbm = group.max_power_dbm});
+        // Shifts are allocated per group: one group transmits per query,
+        // so devices of different groups may share a shift.
+        std::vector<ns::mac::device_power> members;
+        members.reserve(group.size());
+        for (std::uint32_t id : group.device_ids) {
+            group_of_[id] = g;
+            members.push_back({id, power_of.at(id)});
+        }
+        const auto shifts = allocator_.allocate(members).shifts;
+        for (std::uint32_t id : group.device_ids) allocation_[id] = shifts.at(id);
+    }
+    if (group_acc_.size() < group_spans_.size()) group_acc_.resize(group_spans_.size());
+}
+
+void network_simulator::regroup(round_outcome& outcome) {
+    std::vector<ns::mac::device_power> powers;
+    powers.reserve(active_count_);
+    for (const auto& slot : slots_) {
+        if (!slot.active) continue;
+        powers.push_back({slot.placement.id,
+                          slot.placement.uplink_rx_dbm + slot.device.current_gain_db()});
+    }
+    partition_into_groups(powers);
+    // Every active device takes its freshly-allocated shift.
+    for (auto& slot : slots_) {
+        if (!slot.active) continue;
+        associate_slot(slot_index_.at(slot.placement.id),
+                       allocation_.at(slot.placement.id), slot.placement.query_rssi_dbm);
+    }
+    misfits_since_regroup_ = 0;
+    outcome.realloc_events += powers.size();
+    ++outcome.regroups;
+    membership_dirty_ = true;
+}
+
 std::vector<std::pair<std::uint32_t, double>> network_simulator::occupied_powers(
-    std::optional<std::uint32_t> excluded_id) const {
+    std::optional<std::uint32_t> excluded_id, std::optional<std::size_t> group) const {
     std::vector<std::pair<std::uint32_t, double>> occupied;
     occupied.reserve(active_count_);
     for (const auto& slot : slots_) {
         if (!slot.active) continue;
         if (excluded_id && slot.placement.id == *excluded_id) continue;
+        if (group) {
+            const auto it = group_of_.find(slot.placement.id);
+            if (it == group_of_.end() || it->second != *group) continue;
+        }
         occupied.emplace_back(slot.device.cyclic_shift(),
                               slot.placement.uplink_rx_dbm + slot.device.current_gain_db());
     }
@@ -217,9 +335,72 @@ void network_simulator::associate_slot(std::size_t slot_index, std::uint32_t shi
     const bool weak = baseline_rssi_dbm < slot.device.params().low_rssi_threshold_dbm;
     const std::size_t gain_level =
         weak ? network.max_level() : network.middle_level();
-    slot.modulator = ns::phy::distributed_modulator(config_.phy, shift);
+    slot.modulator.reset();  // rebuilt lazily at the new shift on first use
     slot.device.force_associate(shift, baseline_rssi_dbm, gain_level);
     allocation_[slot.placement.id] = shift;
+}
+
+bool network_simulator::admit_grouped(std::size_t slot_index, double join_power,
+                                      round_outcome& outcome) {
+    device_slot& slot = slots_[slot_index];
+    const ns::mac::group_scheduler scheduler = make_scheduler();
+    const auto best = scheduler.admit(group_spans_, join_power);
+    std::size_t target;
+    if (best) {
+        target = *best;
+    } else {
+        // No existing group fits this power within the dynamic-range
+        // limit (or all groups are full): open a fresh group. Repeated
+        // misfits are the signal the load_triggered policy regroups on.
+        // The query's group-id field is 8 bits (Fig. 11), so the AP can
+        // address at most 256 groups — past that the join is refused.
+        if (group_spans_.size() >= max_groups) {
+            ++outcome.rejected_joins;
+            return false;
+        }
+        target = group_spans_.size();
+        group_spans_.push_back(
+            {.members = 0, .min_power_dbm = join_power, .max_power_dbm = join_power});
+        if (group_acc_.size() < group_spans_.size()) {
+            group_acc_.resize(group_spans_.size());
+        }
+        ++misfits_since_regroup_;
+    }
+
+    const auto incremental = allocator_.assign_incremental(
+        join_power, occupied_powers(std::nullopt, target));
+    if (incremental) {
+        associate_slot(slot_index, *incremental, slot.placement.query_rssi_dbm);
+        ++outcome.realloc_events;
+    } else {
+        // Group-local full reassignment (§3.3.3): reallocate only the
+        // target group's shifts around the newcomer.
+        std::vector<ns::mac::device_power> members;
+        for (const auto& s : slots_) {
+            if (!s.active) continue;
+            const auto it = group_of_.find(s.placement.id);
+            if (it == group_of_.end() || it->second != target) continue;
+            members.push_back({s.placement.id,
+                               s.placement.uplink_rx_dbm + s.device.current_gain_db()});
+        }
+        members.push_back({slot.placement.id, join_power});
+        const auto shifts = allocator_.allocate(members).shifts;
+        for (const auto& member : members) {
+            associate_slot(slot_index_.at(member.device_id), shifts.at(member.device_id),
+                           slots_[slot_index_.at(member.device_id)].placement.query_rssi_dbm);
+        }
+        outcome.realloc_events += members.size();
+        ++outcome.full_reassignments;
+    }
+
+    ns::mac::group_span& span = group_spans_[target];
+    span.min_power_dbm =
+        span.members > 0 ? std::min(span.min_power_dbm, join_power) : join_power;
+    span.max_power_dbm =
+        span.members > 0 ? std::max(span.max_power_dbm, join_power) : join_power;
+    ++span.members;
+    group_of_[slot.placement.id] = target;
+    return true;
 }
 
 void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& outcome) {
@@ -239,6 +420,13 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
         if (it == slot_index_.end() || !slots_[it->second].active) continue;
         slots_[it->second].active = false;
         allocation_.erase(id);
+        const auto group_it = group_of_.find(id);
+        if (group_it != group_of_.end()) {
+            // The span stays stretched until the next regroup re-tightens
+            // it — the AP only learns the true spread when it repartitions.
+            --group_spans_[group_it->second].members;
+            group_of_.erase(group_it);
+        }
         --active_count_;
         ++outcome.leaves;
         membership_dirty_ = true;
@@ -247,7 +435,7 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
     for (std::uint32_t id : plan.joins) {
         const auto it = slot_index_.find(id);
         if (it == slot_index_.end() || slots_[it->second].active) continue;
-        if (active_count_ >= allocator_.num_data_slots()) {
+        if (!grouped() && active_count_ >= allocator_.num_data_slots()) {
             ++outcome.rejected_joins;
             continue;
         }
@@ -259,31 +447,37 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
             slot.placement.uplink_rx_dbm +
             network.gain_db(weak ? network.max_level() : network.middle_level());
 
-        const auto incremental =
-            allocator_.assign_incremental(join_power, occupied_powers());
-        if (incremental) {
-            associate_slot(it->second, *incremental, slot.placement.query_rssi_dbm);
-            ++outcome.realloc_events;
+        if (grouped()) {
+            // §3.3.3: best-fit group admission with per-group allocation.
+            if (!admit_grouped(it->second, join_power, outcome)) continue;
         } else {
-            // The incremental allocator cannot fit the newcomer next to
-            // power-compatible neighbours: full reassignment (§3.3.3).
-            std::vector<ns::mac::device_power> powers;
-            powers.reserve(active_count_ + 1);
-            for (const auto& s : slots_) {
-                if (!s.active) continue;
-                powers.push_back({s.placement.id,
-                                  s.placement.uplink_rx_dbm + s.device.current_gain_db()});
+            const auto incremental =
+                allocator_.assign_incremental(join_power, occupied_powers());
+            if (incremental) {
+                associate_slot(it->second, *incremental, slot.placement.query_rssi_dbm);
+                ++outcome.realloc_events;
+            } else {
+                // The incremental allocator cannot fit the newcomer next to
+                // power-compatible neighbours: full reassignment (§3.3.3).
+                std::vector<ns::mac::device_power> powers;
+                powers.reserve(active_count_ + 1);
+                for (const auto& s : slots_) {
+                    if (!s.active) continue;
+                    powers.push_back(
+                        {s.placement.id,
+                         s.placement.uplink_rx_dbm + s.device.current_gain_db()});
+                }
+                powers.push_back({id, join_power});
+                const auto shifts = allocator_.allocate(powers).shifts;
+                for (auto& s : slots_) {
+                    if (!s.active) continue;
+                    associate_slot(slot_index_.at(s.placement.id),
+                                   shifts.at(s.placement.id), s.placement.query_rssi_dbm);
+                }
+                associate_slot(it->second, shifts.at(id), slot.placement.query_rssi_dbm);
+                outcome.realloc_events += powers.size();
+                ++outcome.full_reassignments;
             }
-            powers.push_back({id, join_power});
-            const auto shifts = allocator_.allocate(powers).shifts;
-            for (auto& s : slots_) {
-                if (!s.active) continue;
-                associate_slot(slot_index_.at(s.placement.id), shifts.at(s.placement.id),
-                               s.placement.query_rssi_dbm);
-            }
-            associate_slot(it->second, shifts.at(id), slot.placement.query_rssi_dbm);
-            outcome.realloc_events += powers.size();
-            ++outcome.full_reassignments;
         }
         slot.active = true;
         ++active_count_;
@@ -305,7 +499,35 @@ sim_result network_simulator::run() {
         round_plan plan;
         if (hooks_) plan = hooks_->plan_round(round);
         apply_round_plan(plan, outcome);
-        if (membership_dirty_) register_active_shifts();
+
+        // §3.3.3 adaptive control: recompute the partition when the
+        // policy says the current one has drifted from the population.
+        if (grouped()) {
+            const auto& grouping = config_.grouping;
+            const bool periodic_due =
+                grouping.policy == regroup_policy::periodic && round > 0 &&
+                round % grouping.regroup_period_rounds == 0;
+            const bool load_due =
+                grouping.policy == regroup_policy::load_triggered &&
+                misfits_since_regroup_ >= grouping.load_trigger_misfits;
+            if (periodic_due || load_due) regroup(outcome);
+        }
+
+        // One group transmits per query, round-robin (§3.3.3); the
+        // receiver only watches the scheduled group's shifts. (Full-width
+        // modulo — the 8-bit group_for_round is safe only because group
+        // creation is capped at max_groups, but don't rely on it here.)
+        std::size_t scheduled_group = 0;
+        if (grouped() && !group_spans_.empty()) {
+            scheduled_group = round % group_spans_.size();
+            outcome.scheduled_group = static_cast<int>(scheduled_group);
+            register_active_shifts(scheduled_group);
+            if (scheduled_group < group_acc_.size()) {
+                ++group_acc_[scheduled_group].scheduled_rounds;
+            }
+        } else if (membership_dirty_) {
+            register_active_shifts();
+        }
         outcome.active = active_count_;
 
         std::vector<ns::channel::tx_contribution> contributions;
@@ -318,6 +540,12 @@ sim_result network_simulator::run() {
             // membership history.
             const double fade_db = slot.fading.next_db();
             if (!slot.active) continue;
+            if (grouped()) {
+                // Only the scheduled group hears this round's query.
+                const auto it = group_of_.find(slot.placement.id);
+                if (it == group_of_.end() || it->second != scheduled_group) continue;
+                ++outcome.scheduled;
+            }
             const double query_rssi = slot.placement.query_rssi_dbm + fade_db;
 
             if (hooks_ && !hooks_->offers_traffic(round, slot.placement.id)) {
@@ -338,9 +566,14 @@ sim_result network_simulator::run() {
                     // same-slot reassignment so seed results are stable.
                     std::optional<std::uint32_t> moved;
                     if (hooks_) {
+                        // Under grouping the device stays in its group:
+                        // only that group's slots are its neighbourhood.
                         moved = allocator_.assign_incremental(
                             slot.placement.uplink_rx_dbm + slot.device.current_gain_db(),
-                            occupied_powers(slot.placement.id));
+                            occupied_powers(slot.placement.id,
+                                            grouped() ? std::optional<std::size_t>(
+                                                            scheduled_group)
+                                                      : std::nullopt));
                     }
                     const std::uint32_t shift =
                         moved ? *moved : slot.device.cyclic_shift();
@@ -375,7 +608,10 @@ sim_result network_simulator::run() {
             sent_bits[intent.cyclic_shift] = frame_bits;
 
             ns::channel::tx_contribution tx;
-            tx.waveform = slot.modulator.modulate_packet(frame_bits);
+            if (!slot.modulator) {
+                slot.modulator.emplace(config_.phy, slot.device.cyclic_shift());
+            }
+            tx.waveform = slot.modulator->modulate_packet(frame_bits);
             const double uplink_dbm =
                 slot.placement.uplink_rx_dbm + intent.gain_db + 2.0 * fade_db;
             tx.snr_db = uplink_dbm - noise_floor;
@@ -393,7 +629,11 @@ sim_result network_simulator::run() {
         }
 
         // Re-associations may have moved shifts; refresh before decoding.
-        if (membership_dirty_) register_active_shifts();
+        if (membership_dirty_) {
+            register_active_shifts(grouped() && !group_spans_.empty()
+                                       ? std::optional<std::size_t>(scheduled_group)
+                                       : std::nullopt);
+        }
 
         // In-band interferers (scenario-injected) share the channel.
         for (const auto& interferer : plan.interference) {
@@ -424,6 +664,14 @@ sim_result network_simulator::run() {
             }
         }
 
+        if (grouped() && scheduled_group < group_acc_.size()) {
+            group_metrics& acc = group_acc_[scheduled_group];
+            acc.transmitting += outcome.transmitting;
+            acc.delivered += outcome.delivered;
+            acc.bits_sent += outcome.bits_sent;
+            acc.bit_errors += outcome.bit_errors;
+        }
+
         result.rounds.push_back(outcome);
         result.total_transmitting += outcome.transmitting;
         result.total_delivered += outcome.delivered;
@@ -439,6 +687,17 @@ sim_result network_simulator::run() {
         result.total_reassociations += outcome.reassociations;
         result.total_realloc_events += outcome.realloc_events;
         result.total_full_reassignments += outcome.full_reassignments;
+        result.total_regroups += outcome.regroups;
+    }
+
+    if (grouped()) {
+        for (std::size_t g = 0; g < group_spans_.size() && g < group_acc_.size(); ++g) {
+            group_acc_[g].members = group_spans_[g].members;
+            group_acc_[g].min_power_dbm = group_spans_[g].min_power_dbm;
+            group_acc_[g].max_power_dbm = group_spans_[g].max_power_dbm;
+        }
+        result.groups = group_acc_;
+        result.num_groups = group_spans_.size();
     }
     return result;
 }

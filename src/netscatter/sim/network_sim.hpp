@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "netscatter/channel/impairments.hpp"
 #include "netscatter/device/backscatter_device.hpp"
 #include "netscatter/mac/allocator.hpp"
+#include "netscatter/mac/scheduler.hpp"
 #include "netscatter/phy/css_params.hpp"
 #include "netscatter/phy/frame.hpp"
 #include "netscatter/phy/modulator.hpp"
@@ -26,6 +28,34 @@
 #include "netscatter/util/rng.hpp"
 
 namespace ns::sim {
+
+/// Mid-scenario adaptive control of the group partition (§3.3.3).
+enum class regroup_policy {
+    none,            ///< the partition stays as computed at construction
+    periodic,        ///< full regroup every regroup_period_rounds
+    load_triggered,  ///< full regroup once enough admissions misfit
+};
+
+/// §3.3.3 group scheduling. When enabled, the AP partitions the
+/// population into signal-strength-homogeneous groups (group_scheduler)
+/// and addresses ONE group per query, round-robin; cyclic shifts are
+/// allocated per group, so devices in different groups may share a
+/// shift. Latency multiplies by the group count, but every group's
+/// near-far spread fits the decoder's dynamic range. With grouping
+/// enabled the allocation is always power-aware (grouping subsumes the
+/// power_aware_allocation ablation switch).
+struct grouping_config {
+    bool enabled = false;
+    /// Devices per group, clamped to the allocator's slot count.
+    std::size_t group_capacity = 256;
+    double max_dynamic_range_db = 35.0;  ///< Fig. 15b per-group limit
+    regroup_policy policy = regroup_policy::none;
+    std::size_t regroup_period_rounds = 16;  ///< periodic cadence
+    /// load_triggered: regroup after this many admissions since the last
+    /// regroup failed to fit any existing group's span (each such misfit
+    /// opened a fresh group — the partition has drifted).
+    std::size_t load_trigger_misfits = 8;
+};
 
 /// Simulator configuration. The boolean switches support the ablation
 /// benches (power-aware allocation off, power adaptation off, jitter off).
@@ -43,6 +73,9 @@ struct sim_config {
 
     double fading_sigma_db = 1.5;        ///< per-device one-way fading std dev
     double fading_rho = 0.9;             ///< round-to-round correlation
+
+    /// §3.3.3 group scheduling (off by default: one concurrency group).
+    grouping_config grouping{};
 
     std::size_t rounds = 10;
     std::uint64_t seed = 1;
@@ -75,7 +108,34 @@ struct round_outcome {
     std::size_t rejected_joins = 0;    ///< joins refused (network full)
     std::size_t reassociations = 0;    ///< in-tolerance re-association events
     std::size_t realloc_events = 0;    ///< per-device slot (re)assignments
-    std::size_t full_reassignments = 0;///< whole-network reallocation runs
+    std::size_t full_reassignments = 0;///< whole-group reallocation runs
+
+    // Group scheduling (§3.3.3; -1/0 when grouping is off).
+    int scheduled_group = -1;  ///< group this round's query addressed
+    std::size_t scheduled = 0; ///< active devices in the scheduled group
+    std::size_t regroups = 0;  ///< full-partition regroups this round
+};
+
+/// Per-group accumulators of a grouped run (§3.3.3), keyed by group id
+/// — i.e. by scheduling slot. The counters cover every round the slot
+/// was addressed over the whole run; a regroup re-populates the slots,
+/// so after one the counters span more than one device partition while
+/// `members` and the power span describe only the final partition.
+struct group_metrics {
+    std::size_t members = 0;          ///< membership at the end of the run
+    std::size_t scheduled_rounds = 0; ///< rounds this group was addressed
+    std::size_t transmitting = 0;
+    std::size_t delivered = 0;
+    std::size_t bits_sent = 0;
+    std::size_t bit_errors = 0;
+    double min_power_dbm = 0.0;  ///< final power span (0/0 when empty)
+    double max_power_dbm = 0.0;
+
+    double delivery_rate() const {
+        return transmitting == 0 ? 0.0
+                                 : static_cast<double>(delivered) /
+                                       static_cast<double>(transmitting);
+    }
 };
 
 /// Aggregated simulation result.
@@ -95,6 +155,19 @@ struct sim_result {
     std::size_t total_reassociations = 0;
     std::size_t total_realloc_events = 0;
     std::size_t total_full_reassignments = 0;
+    std::size_t total_regroups = 0;
+
+    /// Per-group accumulators, indexed by group id; empty when grouping
+    /// is off. merge() sums entries index-wise, so after a replica merge
+    /// each entry aggregates that group id across all replicas (members
+    /// included — interpret per-replica members as members / replicas).
+    /// May hold more rows than num_groups: a regroup that shrinks the
+    /// partition retires the trailing slots (members 0) but their
+    /// counters are kept so per-group sums still decompose the totals.
+    std::vector<group_metrics> groups;
+    /// Final scheduled-group count (max across merged replicas; 0 when
+    /// grouping is off).
+    std::size_t num_groups = 0;
 
     /// Appends another result's rounds and adds its totals. Used by the
     /// parallel Monte-Carlo runner (engine/mc_runner) to combine
@@ -145,11 +218,30 @@ public:
     /// Devices currently associated.
     std::size_t active_count() const { return active_count_; }
 
+    /// Whether §3.3.3 group scheduling is on.
+    bool grouped() const { return config_.grouping.enabled; }
+
+    /// The query's group-id field is 8 bits (Fig. 11): the AP can
+    /// address at most this many groups. A partition needing more throws
+    /// at construction/regroup; a join that would open group 257 is
+    /// rejected.
+    static constexpr std::size_t max_groups = 256;
+
+    /// Current group count (0 when grouping is off).
+    std::size_t num_groups() const { return group_spans_.size(); }
+
+    /// Group of a device, if associated under grouping.
+    std::optional<std::size_t> group_of(std::uint32_t device_id) const;
+
 private:
     struct device_slot {
         placed_device placement;
         ns::device::backscatter_device device;
-        ns::phy::distributed_modulator modulator;
+        /// Built lazily on first transmission (and rebuilt after a shift
+        /// change): inactive and unscheduled devices never pay the
+        /// per-shift chirp table, which is what lets a 10k-device
+        /// universe fit per-replica memory.
+        std::optional<ns::phy::distributed_modulator> modulator;
         ns::channel::gauss_markov_fading fading;
         double tof_s = 0.0;       ///< propagation time of flight
         double doppler_hz = 0.0;  ///< mobility-induced Doppler this round
@@ -159,17 +251,36 @@ private:
     /// Applies a scenario's round plan: link updates, leaves, then joins
     /// (incremental allocation with full-reassignment fallback).
     void apply_round_plan(const round_plan& plan, round_outcome& outcome);
+    /// Admits one joining device (grouped path): best-fit group via
+    /// group_scheduler::admit, opening a fresh group on misfit, then
+    /// incremental shift allocation within the group with a group-local
+    /// full reassignment fallback. Returns false (join rejected) when a
+    /// misfit would exceed the max_groups addressing limit.
+    bool admit_grouped(std::size_t slot_index, double join_power,
+                       round_outcome& outcome);
+    /// Recomputes the whole partition from the current active powers and
+    /// reallocates every group's shifts (§3.3.3 adaptive control).
+    void regroup(round_outcome& outcome);
     /// Associates the device in `slot_index` on `shift` with the
     /// association-time gain rule, using `baseline_rssi_dbm` as the
     /// device's fresh downlink baseline.
     void associate_slot(std::size_t slot_index, std::uint32_t shift,
                         double baseline_rssi_dbm);
     /// Occupied (shift, power) pairs of active devices, excluding
-    /// `excluded_id`; deterministic slot order.
+    /// `excluded_id` and, when `group` is set, devices outside that
+    /// group; deterministic slot order.
     std::vector<std::pair<std::uint32_t, double>> occupied_powers(
-        std::optional<std::uint32_t> excluded_id = std::nullopt) const;
-    /// Refreshes the receiver's registered shifts from the active set.
-    void register_active_shifts();
+        std::optional<std::uint32_t> excluded_id = std::nullopt,
+        std::optional<std::size_t> group = std::nullopt) const;
+    /// Refreshes the receiver's registered shifts from the active set
+    /// (restricted to `group` when set — the scheduled group's round).
+    void register_active_shifts(std::optional<std::size_t> group = std::nullopt);
+    /// Partitions `powers` into signal-strength groups and fills
+    /// group_of_/group_spans_/allocation_ with per-group allocations.
+    void partition_into_groups(const std::vector<ns::mac::device_power>& powers);
+    /// Scheduler configured from config_.grouping (capacity clamped to
+    /// the allocator's slot count).
+    ns::mac::group_scheduler make_scheduler() const;
 
     const deployment* deployment_;
     sim_config config_;
@@ -182,6 +293,11 @@ private:
     ns::mac::shift_allocator allocator_;
     std::size_t active_count_ = 0;
     bool membership_dirty_ = false;
+    // --- §3.3.3 group scheduling state (empty when grouping is off) ---
+    std::vector<ns::mac::group_span> group_spans_;
+    std::unordered_map<std::uint32_t, std::size_t> group_of_;  ///< id -> group
+    std::vector<group_metrics> group_acc_;  ///< per-group accumulators
+    std::size_t misfits_since_regroup_ = 0;
     ns::rx::receiver receiver_;
 };
 

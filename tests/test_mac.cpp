@@ -10,6 +10,7 @@
 #include "netscatter/mac/aloha.hpp"
 #include "netscatter/mac/ap.hpp"
 #include "netscatter/mac/query_message.hpp"
+#include "netscatter/mac/scheduler.hpp"
 #include "netscatter/util/error.hpp"
 #include "netscatter/util/rng.hpp"
 
@@ -384,6 +385,92 @@ TEST(aloha, contention_resolves_two_devices) {
         }
     }
     EXPECT_TRUE(resolved);
+}
+
+TEST(aloha, contention_pool_drains_a_burst_of_joiners) {
+    // 24 simultaneous joiners on one shift: the pool must admit them one
+    // grant per round, with collisions forcing the backoff to spread.
+    ns::util::rng rng(9);
+    aloha_contention pool(2, 64);
+    for (std::uint32_t id = 0; id < 24; ++id) {
+        pool.add(id, ns::device::snr_region::high, rng.fork());
+    }
+    std::size_t granted = 0, collisions = 0, rounds = 0;
+    for (; rounds < 2000 && !pool.empty(); ++rounds) {
+        const contention_round round = pool.step(1);
+        EXPECT_LE(round.granted.size(), 1u);
+        granted += round.granted.size();
+        collisions += round.collisions;
+    }
+    EXPECT_TRUE(pool.empty());
+    EXPECT_EQ(granted, 24u);
+    EXPECT_GT(collisions, 0u);    // a same-shift burst must collide
+    EXPECT_GT(rounds, 24u);       // collisions cost extra rounds
+}
+
+TEST(aloha, contention_pool_grants_one_per_region_when_budget_allows) {
+    // One contender per region with window 1: both transmit round 1; two
+    // grants fit a 2-grant budget, regions never collide with each other.
+    ns::util::rng rng(11);
+    aloha_contention pool(1, 4);
+    pool.add(7, ns::device::snr_region::high, rng.fork());
+    pool.add(9, ns::device::snr_region::low, rng.fork());
+    const contention_round round = pool.step(2);
+    ASSERT_EQ(round.granted.size(), 2u);
+    EXPECT_EQ(round.granted[0], 7u);  // high-SNR region granted first
+    EXPECT_EQ(round.granted[1], 9u);
+    EXPECT_EQ(round.collisions, 0u);
+    EXPECT_EQ(round.requests, 2u);
+    EXPECT_TRUE(pool.empty());
+}
+
+TEST(aloha, contention_pool_defers_beyond_grant_budget_without_penalty) {
+    ns::util::rng rng(13);
+    aloha_contention pool(1, 4);
+    pool.add(1, ns::device::snr_region::high, rng.fork());
+    pool.add(2, ns::device::snr_region::low, rng.fork());
+    // Budget 0 (e.g. the network is full): both transmit, neither is
+    // granted nor penalized; with window 1 they transmit again next
+    // round and a budget of 2 admits both.
+    const contention_round starved = pool.step(0);
+    EXPECT_EQ(starved.requests, 2u);
+    EXPECT_EQ(starved.collisions, 0u);
+    EXPECT_TRUE(starved.granted.empty());
+    EXPECT_EQ(pool.size(), 2u);
+    const contention_round served = pool.step(2);
+    EXPECT_EQ(served.granted.size(), 2u);
+}
+
+TEST(aloha, contention_pool_remove_abandons_contender) {
+    ns::util::rng rng(15);
+    aloha_contention pool(2, 8);
+    pool.add(5, ns::device::snr_region::high, rng.fork());
+    EXPECT_TRUE(pool.contains(5));
+    pool.remove(5);
+    EXPECT_FALSE(pool.contains(5));
+    EXPECT_TRUE(pool.empty());
+}
+
+TEST(scheduler, admit_prefers_least_stretch_and_respects_range) {
+    const group_scheduler scheduler({.group_capacity = 4, .max_dynamic_range_db = 10.0});
+    const std::vector<group_span> groups = {
+        {.members = 2, .min_power_dbm = -60.0, .max_power_dbm = -55.0},
+        {.members = 2, .min_power_dbm = -75.0, .max_power_dbm = -70.0},
+    };
+    // -64 dBm fits group 0 with a 4 dB stretch; group 1 would need 11 dB.
+    EXPECT_EQ(scheduler.admit(groups, -64.0), std::optional<std::size_t>(0));
+    // -68 dBm fits only group 1 (group 0 would stretch to 13 dB).
+    EXPECT_EQ(scheduler.admit(groups, -68.0), std::optional<std::size_t>(1));
+    // -90 dBm fits neither: misfit.
+    EXPECT_FALSE(scheduler.admit(groups, -90.0).has_value());
+    // A full group never admits.
+    const std::vector<group_span> full = {
+        {.members = 4, .min_power_dbm = -60.0, .max_power_dbm = -55.0}};
+    EXPECT_FALSE(scheduler.admit(full, -57.0).has_value());
+    // An emptied group admits anything with zero stretch.
+    const std::vector<group_span> emptied = {
+        {.members = 0, .min_power_dbm = -60.0, .max_power_dbm = -55.0}};
+    EXPECT_EQ(scheduler.admit(emptied, -90.0), std::optional<std::size_t>(0));
 }
 
 }  // namespace

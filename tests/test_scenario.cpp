@@ -97,6 +97,12 @@ scenario_spec shrink(scenario_spec spec, std::size_t rounds,
         spec.geometry.num_devices = max_devices;
         spec.churn.initial_active =
             std::min(spec.churn.initial_active, max_devices / 2);
+        if (spec.sim.grouping.enabled) {
+            // Keep the shrunk population multi-group so the sweep still
+            // exercises the scheduled-group path.
+            spec.sim.grouping.group_capacity =
+                std::max<std::size_t>(1, max_devices / 4);
+        }
     }
     return spec;
 }
@@ -136,6 +142,156 @@ TEST(scenario_runner, churn_heavy_drives_reassociation_end_to_end) {
     EXPECT_EQ(result.sim.total_joins, result.stats.joins);
     // The per-round latency series aligns with the concatenated rounds.
     EXPECT_EQ(result.stats.join_latency_series.size(), result.sim.rounds.size());
+}
+
+// ---------------------------------------------------- group scheduling --
+
+TEST(scenario_runner, warehouse_grouped_runs_population_as_scheduled_groups) {
+    auto spec = *find_scenario("warehouse-1k-grouped");
+    spec.sim.rounds = 8;
+    spec.replicas = 1;
+    const auto result = run_scenario(spec);
+
+    // The acceptance bar: >= 4 scheduled groups, not a join queue — the
+    // whole 1k population holds (group, slot) assignments at once.
+    EXPECT_GE(result.num_groups, 4u);
+    const std::size_t one_round_capacity = concurrency_capacity(spec);
+    bool any_round_beyond_one_group = false;
+    for (const auto& round : result.sim.rounds) {
+        EXPECT_GE(round.scheduled_group, 0);
+        EXPECT_LT(static_cast<std::size_t>(round.scheduled_group), result.num_groups);
+        EXPECT_LE(round.scheduled, one_round_capacity);
+        if (round.active > one_round_capacity) any_round_beyond_one_group = true;
+    }
+    EXPECT_TRUE(any_round_beyond_one_group);
+
+    // Round-robin: consecutive rounds address consecutive groups.
+    ASSERT_GE(result.sim.rounds.size(), 2u);
+    EXPECT_NE(result.sim.rounds[0].scheduled_group,
+              result.sim.rounds[1].scheduled_group);
+
+    // Per-group metrics decompose the network totals. (groups may hold
+    // retired rows beyond num_groups after a shrinking regroup.)
+    ASSERT_GE(result.sim.groups.size(), result.num_groups);
+    std::size_t delivered = 0, transmitting = 0, members = 0, scheduled_rounds = 0;
+    for (const auto& group : result.sim.groups) {
+        delivered += group.delivered;
+        transmitting += group.transmitting;
+        members += group.members;
+        scheduled_rounds += group.scheduled_rounds;
+        EXPECT_LE(group.max_power_dbm - group.min_power_dbm,
+                  spec.sim.grouping.max_dynamic_range_db + 1e-9);
+    }
+    EXPECT_EQ(delivered, result.sim.total_delivered);
+    EXPECT_EQ(transmitting, result.sim.total_transmitting);
+    EXPECT_EQ(scheduled_rounds, result.sim.rounds.size());
+    // Every active device sits in exactly one group.
+    EXPECT_EQ(members, result.sim.rounds.back().active);
+}
+
+TEST(scenario_runner, periodic_regroup_keeps_group_ids_stable_and_pays_overhead) {
+    // A grouped population without churn: the periodic policy recomputes
+    // the partition mid-run; the same population must land in the same
+    // number of contiguously-numbered groups, and the regroup's config-2
+    // query must show up as control overhead.
+    scenario_spec spec;
+    spec.name = "regroup-test";
+    spec.geometry.preset = geometry_preset::warehouse_aisle;
+    spec.geometry.num_devices = 96;
+    spec.sim.rounds = 9;
+    spec.sim.seed = 21;
+    spec.sim.zero_padding = 4;
+    spec.sim.grouping.enabled = true;
+    spec.sim.grouping.group_capacity = 24;
+    spec.sim.grouping.policy = ns::sim::regroup_policy::periodic;
+    spec.sim.grouping.regroup_period_rounds = 4;
+    spec.replicas = 1;
+
+    const auto result = run_scenario(spec);
+    EXPECT_EQ(result.num_groups, 4u);  // 96 / 24, stable across regroups
+    EXPECT_EQ(result.sim.groups.size(), 4u);
+    EXPECT_EQ(result.sim.total_regroups, 2u);  // rounds 4 and 8
+    EXPECT_GT(result.control_overhead_s, 0.0);
+    EXPECT_GT(result.sim.total_realloc_events, 0u);
+    // Group ids stay contiguous and every device stays grouped.
+    std::size_t members = 0;
+    for (const auto& group : result.sim.groups) {
+        EXPECT_EQ(group.members, 24u);
+        members += group.members;
+    }
+    EXPECT_EQ(members, 96u);
+    // Rounds that carried a regroup are marked on the timeline.
+    std::size_t regroup_rounds = 0;
+    for (const auto& round : result.sim.rounds) regroup_rounds += round.regroups;
+    EXPECT_EQ(regroup_rounds, 2u);
+}
+
+TEST(scenario_runner, grouped_network_latency_scales_with_group_count) {
+    auto spec = shrink(*find_scenario("warehouse-1k-grouped"), 4, 96);
+    spec.replicas = 1;
+    const auto result = run_scenario(spec);
+    ASSERT_GE(result.num_groups, 2u);
+    EXPECT_NEAR(result.network_latency_s(),
+                result.round_time_s * static_cast<double>(result.num_groups), 1e-12);
+}
+
+// --------------------------------------------------- aloha association --
+
+TEST(scenario_runner, aloha_churn_shapes_reassociation_latency) {
+    auto spec = *find_scenario("churn-aloha");
+    spec.sim.rounds = 25;
+    spec.replicas = 2;
+    const auto result = run_scenario(spec);
+
+    // Joins happened through contention: requests were transmitted,
+    // simultaneous ones collided, and backoff stretched the waits.
+    EXPECT_GT(result.sim.total_joins, 0u);
+    EXPECT_GT(result.stats.association_tx, 0u);
+    EXPECT_GT(result.stats.association_collisions, 0u);
+    EXPECT_GE(result.stats.mean_join_latency_rounds(), 1.0);
+    // The latency distribution exists and is ordered.
+    ASSERT_EQ(result.stats.join_waits.size(), result.sim.total_joins);
+    EXPECT_LE(result.stats.join_wait_percentile(50.0),
+              result.stats.join_wait_percentile(95.0) + 1e-12);
+    // With one grant per query, admissions are serialized.
+    for (const auto& round : result.sim.rounds) {
+        EXPECT_LE(round.joins, spec.churn.association_grants_per_round);
+    }
+}
+
+TEST(scenario_runner, aloha_latency_tail_exceeds_queue_under_same_load) {
+    // Same churn load through both admission paths, sized so the FIFO
+    // queue keeps up (service rate above arrival rate — waits stay near
+    // one round). Contention adds collisions and backoff on top, so the
+    // Aloha tail must be at least as long.
+    scenario_spec base;
+    base.name = "admission-compare";
+    base.geometry.num_devices = 128;
+    base.sim.rounds = 24;
+    base.sim.seed = 31;
+    base.sim.zero_padding = 4;
+    base.churn.join_rate_per_round = 1.5;
+    base.churn.leave_rate_per_round = 1.5;
+    base.churn.initial_active = 64;
+    base.churn.max_joins_per_round = 4;
+    base.churn.association_grants_per_round = 4;
+    base.replicas = 2;
+
+    scenario_spec queue = base;
+    queue.churn.association = association_mode::bounded_queue;
+    scenario_spec aloha = base;
+    aloha.churn.association = association_mode::slotted_aloha;
+
+    const auto queue_result = run_scenario(queue);
+    const auto aloha_result = run_scenario(aloha);
+    ASSERT_GT(queue_result.sim.total_joins, 0u);
+    ASSERT_GT(aloha_result.sim.total_joins, 0u);
+    EXPECT_EQ(queue_result.stats.association_collisions, 0u);
+    EXPECT_GT(aloha_result.stats.association_collisions, 0u);
+    EXPECT_GE(aloha_result.stats.join_wait_percentile(95.0),
+              queue_result.stats.join_wait_percentile(95.0));
+    EXPECT_GE(aloha_result.stats.mean_join_latency_rounds(),
+              queue_result.stats.mean_join_latency_rounds());
 }
 
 TEST(scenario_runner, oversubscribed_universe_respects_capacity) {
