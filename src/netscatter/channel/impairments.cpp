@@ -62,7 +62,7 @@ cvec multipath_model::sample_taps(double sample_rate_hz, ns::util::rng& rng) con
     return taps;
 }
 
-cvec apply_multipath(const cvec& signal, const cvec& taps) {
+cvec apply_multipath(std::span<const cplx> signal, const cvec& taps) {
     cvec out(signal.size(), cplx{0.0, 0.0});
     for (std::size_t t = 0; t < taps.size(); ++t) {
         if (taps[t] == cplx{0.0, 0.0}) continue;

@@ -12,6 +12,8 @@
 //  * Indoor multipath delay spread is 50-300 ns (< 0.15 bin, §3.2.1).
 #pragma once
 
+#include <span>
+
 #include "netscatter/dsp/fft.hpp"
 #include "netscatter/phy/css_params.hpp"
 #include "netscatter/util/rng.hpp"
@@ -70,7 +72,7 @@ struct multipath_model {
 
 /// Applies a tapped-delay-line channel to a signal (linear convolution
 /// truncated to the input length).
-cvec apply_multipath(const cvec& signal, const cvec& taps);
+cvec apply_multipath(std::span<const cplx> signal, const cvec& taps);
 
 /// Converts an impairment pair (timing offset, frequency offset) into the
 /// equivalent dechirped-domain frequency shift in Hz for the given CSS

@@ -1,5 +1,7 @@
 #include "netscatter/channel/superposition.hpp"
 
+#include <span>
+
 #include <cmath>
 #include <numbers>
 
@@ -19,28 +21,42 @@ cvec combine(const std::vector<tx_contribution>& contributions, std::size_t leng
         const double power = config.noise_power * ns::util::db_to_linear(tx.snr_db);
         const double amplitude = std::sqrt(power);
 
-        cvec waveform = tx.waveform;
+        // View the contribution's samples; stage a modified copy only
+        // when a transform actually rewrites them. The common case (no
+        // shift, no multipath) used to deep-copy the full packet per
+        // device — the dominant allocation of a high-concurrency round.
+        std::span<const cplx> source = tx.waveform;
+        cvec staged;
 
         // Residual sub-sample timing offset and CFO act as a common tone
         // shift after dechirping; apply it to the time-domain waveform.
         const double tone_hz =
             equivalent_tone_shift_hz(params, tx.timing_offset_s, tx.frequency_offset_hz);
-        if (tone_hz != 0.0) {
-            waveform = ns::dsp::frequency_shift(waveform, tone_hz, params.bandwidth_hz);
-        }
 
         if (config.enable_multipath) {
+            if (tone_hz != 0.0) {
+                staged = ns::dsp::frequency_shift(source, tone_hz, params.bandwidth_hz);
+                source = staged;
+            }
             const cvec taps = config.multipath.sample_taps(params.bandwidth_hz, rng);
-            waveform = apply_multipath(waveform, taps);
+            cvec filtered = apply_multipath(source, taps);
+            staged = std::move(filtered);
+            source = staged;
         }
 
         cplx gain{amplitude, 0.0};
         if (tx.random_phase) {
             gain = std::polar(amplitude, rng.uniform(0.0, 2.0 * std::numbers::pi));
         }
-        ns::dsp::scale(waveform, gain);
 
-        ns::dsp::accumulate_at(received, waveform, tx.sample_delay);
+        if (!config.enable_multipath && tone_hz != 0.0) {
+            // Fused shift + scale + accumulate: bit-identical to the
+            // staged sequence, without the intermediate buffer.
+            ns::dsp::accumulate_scaled_shifted(received, source, gain, tone_hz,
+                                               params.bandwidth_hz, tx.sample_delay);
+        } else {
+            ns::dsp::accumulate_scaled(received, source, gain, tx.sample_delay);
+        }
     }
 
     add_noise(received, config.noise_power, rng);

@@ -32,6 +32,35 @@ void accumulate_at(cvec& a, std::span<const cplx> b, std::size_t offset) {
     for (std::size_t i = 0; i < count; ++i) a[offset + i] += b[i];
 }
 
+void accumulate_scaled(cvec& a, std::span<const cplx> b, cplx gain, std::size_t offset) {
+    if (offset >= a.size()) return;
+    const std::size_t count = std::min(b.size(), a.size() - offset);
+    for (std::size_t i = 0; i < count; ++i) a[offset + i] += b[i] * gain;
+}
+
+void accumulate_scaled_shifted(cvec& a, std::span<const cplx> b, cplx gain,
+                               double frequency_hz, double sample_rate_hz,
+                               std::size_t offset) {
+    ns::util::require(sample_rate_hz > 0.0,
+                      "accumulate_scaled_shifted: sample rate must be positive");
+    if (offset >= a.size()) return;
+    const std::size_t count = std::min(b.size(), a.size() - offset);
+    const double step = 2.0 * std::numbers::pi * frequency_hz / sample_rate_hz;
+    // Identical phasor recurrence to frequency_shift(): re-anchor from
+    // std::polar on the same cadence so the fused pass is bit-identical
+    // to the shift-then-scale-then-accumulate sequence it replaces.
+    const cplx rotation = std::polar(1.0, step);
+    cplx phasor{1.0, 0.0};
+    constexpr std::size_t reanchor_interval = 1024;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i % reanchor_interval == 0) {
+            phasor = std::polar(1.0, step * static_cast<double>(i));
+        }
+        a[offset + i] += (b[i] * phasor) * gain;
+        phasor *= rotation;
+    }
+}
+
 void scale(cvec& a, double factor) {
     for (auto& value : a) value *= factor;
 }

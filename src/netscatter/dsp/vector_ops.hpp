@@ -27,6 +27,22 @@ void accumulate(cvec& a, std::span<const cplx> b);
 /// whose packet tail exceeds the capture window is simply truncated).
 void accumulate_at(cvec& a, std::span<const cplx> b, std::size_t offset);
 
+/// Fused scale + accumulate: a[offset+i] += b[i] * gain, without
+/// materializing the scaled copy. Bit-identical to scale() followed by
+/// accumulate_at() (same multiplication order), which lets the
+/// superposition channel add an unmodified contribution without ever
+/// copying its waveform. Overhang past the end of a is dropped.
+void accumulate_scaled(cvec& a, std::span<const cplx> b, cplx gain, std::size_t offset);
+
+/// Fused frequency shift + scale + accumulate:
+/// a[offset+i] += (b[i] * e^{j 2π f i / fs}) * gain, using the exact
+/// phasor recurrence of frequency_shift() (same re-anchoring cadence), so
+/// the result is bit-identical to frequency_shift() + scale() +
+/// accumulate_at() while touching one buffer instead of three.
+void accumulate_scaled_shifted(cvec& a, std::span<const cplx> b, cplx gain,
+                               double frequency_hz, double sample_rate_hz,
+                               std::size_t offset);
+
 /// Scales every element by `factor`.
 void scale(cvec& a, double factor);
 
