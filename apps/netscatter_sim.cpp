@@ -45,6 +45,7 @@ struct cli_options {
     std::optional<std::size_t> rounds;
     std::optional<std::size_t> replicas;
     std::optional<std::uint64_t> seed;
+    std::optional<ns::sim::phy_fidelity> fidelity;
     std::size_t threads = 0;
     bool parallel = true;
     bool strip_wallclock = false;
@@ -59,6 +60,7 @@ void print_usage() {
            "  --seed S       override base seed\n"
            "  --threads N    worker threads (0 = all cores)\n"
            "  --serial       serial reference execution (identical results)\n"
+           "  --fidelity F   PHY channel fidelity: sample | symbol | auto\n"
            "  --json PATH    JSON output path (single scenario only)\n"
            "  --strip-wallclock  omit host timing from the JSON so reports\n"
            "                     from different thread counts diff clean\n";
@@ -96,6 +98,20 @@ std::optional<cli_options> parse(int argc, char** argv) {
             const auto text = value();
             if (!text) return std::nullopt;
             options.threads = static_cast<std::size_t>(std::atoll(text->c_str()));
+        } else if (arg == "--fidelity") {
+            const auto text = value();
+            if (!text) return std::nullopt;
+            if (*text == "sample") {
+                options.fidelity = ns::sim::phy_fidelity::sample;
+            } else if (*text == "symbol") {
+                options.fidelity = ns::sim::phy_fidelity::symbol;
+            } else if (*text == "auto") {
+                options.fidelity = ns::sim::phy_fidelity::automatic;
+            } else {
+                std::cerr << "unknown fidelity: " << *text
+                          << " (sample | symbol | auto)\n";
+                return std::nullopt;
+            }
         } else if (arg == "--serial") {
             options.parallel = false;
         } else if (arg == "--strip-wallclock") {
@@ -125,6 +141,15 @@ void list_scenarios() {
                        spec.description});
     }
     table.print(std::cout);
+}
+
+const char* fidelity_name(ns::sim::phy_fidelity fidelity) {
+    switch (fidelity) {
+        case ns::sim::phy_fidelity::sample: return "sample";
+        case ns::sim::phy_fidelity::symbol: return "symbol";
+        case ns::sim::phy_fidelity::automatic: return "auto";
+    }
+    return "auto";
 }
 
 void write_json(const ns::scenario::scenario_result& result,
@@ -175,19 +200,22 @@ void write_json(const ns::scenario::scenario_result& result,
     report.set_scalar("regroups", static_cast<double>(result.sim.total_regroups));
     report.set_scalar("control_overhead_s", result.control_overhead_s);
     report.set_scalar("network_latency_s", result.network_latency_s());
-    if (!strip_wallclock) report.set_scalar("wall_clock_s", result.wall_clock_s);
+    report.set_scalar("fidelity", fidelity_name(result.spec.sim.fidelity));
+    report.set_scalar("fast_path_rounds",
+                      static_cast<double>(result.sim.fast_path_rounds));
+    if (!strip_wallclock) {
+        report.set_scalar("wall_clock_s", result.wall_clock_s);
+        // Host-time split of the round loop (transmit-side synthesis vs
+        // receiver decode), summed over all replica rounds.
+        report.set_scalar("synth_wall_s", result.sim.synth_wall_s);
+        report.set_scalar("decode_wall_s", result.sim.decode_wall_s);
+    }
 
     const double payload_bits =
         static_cast<double>(result.spec.sim.frame.payload_bits);
     const std::size_t rounds_per_replica = result.spec.sim.rounds;
-    const double config1_query_s =
-        ns::sim::netscatter_round(result.spec.sim.frame, result.spec.sim.phy,
-                                  ns::sim::query_config::config1)
-            .query_time_s;
-    const double config2_query_s =
-        ns::sim::netscatter_round(result.spec.sim.frame, result.spec.sim.phy,
-                                  ns::sim::query_config::config2)
-            .query_time_s;
+    const double config1_query_s = result.config1_query_time_s;
+    const double config2_query_s = result.config2_query_time_s;
     for (std::size_t i = 0; i < result.sim.rounds.size(); ++i) {
         const auto& round = result.sim.rounds[i];
         const double throughput =
@@ -287,6 +315,7 @@ int run(const cli_options& options) {
         if (options.rounds) spec.sim.rounds = *options.rounds;
         if (options.replicas) spec.replicas = *options.replicas;
         if (options.seed) spec.sim.seed = *options.seed;
+        if (options.fidelity) spec.sim.fidelity = *options.fidelity;
 
         const auto result = ns::scenario::run_scenario(
             spec, {.num_threads = options.threads, .parallel = options.parallel});

@@ -50,11 +50,13 @@ int main() {
     const int rounds = 16;
     for (int round = 0; round < rounds; ++round) {
         std::vector<ns::channel::tx_contribution> txs;
+        std::vector<ns::dsp::cvec> waveforms;
         for (int d = 0; d < devices_a; ++d) {
             ns::phy::distributed_modulator mod(phy_a, shifts[static_cast<std::size_t>(d)]);
             ns::channel::tx_contribution tx;
-            tx.waveform = mod.modulate_packet(ns::phy::build_frame_bits(
-                rxp.frame, rng.bits(rxp.frame.payload_bits)));
+            waveforms.push_back(mod.modulate_packet(ns::phy::build_frame_bits(
+                rxp.frame, rng.bits(rxp.frame.payload_bits))));
+            tx.waveform = waveforms.back();
             tx.snr_db = 5.0;
             tx.frequency_offset_hz = true_offsets[static_cast<std::size_t>(d)] +
                                      crystal.sample_drift_hz(rng);

@@ -40,6 +40,7 @@ bool weak_device_survives(std::uint32_t separation, double strong_snr_db,
     const int trials = 10;
     for (int t = 0; t < trials; ++t) {
         std::vector<ns::channel::tx_contribution> txs;
+        std::vector<ns::dsp::cvec> waveforms;
         std::vector<bool> weak_bits;
         for (int device = 0; device < 2; ++device) {
             const auto payload = rng.bits(rxp.frame.payload_bits);
@@ -47,7 +48,8 @@ bool weak_device_survives(std::uint32_t separation, double strong_snr_db,
             if (device == 1) weak_bits = bits;
             ns::phy::distributed_modulator mod(rxp.phy, device == 0 ? 0 : weak_shift);
             ns::channel::tx_contribution tx;
-            tx.waveform = mod.modulate_packet(bits);
+            waveforms.push_back(mod.modulate_packet(bits));
+            tx.waveform = waveforms.back();
             tx.snr_db = device == 0 ? strong_snr_db : strong_snr_db - difference_db;
             tx.timing_offset_s = rng.uniform(-0.5e-6, 0.5e-6);
             txs.push_back(std::move(tx));

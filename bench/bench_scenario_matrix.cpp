@@ -2,6 +2,12 @@
 // count, one JSON point per scenario — the coarse "is every workload
 // still healthy, and what does it cost" trajectory tracked across PRs
 // (full per-round series come from the netscatter_sim CLI).
+//
+// On top of the per-scenario sweep, the matrix runs a fidelity A/B on
+// the grouped 1k-device workload: the same spec under
+// phy_fidelity::sample and ::symbol at equal thread count, recording
+// both round throughputs and their ratio — the measured (not asserted)
+// speedup of the symbol-domain fast path.
 #include <cstdlib>
 #include <iostream>
 
@@ -9,6 +15,18 @@
 #include "netscatter/scenario/scenario_registry.hpp"
 #include "netscatter/scenario/scenario_runner.hpp"
 #include "netscatter/util/table.hpp"
+
+namespace {
+
+/// Rounds decoded per second of round-loop host time (synthesis +
+/// decode, association and deployment construction excluded).
+double rounds_per_second(const ns::scenario::scenario_result& result) {
+    const double loop_s = result.sim.synth_wall_s + result.sim.decode_wall_s;
+    if (loop_s <= 0.0) return 0.0;
+    return static_cast<double>(result.sim.rounds.size()) / loop_s;
+}
+
+}  // namespace
 
 int main() {
     const std::size_t rounds =
@@ -23,17 +41,21 @@ int main() {
     ns::util::text_table table(
         "Scenario matrix (" + std::to_string(rounds) + " rounds/replica)",
         {"scenario", "devices", "groups", "delivery", "skip", "idle", "joins",
-         "wall [s]"});
+         "synth [ms/rd]", "decode [ms/rd]", "wall [s]"});
 
     for (auto spec : ns::scenario::registry()) {
         spec.sim.rounds = rounds;
         const auto result = ns::scenario::run_scenario(spec);
+        const double n_rounds =
+            std::max<double>(1.0, static_cast<double>(result.sim.rounds.size()));
         table.add_row({spec.name, std::to_string(spec.geometry.num_devices),
                        result.num_groups == 0 ? "-" : std::to_string(result.num_groups),
                        ns::util::format_double(100.0 * result.sim.delivery_rate(), 1) + " %",
                        ns::util::format_double(100.0 * result.sim.skip_rate(), 1) + " %",
                        ns::util::format_double(100.0 * result.sim.idle_rate(), 1) + " %",
                        std::to_string(result.sim.total_joins),
+                       ns::util::format_double(result.sim.synth_wall_s * 1e3 / n_rounds, 2),
+                       ns::util::format_double(result.sim.decode_wall_s * 1e3 / n_rounds, 2),
                        ns::util::format_double(result.wall_clock_s, 2)});
         report.add_point(
             {{"scenario", spec.name},
@@ -51,10 +73,39 @@ int main() {
              {"association_collisions",
               static_cast<double>(result.stats.association_collisions)},
              {"mean_reassoc_latency_rounds", result.stats.mean_join_latency_rounds()},
+             {"fast_path_rounds", static_cast<double>(result.sim.fast_path_rounds)},
+             {"synth_ms_per_round", result.sim.synth_wall_s * 1e3 / n_rounds},
+             {"decode_ms_per_round", result.sim.decode_wall_s * 1e3 / n_rounds},
              {"wall_clock_s", result.wall_clock_s}});
     }
 
     table.print(std::cout);
+
+    // --- Fidelity A/B: warehouse-1k-grouped, sample vs symbol ----------
+    // Equal thread count (the scenario runner's default policy for both
+    // runs); round throughput counts only the round loop, so the shared
+    // association/deployment setup does not dilute the comparison.
+    {
+        auto spec = *ns::scenario::find_scenario("warehouse-1k-grouped");
+        spec.sim.rounds = std::max<std::size_t>(rounds, 12);
+        spec.sim.fidelity = ns::sim::phy_fidelity::sample;
+        const auto sample = ns::scenario::run_scenario(spec);
+        spec.sim.fidelity = ns::sim::phy_fidelity::symbol;
+        const auto symbol = ns::scenario::run_scenario(spec);
+        const double sample_rps = rounds_per_second(sample);
+        const double symbol_rps = rounds_per_second(symbol);
+        const double speedup = sample_rps > 0.0 ? symbol_rps / sample_rps : 0.0;
+        std::cout << "\nwarehouse-1k-grouped round throughput: sample "
+                  << ns::util::format_double(sample_rps, 1) << " rounds/s, symbol "
+                  << ns::util::format_double(symbol_rps, 1) << " rounds/s ("
+                  << ns::util::format_double(speedup, 1) << "x)\n";
+        report.set_scalar("warehouse_1k_sample_rounds_per_s", sample_rps);
+        report.set_scalar("warehouse_1k_symbol_rounds_per_s", symbol_rps);
+        report.set_scalar("warehouse_1k_fast_path_speedup", speedup);
+        report.set_scalar("warehouse_1k_sample_delivery", sample.sim.delivery_rate());
+        report.set_scalar("warehouse_1k_symbol_delivery", symbol.sim.delivery_rate());
+    }
+
     report.set_scalar("rounds_per_replica", static_cast<double>(rounds));
     report.set_scalar("wall_clock_s", clock.seconds());
     report.write();

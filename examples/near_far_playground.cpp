@@ -25,13 +25,15 @@ double weak_delivery_rate(std::uint32_t shift_b, double snr_a_db, double snr_b_d
     int delivered = 0;
     for (int t = 0; t < trials; ++t) {
         std::vector<ns::channel::tx_contribution> txs;
+        std::vector<ns::dsp::cvec> waveforms;
         std::vector<bool> payload_b;
         for (int device = 0; device < 2; ++device) {
             const std::vector<bool> payload = rng.bits(frame.payload_bits);
             if (device == 1) payload_b = payload;
             ns::phy::distributed_modulator mod(phy, device == 0 ? 0 : shift_b);
             ns::channel::tx_contribution tx;
-            tx.waveform = mod.modulate_packet(ns::phy::build_frame_bits(frame, payload));
+            waveforms.push_back(mod.modulate_packet(ns::phy::build_frame_bits(frame, payload)));
+            tx.waveform = waveforms.back();
             tx.snr_db = device == 0 ? snr_a_db : snr_b_db;
             // Residual jitter keeps the scenario honest.
             tx.timing_offset_s = rng.uniform(-0.5e-6, 0.5e-6);

@@ -28,6 +28,7 @@ int main() {
     const std::vector<std::uint32_t> shifts = {0, 128, 256, 384};
     std::vector<std::vector<bool>> payloads;
     std::vector<ns::channel::tx_contribution> over_the_air;
+    std::vector<ns::dsp::cvec> waveforms;
     for (std::uint32_t shift : shifts) {
         const std::vector<bool> payload = rng.bits(frame.payload_bits);
         payloads.push_back(payload);
@@ -35,7 +36,8 @@ int main() {
 
         ns::phy::distributed_modulator modulator(phy, shift);
         ns::channel::tx_contribution tx;
-        tx.waveform = modulator.modulate_packet(bits);
+        waveforms.push_back(modulator.modulate_packet(bits));
+        tx.waveform = waveforms.back();
         tx.snr_db = -5.0;  // each device 5 dB below the noise floor
         over_the_air.push_back(std::move(tx));
     }

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
 """Bench regression guard.
 
-Compares a fresh BENCH_fig17_phy_rate.json (or any bench JSON with a
-"points" array) against the committed baseline and fails when any
-matched metric falls below baseline by more than the tolerance.
+Compares a fresh bench JSON (any report with a "points" array) against
+the committed baseline and fails when any matched metric regresses by
+more than the tolerance.
 
 Points are matched on a key field (default: num_devices); compared on a
-metric field (default: phy_rate_kbps). Regressions are one-sided — a
-faster/better run never fails — because the PHY-rate points are physical
-quantities whose upside is bounded by the ideal curve, while a drop
-means a decode path broke.
+metric field (default: phy_rate_kbps). Regressions are one-sided and
+direction-aware:
+
+  --direction higher (default): the metric is a good thing (PHY rate,
+      link-layer rate); a drop below baseline*(1 - tolerance) fails.
+      A faster/better run never fails, because the upside is bounded by
+      the ideal curve while a drop means a decode path broke.
+  --direction lower: the metric is a cost (latency); a rise above
+      baseline*(1 + tolerance) fails and improvements pass.
 
 Usage:
   check_bench_regression.py CURRENT.json BASELINE.json \
-      [--key num_devices] [--metric phy_rate_kbps] [--tolerance 0.15]
+      [--key num_devices] [--metric phy_rate_kbps] [--tolerance 0.15] \
+      [--direction higher|lower]
 """
 
 import argparse
@@ -37,7 +43,10 @@ def main() -> int:
     parser.add_argument("--key", default="num_devices")
     parser.add_argument("--metric", default="phy_rate_kbps")
     parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="allowed fractional drop below baseline")
+                        help="allowed fractional drift from baseline")
+    parser.add_argument("--direction", choices=("higher", "lower"),
+                        default="higher",
+                        help="whether higher or lower metric values are better")
     args = parser.parse_args()
 
     current = {p[args.key]: p for p in load_points(args.current) if args.key in p}
@@ -55,13 +64,20 @@ def main() -> int:
             failures.append(f"{args.key}={key}: metric {args.metric} missing")
             continue
         compared += 1
-        floor = base * (1.0 - args.tolerance)
         status = "ok"
-        if now < floor:
+        if args.direction == "higher":
+            bound = base * (1.0 - args.tolerance)
+            regressed = now < bound
+            relation = "<"
+        else:
+            bound = base * (1.0 + args.tolerance)
+            regressed = now > bound
+            relation = ">"
+        if regressed:
             status = "REGRESSION"
             failures.append(
-                f"{args.key}={key}: {args.metric} {now:.3f} < "
-                f"{floor:.3f} (baseline {base:.3f} - {args.tolerance:.0%})")
+                f"{args.key}={key}: {args.metric} {now:.3f} {relation} "
+                f"{bound:.3f} (baseline {base:.3f} ± {args.tolerance:.0%})")
         print(f"  {args.key}={key}: {args.metric} {now:.3f} vs baseline "
               f"{base:.3f}  [{status}]")
 
@@ -73,7 +89,8 @@ def main() -> int:
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\nall {compared} points within {args.tolerance:.0%} of baseline")
+    print(f"\nall {compared} points within {args.tolerance:.0%} of baseline "
+          f"({args.direction} is better)")
     return 0
 
 

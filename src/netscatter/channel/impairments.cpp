@@ -63,14 +63,19 @@ cvec multipath_model::sample_taps(double sample_rate_hz, ns::util::rng& rng) con
 }
 
 cvec apply_multipath(std::span<const cplx> signal, const cvec& taps) {
-    cvec out(signal.size(), cplx{0.0, 0.0});
+    cvec out;
+    apply_multipath_into(signal, taps, out);
+    return out;
+}
+
+void apply_multipath_into(std::span<const cplx> signal, const cvec& taps, cvec& out) {
+    out.assign(signal.size(), cplx{0.0, 0.0});
     for (std::size_t t = 0; t < taps.size(); ++t) {
         if (taps[t] == cplx{0.0, 0.0}) continue;
         for (std::size_t i = t; i < signal.size(); ++i) {
             out[i] += taps[t] * signal[i - t];
         }
     }
-    return out;
 }
 
 double equivalent_tone_shift_hz(const ns::phy::css_params& params, double timing_offset_s,

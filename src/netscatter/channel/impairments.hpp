@@ -74,6 +74,11 @@ struct multipath_model {
 /// truncated to the input length).
 cvec apply_multipath(std::span<const cplx> signal, const cvec& taps);
 
+/// apply_multipath into a caller-provided buffer (resized; capacity
+/// reuse makes repeated calls allocation-free). `out` must not alias
+/// `signal`.
+void apply_multipath_into(std::span<const cplx> signal, const cvec& taps, cvec& out);
+
 /// Converts an impairment pair (timing offset, frequency offset) into the
 /// equivalent dechirped-domain frequency shift in Hz for the given CSS
 /// parameters. A timing offset dt displaces the peak by dt*BW bins

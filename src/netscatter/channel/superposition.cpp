@@ -1,20 +1,22 @@
 #include "netscatter/channel/superposition.hpp"
 
-#include <span>
-
 #include <cmath>
 #include <numbers>
+#include <span>
 
 #include "netscatter/channel/awgn.hpp"
 #include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/phy/chirp.hpp"
+#include "netscatter/util/error.hpp"
 #include "netscatter/util/units.hpp"
 
 namespace ns::channel {
 
-cvec combine(const std::vector<tx_contribution>& contributions, std::size_t length,
-             const ns::phy::css_params& params, const channel_config& config,
-             ns::util::rng& rng) {
-    cvec received(length, cplx{0.0, 0.0});
+const cvec& combine(std::span<const tx_contribution> contributions, std::size_t length,
+                    const ns::phy::css_params& params, const channel_config& config,
+                    ns::util::rng& rng, channel_workspace& workspace) {
+    cvec& received = workspace.received;
+    received.assign(length, cplx{0.0, 0.0});
 
     for (const auto& tx : contributions) {
         // Amplitude from SNR relative to the configured noise power.
@@ -26,7 +28,6 @@ cvec combine(const std::vector<tx_contribution>& contributions, std::size_t leng
         // shift, no multipath) used to deep-copy the full packet per
         // device — the dominant allocation of a high-concurrency round.
         std::span<const cplx> source = tx.waveform;
-        cvec staged;
 
         // Residual sub-sample timing offset and CFO act as a common tone
         // shift after dechirping; apply it to the time-domain waveform.
@@ -35,13 +36,13 @@ cvec combine(const std::vector<tx_contribution>& contributions, std::size_t leng
 
         if (config.enable_multipath) {
             if (tone_hz != 0.0) {
-                staged = ns::dsp::frequency_shift(source, tone_hz, params.bandwidth_hz);
-                source = staged;
+                ns::dsp::frequency_shift_into(source, tone_hz, params.bandwidth_hz,
+                                              workspace.staged);
+                source = workspace.staged;
             }
             const cvec taps = config.multipath.sample_taps(params.bandwidth_hz, rng);
-            cvec filtered = apply_multipath(source, taps);
-            staged = std::move(filtered);
-            source = staged;
+            apply_multipath_into(source, taps, workspace.filtered);
+            source = workspace.filtered;
         }
 
         cplx gain{amplitude, 0.0};
@@ -61,6 +62,175 @@ cvec combine(const std::vector<tx_contribution>& contributions, std::size_t leng
 
     add_noise(received, config.noise_power, rng);
     return received;
+}
+
+cvec combine(const std::vector<tx_contribution>& contributions, std::size_t length,
+             const ns::phy::css_params& params, const channel_config& config,
+             ns::util::rng& rng) {
+    channel_workspace workspace;
+    combine(std::span<const tx_contribution>(contributions), length, params, config,
+            rng, workspace);
+    return std::move(workspace.received);
+}
+
+namespace {
+
+/// spectrum[(first + w) mod M] += kernel[w] * scalar, split into the two
+/// contiguous runs of the cyclic window.
+void add_kernel_at(cvec& spectrum, const cvec& kernel, std::size_t first, cplx scalar) {
+    const std::size_t m_total = spectrum.size();
+    const std::size_t run = std::min(kernel.size(), m_total - first);
+    for (std::size_t w = 0; w < run; ++w) {
+        spectrum[first + w] += kernel[w] * scalar;
+    }
+    for (std::size_t w = run; w < kernel.size(); ++w) {
+        spectrum[w - run] += kernel[w] * scalar;
+    }
+}
+
+}  // namespace
+
+void combine_symbol_domain(std::span<const packet_contribution> packets,
+                           const ns::phy::css_params& params,
+                           const channel_config& config,
+                           const symbol_domain_params& sd, ns::util::rng& rng,
+                           channel_workspace& workspace) {
+    ns::util::require(!config.enable_multipath,
+                      "combine_symbol_domain: multipath is not representable as a "
+                      "post-dechirp tone; use the sample-domain combine()");
+    ns::util::require(sd.zero_padding >= 1 &&
+                          ns::dsp::is_power_of_two(sd.zero_padding),
+                      "combine_symbol_domain: zero_padding must be a power of two");
+    ns::util::require(sd.preamble_symbols >= sd.preamble_upchirps,
+                      "combine_symbol_domain: preamble shorter than its upchirps");
+
+    const std::size_t n = params.samples_per_symbol();
+    const std::size_t padded = n * sd.zero_padding;
+    const std::size_t total_spectra = sd.preamble_upchirps + sd.payload_symbols;
+
+    // --- Thermal noise, drawn in the frequency domain -------------------
+    // The receiver's spectrum of a pure-noise symbol is FFT(noise ·
+    // downchirp) zero-padded; the unit-modulus dechirp leaves circular
+    // Gaussian noise circular, so a spectrum with the identical
+    // distribution can be drawn directly: its N on-grid samples are
+    // i.i.d. CN(0, N·noise_power) (the unnormalized DFT of white noise)
+    // and the off-grid padded bins are their Dirichlet interpolation —
+    // either exact (one FFT per symbol) or banded to ±R chip bins.
+    workspace.symbol_spectra.resize(total_spectra);
+    const double sigma = std::sqrt(config.noise_power / 2.0);
+    const std::size_t pad = sd.zero_padding;
+    const std::size_t interp_radius = sd.noise_interp_radius_bins;
+    const bool banded = pad > 1 && interp_radius > 0 && interp_radius < n / 2;
+
+    if (banded) {
+        // C[(r-1)·(2R+1) + t] interpolates offset r in (0, pad) from the
+        // on-grid neighbour t - R chip bins away: the device kernel
+        // evaluated at x = (t - R)·pad - r padded bins, scaled by 1/N
+        // (the IDFT normalization).
+        const std::size_t taps = 2 * interp_radius + 1;
+        workspace.noise_taps.resize((pad - 1) * taps);
+        for (std::size_t r = 1; r < pad; ++r) {
+            for (std::size_t t = 0; t < taps; ++t) {
+                const double x =
+                    (static_cast<double>(t) - static_cast<double>(interp_radius)) *
+                        static_cast<double>(pad) -
+                    static_cast<double>(r);
+                const double theta = x / static_cast<double>(padded);
+                const double magnitude =
+                    std::sin(std::numbers::pi * x / static_cast<double>(pad)) /
+                    std::sin(std::numbers::pi * theta);
+                workspace.noise_taps[(r - 1) * taps + t] =
+                    std::polar(magnitude / static_cast<double>(n),
+                               std::numbers::pi * (static_cast<double>(n) - 1.0) *
+                                   theta);
+            }
+        }
+    }
+
+    const double sigma_grid =
+        std::sqrt(static_cast<double>(n)) * sigma;  // on-grid DFT sample std dev
+    for (std::size_t k = 0; k < total_spectra; ++k) {
+        cvec& spectrum = workspace.symbol_spectra[k];
+        spectrum.resize(padded);
+        if (!banded) {
+            // Exact path: zero-padded FFT of time-domain white noise.
+            for (std::size_t i = 0; i < n; ++i) {
+                spectrum[i] = cplx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+            }
+            std::fill(spectrum.begin() + static_cast<std::ptrdiff_t>(n),
+                      spectrum.end(), cplx{0.0, 0.0});
+            ns::dsp::fft_inplace(spectrum);
+            continue;
+        }
+        // On-grid draws with ±R wrap margins so the banded interpolation
+        // never takes a modulo in its inner loop.
+        const std::size_t taps = 2 * interp_radius + 1;
+        cvec& grid = workspace.noise_bins;
+        grid.resize(n + 2 * interp_radius);
+        for (std::size_t q = 0; q < n; ++q) {
+            grid[interp_radius + q] =
+                cplx{rng.gaussian(0.0, sigma_grid), rng.gaussian(0.0, sigma_grid)};
+        }
+        for (std::size_t t = 0; t < interp_radius; ++t) {
+            grid[t] = grid[n + t];                                // wrap low side
+            grid[n + interp_radius + t] = grid[interp_radius + t];  // wrap high side
+        }
+        for (std::size_t q = 0; q < n; ++q) {
+            spectrum[pad * q] = grid[interp_radius + q];
+        }
+        for (std::size_t r = 1; r < pad; ++r) {
+            const cplx* coeffs = workspace.noise_taps.data() + (r - 1) * taps;
+            for (std::size_t q = 0; q < n; ++q) {
+                const cplx* window = grid.data() + q;
+                cplx acc{0.0, 0.0};
+                for (std::size_t t = 0; t < taps; ++t) {
+                    acc += coeffs[t] * window[t];
+                }
+                spectrum[pad * q + r] = acc;
+            }
+        }
+    }
+
+    // --- Devices: one Dirichlet kernel each, re-phased per ON symbol ----
+    for (const auto& packet : packets) {
+        const double power = config.noise_power * ns::util::db_to_linear(packet.snr_db);
+        const double amplitude = std::sqrt(power);
+        const double phase0 =
+            packet.random_phase ? rng.uniform(0.0, 2.0 * std::numbers::pi) : 0.0;
+
+        const double tone_hz = equivalent_tone_shift_hz(
+            params, packet.timing_offset_s, packet.frequency_offset_hz);
+        const double position_bins =
+            static_cast<double>(packet.cyclic_shift) + tone_hz / params.bin_spacing_hz();
+
+        // The kernel's complex values are identical for every ON symbol
+        // of the device; only the leading scalar A·e^{jφ_g} rotates with
+        // the global symbol index g (the tone's phase advances across
+        // the whole packet, downchirps included).
+        const std::size_t first = ns::phy::make_dechirped_tone_kernel(
+            workspace.kernel, position_bins, n, sd.zero_padding, sd.kernel_radius_bins);
+        const double symbol_phase_step =
+            2.0 * std::numbers::pi * tone_hz * static_cast<double>(n) /
+            params.bandwidth_hz;
+        const auto symbol_scalar = [&](std::size_t global_symbol) {
+            return std::polar(amplitude,
+                              phase0 + symbol_phase_step *
+                                           static_cast<double>(global_symbol));
+        };
+
+        for (std::size_t k = 0; k < sd.preamble_upchirps; ++k) {
+            add_kernel_at(workspace.symbol_spectra[k], workspace.kernel, first,
+                          symbol_scalar(k));
+        }
+        const std::size_t on_bits =
+            std::min(packet.frame_bits.size(), sd.payload_symbols);
+        for (std::size_t i = 0; i < on_bits; ++i) {
+            if (packet.frame_bits[i] == 0) continue;
+            add_kernel_at(workspace.symbol_spectra[sd.preamble_upchirps + i],
+                          workspace.kernel, first,
+                          symbol_scalar(sd.preamble_symbols + i));
+        }
+    }
 }
 
 }  // namespace ns::channel

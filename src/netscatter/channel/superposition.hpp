@@ -8,25 +8,78 @@
 // the AP adds thermal noise. Powers are expressed relative to the noise
 // floor (i.e. per-device SNR in dB), which keeps the simulation unitless
 // and matches how the paper reports Fig. 12.
+//
+// Two synthesis domains are provided:
+//  * combine() — sample domain: sums time-domain waveforms into the AP's
+//    received baseband. Fully general (multipath, foreign interferers,
+//    arbitrary sample delays), cost O(devices x samples).
+//  * combine_symbol_domain() — the §3.2 dechirp-to-tone identity run in
+//    reverse: a standard packet's post-dechirp spectrum is a Dirichlet
+//    kernel at bin shift + fractional offset(CFO, STO, Doppler), so each
+//    device is summed directly into the receiver's per-symbol FFT
+//    accumulator. Skips time-domain synthesis, the per-device forward
+//    FFT and every intermediate buffer; cost O(devices x ON-symbols x
+//    kernel window), independent of the symbol length.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "netscatter/channel/impairments.hpp"
 #include "netscatter/dsp/fft.hpp"
+#include "netscatter/dsp/vector_ops.hpp"
 #include "netscatter/phy/css_params.hpp"
 #include "netscatter/util/rng.hpp"
 
 namespace ns::channel {
 
+/// Non-owning view of a contribution's baseband samples. Constructible
+/// from an lvalue cvec or an explicit span; construction from a
+/// temporary cvec is deleted so the pre-refactor idiom
+/// `tx.waveform = mod.modulate_packet(bits)` is a compile error instead
+/// of a dangling view — the storage must outlive combine().
+class waveform_view {
+public:
+    waveform_view() = default;
+    waveform_view(const cvec& samples) : span_(samples) {}
+    waveform_view(cvec&& samples) = delete;
+    waveform_view(std::span<const cplx> samples) : span_(samples) {}
+
+    operator std::span<const cplx>() const { return span_; }
+    std::size_t size() const { return span_.size(); }
+    bool empty() const { return span_.empty(); }
+
+private:
+    std::span<const cplx> span_;
+};
+
 /// One device's contribution to a concurrent transmission round.
+///
+/// `waveform` is a non-owning view: the caller keeps the sample storage
+/// alive until combine() returns (simulators stage packets in a
+/// channel_workspace pool; tests typically view locally-owned cvecs).
 struct tx_contribution {
-    cvec waveform;                  ///< unit-amplitude baseband samples
+    waveform_view waveform;         ///< unit-amplitude baseband samples
     double snr_db = 0.0;            ///< received SNR (per-sample, pre-despreading)
     double timing_offset_s = 0.0;   ///< residual hardware+propagation delay
     double frequency_offset_hz = 0.0;  ///< residual CFO (crystal + Doppler)
     bool random_phase = true;       ///< rotate by a uniform carrier phase
     std::size_t sample_delay = 0;   ///< integer-sample misalignment (coarse)
+};
+
+/// Symbolic description of one standard NetScatter packet (preamble at
+/// the assigned shift + ON-OFF keyed payload) for the symbol-domain fast
+/// path: everything needed to synthesize the post-dechirp spectrum
+/// without ever materializing time-domain samples.
+struct packet_contribution {
+    std::uint32_t cyclic_shift = 0;
+    /// Payload+CRC bits (one ON-OFF symbol per bit), non-owning. 0/1.
+    std::span<const std::uint8_t> frame_bits;
+    double snr_db = 0.0;
+    double timing_offset_s = 0.0;
+    double frequency_offset_hz = 0.0;
+    bool random_phase = true;
 };
 
 /// Superposition channel configuration.
@@ -36,12 +89,75 @@ struct channel_config {
     multipath_model multipath;      ///< used when enable_multipath
 };
 
+/// Symbol-domain synthesis parameters. The spectra produced match what
+/// the receiver's demodulator computes from the sample-domain stream
+/// (dechirp + zero-padded FFT) exactly, up to the kernel truncation.
+struct symbol_domain_params {
+    std::size_t zero_padding = 8;     ///< receiver FFT padding factor
+    std::size_t preamble_upchirps = 6;
+    std::size_t preamble_symbols = 8;  ///< upchirps + downchirps (phase bookkeeping)
+    std::size_t payload_symbols = 40;  ///< payload+CRC bits on the air
+    /// Dirichlet kernel truncation radius in chip bins. Sidelobes beyond
+    /// Δ chip bins are ~-(13 + 20·log10(Δ)) dB below the device's peak;
+    /// the default keeps everything above ~-37 dB, which the fidelity
+    /// equivalence tests bound against the sample path.
+    std::size_t kernel_radius_bins = 16;
+    /// Thermal-noise synthesis. The zero-padded spectrum of a noise
+    /// symbol is fully determined by its N on-grid frequency samples
+    /// (i.i.d. complex Gaussians — the DFT of white noise); off-grid
+    /// padded bins are their Dirichlet interpolation. A banded
+    /// interpolation of ±noise_interp_radius_bins chip bins replaces the
+    /// per-symbol FFT at ~-(13 + 20·log10(π·R)) dB truncation error on
+    /// the noise values — the same tolerance class as the device
+    /// kernels, at a fraction of the cost. 0 = exact (FFT per symbol).
+    std::size_t noise_interp_radius_bins = 4;
+};
+
+/// Reusable per-round scratch of the superposition channel. One instance
+/// per simulator (NOT thread-safe); steady-state rounds allocate nothing
+/// once the buffers are warm.
+struct channel_workspace {
+    cvec received;                  ///< combine() output buffer
+    cvec staged;                    ///< frequency-shift staging (multipath path)
+    cvec filtered;                  ///< multipath staging
+    std::vector<cvec> symbol_spectra;  ///< per-symbol accumulators (fast path):
+                                       ///< preamble upchirps then payload symbols
+    cvec kernel;                    ///< per-device Dirichlet window
+    cvec noise_bins;                ///< on-grid noise draws + wrap margins
+    cvec noise_taps;                ///< banded interpolation coefficients
+    /// Sample-path per-device packet buffers (span-stable handout; see
+    /// cvec_pool). Release at the start of each round.
+    ns::dsp::cvec_pool packet_pool;
+};
+
 /// Combines all contributions into the AP's received baseband of length
 /// `length` samples and adds noise. Sub-sample timing offsets and CFO are
 /// applied via the equivalent tone shift; integer `sample_delay` shifts
-/// the waveform within the capture window.
+/// the waveform within the capture window. Returns a reference to
+/// `workspace.received` (valid until the next combine on the workspace).
+const cvec& combine(std::span<const tx_contribution> contributions, std::size_t length,
+                    const ns::phy::css_params& params, const channel_config& config,
+                    ns::util::rng& rng, channel_workspace& workspace);
+
+/// Convenience overload with internal scratch; returns an owned buffer.
 cvec combine(const std::vector<tx_contribution>& contributions, std::size_t length,
              const ns::phy::css_params& params, const channel_config& config,
              ns::util::rng& rng);
+
+/// Symbol-domain fast path: fills `workspace.symbol_spectra` with the
+/// post-dechirp zero-padded spectra of every decode-relevant symbol
+/// (preamble_upchirps preamble spectra followed by payload_symbols
+/// payload spectra; the two preamble downchirps are skipped — the
+/// decoder never inspects them at a known packet start). Each spectrum
+/// holds thermal noise (drawn in the frequency domain via one FFT per
+/// symbol — distribution-identical to dechirped time-domain noise) plus
+/// one truncated Dirichlet kernel per ON symbol per device. Requires
+/// config.enable_multipath == false (multipath is not representable as a
+/// single post-dechirp tone; callers fall back to combine()).
+void combine_symbol_domain(std::span<const packet_contribution> packets,
+                           const ns::phy::css_params& params,
+                           const channel_config& config,
+                           const symbol_domain_params& sd, ns::util::rng& rng,
+                           channel_workspace& workspace);
 
 }  // namespace ns::channel

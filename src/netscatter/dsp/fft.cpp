@@ -83,9 +83,14 @@ cvec fft_zero_padded(const cvec& data, std::size_t padded_size) {
 }
 
 std::vector<double> power_spectrum(const cvec& spectrum) {
-    std::vector<double> power(spectrum.size());
-    for (std::size_t i = 0; i < spectrum.size(); ++i) power[i] = std::norm(spectrum[i]);
+    std::vector<double> power;
+    power_spectrum_into(spectrum, power);
     return power;
+}
+
+void power_spectrum_into(const cvec& spectrum, std::vector<double>& power) {
+    power.resize(spectrum.size());
+    for (std::size_t i = 0; i < spectrum.size(); ++i) power[i] = std::norm(spectrum[i]);
 }
 
 std::vector<double> magnitude_spectrum(const cvec& spectrum) {

@@ -57,6 +57,10 @@ cvec fft_zero_padded(const cvec& data, std::size_t padded_size);
 /// Squared magnitudes |X[k]|^2 of a spectrum.
 std::vector<double> power_spectrum(const cvec& spectrum);
 
+/// power_spectrum into a caller-provided buffer (resized; capacity reuse
+/// makes repeated calls allocation-free).
+void power_spectrum_into(const cvec& spectrum, std::vector<double>& power);
+
 /// Magnitudes |X[k]| of a spectrum.
 std::vector<double> magnitude_spectrum(const cvec& spectrum);
 

@@ -87,8 +87,15 @@ cvec delay_samples(std::span<const cplx> a, std::size_t delay) {
 }
 
 cvec frequency_shift(std::span<const cplx> a, double frequency_hz, double sample_rate_hz) {
+    cvec out;
+    frequency_shift_into(a, frequency_hz, sample_rate_hz, out);
+    return out;
+}
+
+void frequency_shift_into(std::span<const cplx> a, double frequency_hz,
+                          double sample_rate_hz, cvec& out) {
     ns::util::require(sample_rate_hz > 0.0, "frequency_shift: sample rate must be positive");
-    cvec out(a.size());
+    out.resize(a.size());
     const double step = 2.0 * std::numbers::pi * frequency_hz / sample_rate_hz;
     // Phasor recurrence instead of per-sample sin/cos; re-anchor from
     // std::polar periodically to stop error accumulation.
@@ -102,7 +109,6 @@ cvec frequency_shift(std::span<const cplx> a, double frequency_hz, double sample
         out[i] = a[i] * phasor;
         phasor *= rotation;
     }
-    return out;
 }
 
 }  // namespace ns::dsp

@@ -11,6 +11,27 @@
 
 namespace ns::dsp {
 
+/// Pool of reusable complex-sample buffers with span-stable handout.
+/// The outer vector may grow when a new buffer is acquired, but inner
+/// heap storage never moves (vector move steals the pointer), so spans
+/// into acquired buffers stay valid until the pool is released. Holders
+/// of this invariant: the superposition channel's per-round packet
+/// staging and the interference source's waveform storage.
+class cvec_pool {
+public:
+    /// Hands out the next reusable buffer (contents unspecified).
+    cvec& acquire() {
+        if (used_ == buffers_.size()) buffers_.emplace_back();
+        return buffers_[used_++];
+    }
+    /// Marks every buffer free; previously handed-out spans die here.
+    void release_all() { used_ = 0; }
+
+private:
+    std::vector<cvec> buffers_;
+    std::size_t used_ = 0;
+};
+
 /// Element-wise product a[i] * b[i]. Requires equal lengths.
 cvec multiply(std::span<const cplx> a, std::span<const cplx> b);
 
@@ -62,5 +83,10 @@ cvec delay_samples(std::span<const cplx> a, std::size_t delay);
 
 /// Applies a frequency shift: a[i] * e^{j 2π f i / fs}.
 cvec frequency_shift(std::span<const cplx> a, double frequency_hz, double sample_rate_hz);
+
+/// frequency_shift into a caller-provided buffer (resized; capacity
+/// reuse makes repeated calls allocation-free). `out` must not alias `a`.
+void frequency_shift_into(std::span<const cplx> a, double frequency_hz,
+                          double sample_rate_hz, cvec& out);
 
 }  // namespace ns::dsp

@@ -59,7 +59,6 @@
 
 #include "netscatter/sim/association_sim.hpp"
 #include "netscatter/sim/deployment.hpp"
-#include "netscatter/sim/grouped_sim.hpp"
 #include "netscatter/sim/network_sim.hpp"
 #include "netscatter/sim/round_hooks.hpp"
 #include "netscatter/sim/timeline.hpp"

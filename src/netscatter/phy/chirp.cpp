@@ -59,6 +59,49 @@ cvec make_upchirp_time_rotated(const css_params& params, std::size_t shift) {
     return rotated;
 }
 
+std::size_t make_dechirped_tone_kernel(cvec& kernel, double position_bins,
+                                       std::size_t num_bins, std::size_t padding,
+                                       std::size_t radius_bins) {
+    ns::util::require(num_bins >= 2 && padding >= 1,
+                      "tone_kernel: need at least two bins and padding >= 1");
+    const std::size_t m_total = num_bins * padding;
+    const double n = static_cast<double>(num_bins);
+    const double m_real = static_cast<double>(m_total);
+
+    // Wrap the peak position into [0, M) padded bins. The kernel is
+    // 1-periodic in θ for even N (both sin terms and the phase factor
+    // flip sign together), so evaluating with the unwrapped offset x is
+    // exact for every cyclic bin index.
+    double p = position_bins * static_cast<double>(padding);
+    p -= std::floor(p / m_real) * m_real;
+
+    const std::size_t half =
+        std::min(radius_bins * padding, m_total / 2);
+    const std::size_t window = std::min(2 * half + 1, m_total);
+    kernel.resize(window);
+
+    const auto centre = static_cast<std::ptrdiff_t>(std::llround(p));
+    const std::ptrdiff_t first_signed = centre - static_cast<std::ptrdiff_t>(half);
+    for (std::size_t w = 0; w < window; ++w) {
+        const double x =
+            p - static_cast<double>(first_signed + static_cast<std::ptrdiff_t>(w));
+        const double theta = x / m_real;
+        const double denominator = std::sin(std::numbers::pi * theta);
+        double magnitude;
+        if (std::abs(denominator) < 1e-12) {
+            magnitude = n;  // θ -> 0 limit (the on-peak bin)
+        } else {
+            magnitude =
+                std::sin(std::numbers::pi * x / static_cast<double>(padding)) /
+                denominator;
+        }
+        kernel[w] = std::polar(magnitude, std::numbers::pi * (n - 1.0) * theta);
+    }
+
+    const std::ptrdiff_t m_signed = static_cast<std::ptrdiff_t>(m_total);
+    return static_cast<std::size_t>(((first_signed % m_signed) + m_signed) % m_signed);
+}
+
 cvec dechirp(const css_params& params, const cvec& symbol) {
     ns::util::require(symbol.size() == params.samples_per_symbol(),
                       "dechirp: symbol length mismatch");

@@ -43,4 +43,22 @@ cvec make_upchirp_time_rotated(const css_params& params, std::size_t shift);
 /// baseline downchirp. Requires symbol.size() == params.samples_per_symbol().
 cvec dechirp(const css_params& params, const cvec& symbol);
 
+/// The dechirp-to-tone identity, evaluated analytically (§3.2): a cyclic
+/// shift s plus a residual tone displacement δ dechirps to the complex
+/// tone e^{j2π (s+δ)/N · n}, whose zero-padded N-point FFT is a Dirichlet
+/// kernel centred at padded bin (s+δ)·padding:
+///   X[m] = e^{jπ(N-1)θ} · sin(πNθ)/sin(πθ),  θ = ((s+δ)·padding - m)/M
+/// with N = num_bins samples, M = N·padding output bins. This writes the
+/// kernel values for the window of ±radius_bins chip bins around the
+/// peak into `kernel` (resized; capacity reuse makes repeated calls
+/// allocation-free) and returns the padded-bin index of kernel[0]
+/// (cyclic). A radius of >= num_bins/2 yields the full spectrum, exactly
+/// matching fft_zero_padded of the synthesized tone; a truncated radius
+/// drops only far sidelobes (|X| ~ N/(π·Δbins) beyond Δ chip bins).
+///
+/// `position_bins` = s + δ may be any real; it is wrapped modulo num_bins.
+std::size_t make_dechirped_tone_kernel(cvec& kernel, double position_bins,
+                                       std::size_t num_bins, std::size_t padding,
+                                       std::size_t radius_bins);
+
 }  // namespace ns::phy

@@ -35,10 +35,21 @@ std::vector<double> demodulator::symbol_power_spectrum(const cvec& symbol) const
 }
 
 cvec demodulator::symbol_spectrum(const cvec& symbol) const {
+    cvec out;
+    symbol_spectrum_into(symbol, out);
+    return out;
+}
+
+void demodulator::symbol_spectrum_into(std::span<const cplx> symbol, cvec& out) const {
     ns::util::require(symbol.size() == params_.samples_per_symbol(),
                       "demodulator: symbol length mismatch");
-    const cvec dechirped = ns::dsp::multiply(symbol, downchirp_);
-    return ns::dsp::fft_zero_padded(dechirped, padded_size());
+    out.resize(padded_size());
+    for (std::size_t i = 0; i < symbol.size(); ++i) {
+        out[i] = symbol[i] * downchirp_[i];
+    }
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(symbol.size()), out.end(),
+              ns::dsp::cplx{0.0, 0.0});
+    ns::dsp::fft_inplace(out);
 }
 
 std::uint32_t demodulator::demodulate_lora_symbol(const cvec& symbol) const {

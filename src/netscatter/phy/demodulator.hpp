@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "netscatter/dsp/peak.hpp"
@@ -37,6 +38,12 @@ public:
     /// phase progression of the preamble peaks across symbols (§4.2's
     /// measurement method).
     cvec symbol_spectrum(const cvec& symbol) const;
+
+    /// symbol_spectrum into a caller-provided buffer (resized; capacity
+    /// reuse makes repeated calls allocation-free). Identical arithmetic
+    /// to symbol_spectrum / symbol_power_spectrum, so the three paths
+    /// stay bit-identical. `out` must not alias `symbol`.
+    void symbol_spectrum_into(std::span<const cplx> symbol, cvec& out) const;
 
     /// Classic CSS hard decision: the strongest padded bin, mapped back to
     /// a symbol value in [0, 2^SF) by rounding to the nearest chip bin.

@@ -7,10 +7,19 @@ namespace ns::phy {
 
 std::vector<bool> build_frame_bits(const frame_format& format,
                                    const std::vector<bool>& payload) {
+    std::vector<bool> out;
+    build_frame_bits_into(format, payload, out);
+    return out;
+}
+
+void build_frame_bits_into(const frame_format& format, const std::vector<bool>& payload,
+                           std::vector<bool>& out) {
     ns::util::require(payload.size() == format.payload_bits,
                       "build_frame_bits: payload size mismatch");
     ns::util::require(format.crc_bits == 8, "build_frame_bits: only CRC-8 is supported");
-    return ns::util::append_crc8(payload);
+    const std::uint8_t crc = ns::util::crc8(payload);
+    out.assign(payload.begin(), payload.end());
+    for (int i = 7; i >= 0; --i) out.push_back(((crc >> i) & 1) != 0);
 }
 
 frame_check_result check_frame_bits(const frame_format& format,

@@ -62,6 +62,12 @@ inline frame_format phy_format() {
 /// CRC-8. Requires payload.size() == format.payload_bits.
 std::vector<bool> build_frame_bits(const frame_format& format, const std::vector<bool>& payload);
 
+/// build_frame_bits into a caller-provided vector (resized; capacity
+/// reuse makes repeated calls allocation-free). `out` must not alias
+/// `payload`.
+void build_frame_bits_into(const frame_format& format, const std::vector<bool>& payload,
+                           std::vector<bool>& out);
+
 /// Validates and strips the CRC of a received bit sequence. Returns the
 /// payload bits, or an empty optional-like flag via `ok`.
 struct frame_check_result {

@@ -1,5 +1,7 @@
 #include "netscatter/phy/modulator.hpp"
 
+#include <algorithm>
+
 #include "netscatter/util/error.hpp"
 
 namespace ns::phy {
@@ -90,10 +92,29 @@ cvec distributed_modulator::modulate_preamble() const {
 }
 
 cvec distributed_modulator::modulate_packet(const std::vector<bool>& payload_bits) const {
-    cvec packet = modulate_preamble();
-    const cvec payload = modulate_payload(payload_bits);
-    packet.insert(packet.end(), payload.begin(), payload.end());
+    cvec packet;
+    modulate_packet_into(payload_bits, packet);
     return packet;
+}
+
+void distributed_modulator::modulate_packet_into(const std::vector<bool>& payload_bits,
+                                                 cvec& out) const {
+    const std::size_t sps = params_.samples_per_symbol();
+    out.resize((preamble_symbols + payload_bits.size()) * sps);
+    auto cursor = out.begin();
+    for (std::size_t i = 0; i < preamble_upchirps; ++i) {
+        cursor = std::copy(on_symbol_.begin(), on_symbol_.end(), cursor);
+    }
+    for (std::size_t i = 0; i < preamble_downchirps; ++i) {
+        cursor = std::copy(down_symbol_.begin(), down_symbol_.end(), cursor);
+    }
+    for (std::size_t i = 0; i < payload_bits.size(); ++i) {
+        if (payload_bits[i]) {
+            cursor = std::copy(on_symbol_.begin(), on_symbol_.end(), cursor);
+        } else {
+            cursor = std::fill_n(cursor, sps, cplx{0.0, 0.0});
+        }
+    }
 }
 
 }  // namespace ns::phy

@@ -71,6 +71,12 @@ public:
     /// CRC to the bits beforehand; see ns::phy::frame).
     cvec modulate_packet(const std::vector<bool>& payload_bits) const;
 
+    /// modulate_packet into a caller-provided buffer (resized; capacity
+    /// reuse makes repeated calls allocation-free — the simulator stages
+    /// each round's packets in a reusable pool instead of allocating one
+    /// buffer per device per round).
+    void modulate_packet_into(const std::vector<bool>& payload_bits, cvec& out) const;
+
     std::uint32_t cyclic_shift() const { return cyclic_shift_; }
     const css_params& params() const { return params_; }
 

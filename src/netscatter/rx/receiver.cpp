@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <span>
 
 #include "netscatter/dsp/fft.hpp"
 #include "netscatter/dsp/vector_ops.hpp"
 #include "netscatter/phy/chirp.hpp"
+#include "netscatter/util/crc.hpp"
 #include "netscatter/util/error.hpp"
 
 namespace ns::rx {
@@ -31,6 +33,13 @@ void receiver::set_registered_shifts(std::vector<std::uint32_t> shifts) {
         ns::util::require(s < params_.phy.num_bins(), "receiver: shift out of range");
     }
     shifts_ = std::move(shifts);
+}
+
+void receiver::set_registered_shifts(std::span<const std::uint32_t> shifts) {
+    for (std::uint32_t s : shifts) {
+        ns::util::require(s < params_.phy.num_bins(), "receiver: shift out of range");
+    }
+    shifts_.assign(shifts.begin(), shifts.end());
 }
 
 std::size_t receiver::guard_search_radius() const {
@@ -211,15 +220,12 @@ std::optional<std::size_t> receiver::detect_packet_start(const cvec& stream,
     return best_t;
 }
 
-decode_result receiver::decode(const cvec& stream, std::size_t packet_start) const {
-    const std::size_t sps = params_.phy.samples_per_symbol();
+template <typename SpectrumAt>
+void receiver::decode_core(SpectrumAt&& spectrum_at, decode_result& out,
+                           decode_workspace& ws) const {
     const std::size_t payload_symbols = params_.frame.payload_plus_crc_bits();
-    const std::size_t total_symbols = params_.frame.preamble_symbols + payload_symbols;
-    ns::util::require(packet_start + total_symbols * sps <= stream.size(),
-                      "decode: stream too short for a full packet");
-
-    decode_result result;
-    result.packet_start = packet_start;
+    const std::size_t up_symbols = ns::phy::distributed_modulator::preamble_upchirps;
+    const std::size_t n_shifts = shifts_.size();
 
     // --- Preamble: detect devices, estimate power, lock peak location --
     // The residual timing/frequency displacement is constant over a
@@ -227,43 +233,42 @@ decode_result receiver::decode(const cvec& stream, std::size_t packet_start) con
     // ALL upchirps, §3.3.1) and pins its precise padded-bin location.
     // Payload slicing then reads a narrow window around the locked
     // location, which keeps neighbours' leakage out of OFF symbols.
-    const std::size_t up_symbols = ns::phy::distributed_modulator::preamble_upchirps;
-    std::vector<std::vector<double>> preamble_power(shifts_.size());
-    std::vector<double> offset_sum(shifts_.size(), 0.0);
-    std::vector<std::size_t> detect_count(shifts_.size(), 0);
+    ws.preamble_power_sum.assign(n_shifts, 0.0);
+    ws.offset_sum.assign(n_shifts, 0.0);
+    ws.detect_count.assign(n_shifts, 0);
+    ws.locked_offset.assign(n_shifts, 0);
 
-    // Complex spectra are kept for the whole preamble so per-device
-    // residual tone offsets can be estimated from phase progression.
-    std::vector<cvec> preamble_spectra;
-    preamble_spectra.reserve(up_symbols);
     for (std::size_t k = 0; k < up_symbols; ++k) {
-        const cvec window = window_of(stream, packet_start + k * sps, sps);
-        preamble_spectra.push_back(demod_.symbol_spectrum(window));
-        const std::vector<double> power =
-            ns::dsp::power_spectrum(preamble_spectra.back());
+        const cvec& spectrum = spectrum_at(k);
+        ns::util::require(spectrum.size() == demod_.padded_size(),
+                          "decode: spectrum size mismatch");
+        ns::dsp::power_spectrum_into(spectrum, ws.power);
         const double noise = expected_noise_bin_power();
-        for (std::size_t d = 0; d < shifts_.size(); ++d) {
+        for (std::size_t d = 0; d < n_shifts; ++d) {
             const auto peak =
-                demod_.peak_in_window(power, shifts_[d], guard_search_radius());
-            preamble_power[d].push_back(peak.power);
-            offset_sum[d] += static_cast<double>(peak.offset);
-            if (peak.power > params_.detection_factor * noise) ++detect_count[d];
+                demod_.peak_in_window(ws.power, shifts_[d], guard_search_radius());
+            ws.preamble_power_sum[d] += peak.power;
+            ws.offset_sum[d] += static_cast<double>(peak.offset);
+            if (peak.power > params_.detection_factor * noise) ++ws.detect_count[d];
         }
     }
 
-    result.reports.resize(shifts_.size());
-    std::vector<std::ptrdiff_t> locked_offset(shifts_.size(), 0);
-    const double n_samples = static_cast<double>(sps);
+    out.reports.resize(n_shifts);
+    const double n_samples = static_cast<double>(params_.phy.samples_per_symbol());
     const double noise_bin = expected_noise_bin_power();
-    for (std::size_t d = 0; d < shifts_.size(); ++d) {
-        device_report& report = result.reports[d];
+    for (std::size_t d = 0; d < n_shifts; ++d) {
+        device_report& report = out.reports[d];
         report.cyclic_shift = shifts_[d];
-        report.detected = detect_count[d] == up_symbols;
-        double sum = 0.0;
-        for (double p : preamble_power[d]) sum += p;
-        report.preamble_power = sum / static_cast<double>(up_symbols);
-        locked_offset[d] = static_cast<std::ptrdiff_t>(
-            std::lround(offset_sum[d] / static_cast<double>(up_symbols)));
+        report.detected = ws.detect_count[d] == up_symbols;
+        report.preamble_power =
+            ws.preamble_power_sum[d] / static_cast<double>(up_symbols);
+        report.bits.clear();
+        report.payload.clear();
+        report.crc_ok = false;
+        report.estimated_snr_db = 0.0;
+        report.estimated_tone_offset_hz = 0.0;
+        ws.locked_offset[d] = static_cast<std::ptrdiff_t>(
+            std::lround(ws.offset_sum[d] / static_cast<double>(up_symbols)));
 
         if (!report.detected) continue;
 
@@ -274,19 +279,18 @@ decode_result receiver::decode(const cvec& stream, std::size_t packet_start) con
 
         // Residual tone offset: mean phase step of the locked peak across
         // consecutive preamble symbols, divided by the symbol duration.
-        const std::size_t padded = preamble_spectra.front().size();
+        const std::size_t padded = demod_.padded_size();
         const auto base =
             static_cast<std::ptrdiff_t>(static_cast<std::size_t>(shifts_[d]) *
                                         demod_.padding_factor()) +
-            locked_offset[d];
+            ws.locked_offset[d];
         const std::size_t bin_idx = static_cast<std::size_t>(
             ((base % static_cast<std::ptrdiff_t>(padded)) +
              static_cast<std::ptrdiff_t>(padded)) %
             static_cast<std::ptrdiff_t>(padded));
         ns::dsp::cplx accumulated{0.0, 0.0};
         for (std::size_t k = 0; k + 1 < up_symbols; ++k) {
-            accumulated +=
-                preamble_spectra[k + 1][bin_idx] * std::conj(preamble_spectra[k][bin_idx]);
+            accumulated += spectrum_at(k + 1)[bin_idx] * std::conj(spectrum_at(k)[bin_idx]);
         }
         const double phase_step = std::arg(accumulated);
         report.estimated_tone_offset_hz =
@@ -296,28 +300,91 @@ decode_result receiver::decode(const cvec& stream, std::size_t packet_start) con
     // --- Payload: ON-OFF slicing against half the preamble average -----
     const std::size_t slice_radius =
         std::max<std::size_t>(1, demod_.padding_factor() / 4);
-    const std::size_t payload_begin = packet_start + params_.frame.preamble_symbols * sps;
     for (std::size_t i = 0; i < payload_symbols; ++i) {
-        const cvec window = window_of(stream, payload_begin + i * sps, sps);
-        const std::vector<double> power = demod_.symbol_power_spectrum(window);
-        for (std::size_t d = 0; d < shifts_.size(); ++d) {
-            if (!result.reports[d].detected) continue;
-            const double p =
-                demod_.power_at_offset(power, shifts_[d], locked_offset[d], slice_radius);
-            result.reports[d].bits.push_back(
-                p > result.reports[d].preamble_power * params_.slicing_threshold);
+        const cvec& spectrum = spectrum_at(up_symbols + i);
+        ns::util::require(spectrum.size() == demod_.padded_size(),
+                          "decode: spectrum size mismatch");
+        ns::dsp::power_spectrum_into(spectrum, ws.power);
+        for (std::size_t d = 0; d < n_shifts; ++d) {
+            if (!out.reports[d].detected) continue;
+            const double p = demod_.power_at_offset(ws.power, shifts_[d],
+                                                    ws.locked_offset[d], slice_radius);
+            out.reports[d].bits.push_back(
+                p > out.reports[d].preamble_power * params_.slicing_threshold);
         }
     }
 
-    // --- CRC ------------------------------------------------------------
-    for (auto& report : result.reports) {
+    // --- CRC (allocation-free: prefix CRC compared against the trailing
+    // bits, then the payload copied into the report's reused buffer) ----
+    for (auto& report : out.reports) {
         if (!report.detected) continue;
-        const ns::phy::frame_check_result check =
-            ns::phy::check_frame_bits(params_.frame, report.bits);
-        report.crc_ok = check.ok;
-        if (check.ok) report.payload = check.payload;
+        const std::vector<bool>& bits = report.bits;
+        if (bits.size() != params_.frame.payload_plus_crc_bits() || bits.size() < 8) {
+            continue;
+        }
+        const std::uint8_t expected = ns::util::crc8_prefix(bits, bits.size() - 8);
+        std::uint8_t received_crc = 0;
+        for (std::size_t i = bits.size() - 8; i < bits.size(); ++i) {
+            received_crc =
+                static_cast<std::uint8_t>((received_crc << 1) | (bits[i] ? 1 : 0));
+        }
+        report.crc_ok = received_crc == expected;
+        if (report.crc_ok) {
+            report.payload.assign(bits.begin(),
+                                  bits.end() - static_cast<std::ptrdiff_t>(8));
+        }
     }
+}
+
+void receiver::decode_into(const cvec& stream, std::size_t packet_start,
+                           decode_result& out, decode_workspace& ws) const {
+    const std::size_t sps = params_.phy.samples_per_symbol();
+    const std::size_t payload_symbols = params_.frame.payload_plus_crc_bits();
+    const std::size_t total_symbols = params_.frame.preamble_symbols + payload_symbols;
+    ns::util::require(packet_start + total_symbols * sps <= stream.size(),
+                      "decode: stream too short for a full packet");
+    out.packet_start = packet_start;
+
+    const std::size_t up_symbols = ns::phy::distributed_modulator::preamble_upchirps;
+    const std::size_t payload_begin = packet_start + params_.frame.preamble_symbols * sps;
+
+    // Complex spectra are kept for the whole preamble so per-device
+    // residual tone offsets can be estimated from phase progression;
+    // payload symbols stream through one reused buffer.
+    const std::span<const ns::dsp::cplx> samples(stream);
+    ws.preamble_spectra.resize(up_symbols);
+    for (std::size_t k = 0; k < up_symbols; ++k) {
+        demod_.symbol_spectrum_into(samples.subspan(packet_start + k * sps, sps),
+                                    ws.preamble_spectra[k]);
+    }
+
+    decode_core(
+        [&](std::size_t g) -> const cvec& {
+            if (g < up_symbols) return ws.preamble_spectra[g];
+            const std::size_t i = g - up_symbols;
+            demod_.symbol_spectrum_into(samples.subspan(payload_begin + i * sps, sps),
+                                        ws.payload_spectrum);
+            return ws.payload_spectrum;
+        },
+        out, ws);
+}
+
+decode_result receiver::decode(const cvec& stream, std::size_t packet_start) const {
+    decode_result result;
+    decode_workspace workspace;
+    decode_into(stream, packet_start, result, workspace);
     return result;
+}
+
+void receiver::decode_spectra_into(std::span<const cvec> spectra, decode_result& out,
+                                   decode_workspace& ws) const {
+    const std::size_t up_symbols = ns::phy::distributed_modulator::preamble_upchirps;
+    const std::size_t payload_symbols = params_.frame.payload_plus_crc_bits();
+    ns::util::require(spectra.size() == up_symbols + payload_symbols,
+                      "decode_spectra: expected one spectrum per preamble upchirp "
+                      "and payload symbol");
+    out.packet_start = 0;
+    decode_core([&](std::size_t g) -> const cvec& { return spectra[g]; }, out, ws);
 }
 
 std::optional<decode_result> receiver::receive(const cvec& stream) const {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "netscatter/phy/css_params.hpp"
@@ -91,6 +92,19 @@ struct decode_result {
     std::vector<device_report> reports;    ///< one per registered shift
 };
 
+/// Reusable scratch of one decode round. One instance per decoding
+/// context (NOT thread-safe); with warm buffers and a stable registered
+/// set, decode_into / decode_spectra_into allocate nothing.
+struct decode_workspace {
+    std::vector<cvec> preamble_spectra;  ///< sample path: per-upchirp spectra
+    cvec payload_spectrum;               ///< sample path: one payload symbol
+    std::vector<double> power;           ///< padded power scratch
+    std::vector<double> preamble_power_sum;   ///< per registered shift
+    std::vector<double> offset_sum;           ///< per registered shift
+    std::vector<std::size_t> detect_count;    ///< per registered shift
+    std::vector<std::ptrdiff_t> locked_offset;  ///< per registered shift
+};
+
 /// The NetScatter receiver.
 class receiver {
 public:
@@ -99,6 +113,10 @@ public:
     /// Registers the cyclic shifts the AP has allocated; the decoder only
     /// inspects these bins (it learned them during association).
     void set_registered_shifts(std::vector<std::uint32_t> shifts);
+
+    /// Allocation-free overload: copies into the internal buffer
+    /// (capacity reuse), for callers that refresh the set every round.
+    void set_registered_shifts(std::span<const std::uint32_t> shifts);
 
     /// Locates the packet start in `stream` by the up/down-boundary
     /// method. `coarse_step` controls the initial grid (samples); the
@@ -113,6 +131,22 @@ public:
     /// (preamble + payload symbols) after that offset.
     decode_result decode(const cvec& stream, std::size_t packet_start) const;
 
+    /// decode() into reusable result/workspace buffers: the form the
+    /// simulator's steady-state round loop uses (no allocation once the
+    /// buffers are warm and the registered set is stable).
+    void decode_into(const cvec& stream, std::size_t packet_start, decode_result& out,
+                     decode_workspace& workspace) const;
+
+    /// Decodes one round straight from precomputed per-symbol spectra —
+    /// the symbol-domain fast path (channel::combine_symbol_domain).
+    /// `spectra` holds the preamble upchirp spectra followed by the
+    /// payload symbol spectra (preamble downchirps omitted), each of the
+    /// demodulator's padded size. Identical decision logic to decode():
+    /// the sample path merely computes the same spectra from the stream
+    /// first.
+    void decode_spectra_into(std::span<const cvec> spectra, decode_result& out,
+                             decode_workspace& workspace) const;
+
     /// Convenience: detect + decode. Returns std::nullopt when detection
     /// fails.
     std::optional<decode_result> receive(const cvec& stream) const;
@@ -121,6 +155,14 @@ public:
     const ns::phy::demodulator& demod() const { return demod_; }
 
 private:
+    /// Shared decode core: consumes one spectrum per decode-relevant
+    /// symbol via `spectrum_at(g)` (g < up_symbols: preamble upchirps —
+    /// these references must stay valid for the whole call; g >=
+    /// up_symbols: payload — may reuse one buffer).
+    template <typename SpectrumAt>
+    void decode_core(SpectrumAt&& spectrum_at, decode_result& out,
+                     decode_workspace& workspace) const;
+
     /// Sum of registered-bin peak powers for an upchirp-dechirped window.
     double upchirp_metric(const cvec& window) const;
     /// Same for a downchirp window (dechirped with the conjugate).

@@ -60,9 +60,9 @@ void stream_receiver::process_buffer() {
             // The packet has begun but its tail has not arrived yet.
             return;
         }
-        const decode_result result = receiver_.decode(buffer_, *start);
+        receiver_.decode_into(buffer_, *start, decoded_, decode_ws_);
         ++packets_;
-        on_packet_(buffer_stream_offset_ + *start, result);
+        on_packet_(buffer_stream_offset_ + *start, decoded_);
 
         // Advance past the decoded packet.
         const std::size_t consumed_here = *start + packet_samples();

@@ -60,6 +60,8 @@ private:
     stream_receiver_params params_;
     receiver receiver_;
     packet_callback on_packet_;
+    decode_result decoded_;        ///< reused across packets
+    decode_workspace decode_ws_;   ///< reused across packets
     ns::dsp::cvec buffer_;
     std::size_t buffer_stream_offset_ = 0;  ///< stream index of buffer_[0]
     std::size_t consumed_ = 0;

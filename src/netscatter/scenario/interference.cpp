@@ -18,13 +18,15 @@ interference_source::interference_source(interference_spec spec,
                       "interference: period_rounds must be >= 1");
 }
 
-ns::channel::tx_contribution interference_source::make_tone(double tone_hz) const {
-    ns::channel::tx_contribution tx;
-    tx.waveform.resize(packet_samples_);
+ns::channel::tx_contribution interference_source::make_tone(double tone_hz) {
+    ns::dsp::cvec& waveform = waveform_pool_.acquire();
+    waveform.resize(packet_samples_);
     const double step = 2.0 * std::numbers::pi * tone_hz / phy_.bandwidth_hz;
     for (std::size_t n = 0; n < packet_samples_; ++n) {
-        tx.waveform[n] = std::polar(1.0, step * static_cast<double>(n));
+        waveform[n] = std::polar(1.0, step * static_cast<double>(n));
     }
+    ns::channel::tx_contribution tx;
+    tx.waveform = waveform;
     tx.snr_db = spec_.snr_db;
     tx.random_phase = true;
     return tx;
@@ -42,8 +44,10 @@ ns::channel::tx_contribution interference_source::make_lora_frame() {
         value = static_cast<std::uint32_t>(
             rng_.uniform_int(0, static_cast<std::int64_t>(phy_.num_bins()) - 1));
     }
+    ns::dsp::cvec& waveform = waveform_pool_.acquire();
+    waveform = modulator.modulate(values);
     ns::channel::tx_contribution tx;
-    tx.waveform = modulator.modulate(values);
+    tx.waveform = waveform;
     tx.snr_db = spec_.snr_db;
     tx.timing_offset_s = rng_.uniform(0.0, phy_.symbol_duration_s());
     tx.sample_delay = static_cast<std::size_t>(
@@ -53,6 +57,7 @@ ns::channel::tx_contribution interference_source::make_lora_frame() {
 }
 
 std::vector<ns::channel::tx_contribution> interference_source::step(std::size_t round) {
+    waveform_pool_.release_all();  // previous round's spans are dead
     std::vector<ns::channel::tx_contribution> contributions;
     switch (spec_.kind) {
         case interference_kind::none:

@@ -30,12 +30,14 @@ public:
                         std::size_t packet_samples, std::uint64_t seed);
 
     /// Contributions to sum into `round`'s channel (possibly empty).
+    /// Waveform spans view storage owned by this source; they stay valid
+    /// until the next step() call.
     std::vector<ns::channel::tx_contribution> step(std::size_t round);
 
     std::size_t total_events() const { return total_events_; }
 
 private:
-    ns::channel::tx_contribution make_tone(double tone_hz) const;
+    ns::channel::tx_contribution make_tone(double tone_hz);
     ns::channel::tx_contribution make_lora_frame();
 
     interference_spec spec_;
@@ -43,6 +45,9 @@ private:
     std::size_t packet_samples_;
     ns::util::rng rng_;
     std::size_t total_events_ = 0;
+    /// Waveform storage behind the returned spans (span-stable handout;
+    /// see ns::dsp::cvec_pool). Released at each step().
+    ns::dsp::cvec_pool waveform_pool_;
 };
 
 }  // namespace ns::scenario

@@ -68,20 +68,18 @@ scenario_result run_scenario(const scenario_spec& spec, run_options options) {
         result.sim.merge(replica.sim);
         result.stats.merge(replica.stats);
     }
-    result.round_time_s =
-        ns::sim::netscatter_round(spec.sim.frame, spec.sim.phy,
-                                  ns::sim::query_config::config1)
-            .total_time_s;
+    const ns::sim::round_timing config1_timing = ns::sim::netscatter_round(
+        spec.sim.frame, spec.sim.phy, ns::sim::query_config::config1);
+    const ns::sim::round_timing config2_timing = ns::sim::netscatter_round(
+        spec.sim.frame, spec.sim.phy, ns::sim::query_config::config2);
+    result.round_time_s = config1_timing.total_time_s;
+    result.config1_query_time_s = config1_timing.query_time_s;
+    result.config2_query_time_s = config2_timing.query_time_s;
     result.num_groups = result.sim.num_groups;
     // Control-plane cost on the query-overhead timeline (§3.3.3): see
     // carries_config2_query for the rule.
     const double config2_extra_s =
-        ns::sim::netscatter_round(spec.sim.frame, spec.sim.phy,
-                                  ns::sim::query_config::config2)
-            .query_time_s -
-        ns::sim::netscatter_round(spec.sim.frame, spec.sim.phy,
-                                  ns::sim::query_config::config1)
-            .query_time_s;
+        config2_timing.query_time_s - config1_timing.query_time_s;
     std::size_t config2_rounds = 0;
     for (const auto& round : result.sim.rounds) {
         if (carries_config2_query(round)) ++config2_rounds;

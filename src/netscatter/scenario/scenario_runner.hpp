@@ -41,6 +41,12 @@ struct scenario_result {
     /// regroup queries (the config-2 1760-bit ordering message instead
     /// of the 32-bit config-1 query), summed over the run.
     double control_overhead_s = 0.0;
+    /// Query airtimes of the two query configurations for this spec's
+    /// PHY/frame — the values the per-round query_time_s timeline and
+    /// control_overhead_s are derived from (computed once here so the
+    /// costing rule cannot drift between the runner and its consumers).
+    double config1_query_time_s = 0.0;
+    double config2_query_time_s = 0.0;
     double wall_clock_s = 0.0;   ///< host time (excluded from determinism)
 
     /// Mean delivered goodput in bit/s over the simulated airtime.

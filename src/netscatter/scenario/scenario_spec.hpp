@@ -96,6 +96,9 @@ struct churn_spec {
     std::uint32_t aloha_initial_window = 2;
     std::uint32_t aloha_max_window = 64;
     /// slotted_aloha: piggybacked association responses per query.
+    /// Effective ceiling is the number of SNR-region association shifts
+    /// (currently 2): the contention pool grants at most one request per
+    /// region per round, so values above 2 buy nothing.
     std::size_t association_grants_per_round = 1;
 };
 

@@ -1,7 +1,9 @@
 #include "netscatter/sim/network_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <span>
 
 #include "netscatter/channel/superposition.hpp"
 #include "netscatter/util/bits.hpp"
@@ -24,6 +26,8 @@ void sim_config::validate() const {
     ns::util::require(fading_rho >= 0.0 && fading_rho < 1.0,
                       "sim_config: fading_rho must be in [0, 1)");
     ns::util::require(frame.payload_bits > 0, "sim_config: payload_bits must be > 0");
+    ns::util::require(symbol_kernel_radius_bins >= 1,
+                      "sim_config: symbol_kernel_radius_bins must be >= 1");
     if (grouping.enabled) {
         ns::util::require(grouping.group_capacity >= 1,
                           "sim_config: grouping.group_capacity must be >= 1");
@@ -57,6 +61,9 @@ void sim_result::merge(const sim_result& other) {
     total_realloc_events += other.total_realloc_events;
     total_full_reassignments += other.total_full_reassignments;
     total_regroups += other.total_regroups;
+    fast_path_rounds += other.fast_path_rounds;
+    synth_wall_s += other.synth_wall_s;
+    decode_wall_s += other.decode_wall_s;
     if (groups.size() < other.groups.size()) groups.resize(other.groups.size());
     for (std::size_t g = 0; g < other.groups.size(); ++g) {
         group_metrics& mine = groups[g];
@@ -227,17 +234,17 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
 }
 
 void network_simulator::register_active_shifts(std::optional<std::size_t> group) {
-    std::vector<std::uint32_t> shifts;
-    shifts.reserve(active_count_);
+    shift_scratch_.clear();
+    shift_scratch_.reserve(active_count_);
     for (const auto& slot : slots_) {
         if (!slot.active) continue;
         if (group) {
             const auto it = group_of_.find(slot.placement.id);
             if (it == group_of_.end() || it->second != *group) continue;
         }
-        shifts.push_back(slot.device.cyclic_shift());
+        shift_scratch_.push_back(slot.device.cyclic_shift());
     }
-    receiver_.set_registered_shifts(std::move(shifts));
+    receiver_.set_registered_shifts(std::span<const std::uint32_t>(shift_scratch_));
     membership_dirty_ = false;
 }
 
@@ -487,18 +494,42 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
 }
 
 sim_result network_simulator::run() {
+    using clock = std::chrono::steady_clock;
     sim_result result;
+    result.rounds.reserve(config_.rounds);
     const double noise_floor =
         deployment_->noise_floor_dbm(config_.phy.bandwidth_hz);
     const std::size_t sps = config_.phy.samples_per_symbol();
+    const std::size_t frame_bits = config_.frame.payload_plus_crc_bits();
     const std::size_t packet_samples =
-        (config_.frame.preamble_symbols + config_.frame.payload_plus_crc_bits()) * sps;
+        (config_.frame.preamble_symbols + frame_bits) * sps;
+    sent_row_of_shift_.assign(config_.phy.num_bins(), -1);
 
     for (std::size_t round = 0; round < config_.rounds; ++round) {
         round_outcome outcome;
         round_plan plan;
         if (hooks_) plan = hooks_->plan_round(round);
         apply_round_plan(plan, outcome);
+
+        // Pick this round's synthesis domain (§3.2 fast path). The
+        // simulator's channel never enables multipath, so the only
+        // sample-level effect that disqualifies a round is injected
+        // interference (foreign waveforms, arbitrary sample delays).
+        bool fast_path = false;
+        switch (config_.fidelity) {
+            case phy_fidelity::sample:
+                break;
+            case phy_fidelity::symbol:
+                ns::util::require(plan.interference.empty(),
+                                  "phy_fidelity::symbol cannot represent "
+                                  "sample-level interference; use automatic or "
+                                  "sample fidelity");
+                fast_path = true;
+                break;
+            case phy_fidelity::automatic:
+                fast_path = plan.interference.empty();
+                break;
+        }
 
         // §3.3.3 adaptive control: recompute the partition when the
         // policy says the current one has drifted from the population.
@@ -530,9 +561,16 @@ sim_result network_simulator::run() {
         }
         outcome.active = active_count_;
 
-        std::vector<ns::channel::tx_contribution> contributions;
-        // shift -> sent bits, for accounting.
-        std::unordered_map<std::uint32_t, std::vector<bool>> sent_bits;
+        // Reset the round workspaces (buffers keep their capacity — the
+        // steady-state loop performs zero per-device heap allocations on
+        // the fast path).
+        const clock::time_point synth_start = clock::now();
+        chan_ws_.packet_pool.release_all();
+        contributions_.clear();
+        packet_contribs_.clear();
+        frame_bits_store_.clear();
+        for (std::uint32_t shift : tx_row_shift_) sent_row_of_shift_[shift] = -1;
+        tx_row_shift_.clear();
 
         for (auto& slot : slots_) {
             // Advance every device's fading process — active or not — so
@@ -601,30 +639,54 @@ sim_result network_simulator::run() {
                     config_.model_cfo ? slot.device.static_frequency_offset_hz() : 0.0;
             }
 
-            // Build this device's packet.
-            std::vector<bool> payload = rng_.bits(config_.frame.payload_bits);
-            const std::vector<bool> frame_bits =
-                ns::phy::build_frame_bits(config_.frame, payload);
-            sent_bits[intent.cyclic_shift] = frame_bits;
-
-            ns::channel::tx_contribution tx;
-            if (!slot.modulator) {
-                slot.modulator.emplace(config_.phy, slot.device.cyclic_shift());
+            // Build this device's frame bits into the flat per-round
+            // store (one fixed-width 0/1 row per transmitter).
+            rng_.fill_bits(config_.frame.payload_bits, payload_scratch_);
+            ns::phy::build_frame_bits_into(config_.frame, payload_scratch_,
+                                           frame_scratch_);
+            sent_row_of_shift_[intent.cyclic_shift] =
+                static_cast<std::int32_t>(tx_row_shift_.size());
+            tx_row_shift_.push_back(intent.cyclic_shift);
+            for (const bool bit : frame_scratch_) {
+                frame_bits_store_.push_back(bit ? 1 : 0);
             }
-            tx.waveform = slot.modulator->modulate_packet(frame_bits);
+
             const double uplink_dbm =
                 slot.placement.uplink_rx_dbm + intent.gain_db + 2.0 * fade_db;
-            tx.snr_db = uplink_dbm - noise_floor;
             // The AP's preamble synchronization absorbs the fleet-common
             // latency; only the deviation from the mean hardware delay
             // (plus this device's round-trip flight time) is residual
             // (§3.2.1 / Fig. 14b).
             const double sync_point_s =
                 config_.model_timing_jitter ? config_.delay_model.mean_us * 1e-6 : 0.0;
-            tx.timing_offset_s =
+            const double timing_offset_s =
                 intent.hardware_delay_s - sync_point_s + 2.0 * slot.tof_s;
-            tx.frequency_offset_hz = intent.frequency_offset_hz + slot.doppler_hz;
-            contributions.push_back(std::move(tx));
+            const double frequency_offset_hz =
+                intent.frequency_offset_hz + slot.doppler_hz;
+
+            if (fast_path) {
+                // Symbol domain: no modulator, no waveform — the frame
+                // bits span is attached after the loop (the flat store
+                // may still grow while transmitters are collected).
+                ns::channel::packet_contribution packet;
+                packet.cyclic_shift = intent.cyclic_shift;
+                packet.snr_db = uplink_dbm - noise_floor;
+                packet.timing_offset_s = timing_offset_s;
+                packet.frequency_offset_hz = frequency_offset_hz;
+                packet_contribs_.push_back(packet);
+            } else {
+                if (!slot.modulator) {
+                    slot.modulator.emplace(config_.phy, slot.device.cyclic_shift());
+                }
+                ns::dsp::cvec& packet_buffer = chan_ws_.packet_pool.acquire();
+                slot.modulator->modulate_packet_into(frame_scratch_, packet_buffer);
+                ns::channel::tx_contribution tx;
+                tx.waveform = packet_buffer;
+                tx.snr_db = uplink_dbm - noise_floor;
+                tx.timing_offset_s = timing_offset_s;
+                tx.frequency_offset_hz = frequency_offset_hz;
+                contributions_.push_back(tx);
+            }
             ++outcome.transmitting;
         }
 
@@ -635,34 +697,65 @@ sim_result network_simulator::run() {
                                        : std::nullopt);
         }
 
-        // In-band interferers (scenario-injected) share the channel.
-        for (const auto& interferer : plan.interference) {
-            contributions.push_back(interferer);
-        }
-
         // Superpose and decode.
         ns::channel::channel_config chan;
         chan.noise_power = 1.0;
-        const ns::dsp::cvec received = ns::channel::combine(
-            contributions, packet_samples, config_.phy, chan, rng_);
-        const ns::rx::decode_result decoded = receiver_.decode(received, 0);
+        clock::time_point decode_start;
+        if (fast_path) {
+            // Attach the frame-bit spans now that the flat store is
+            // final, then synthesize post-dechirp spectra directly.
+            for (std::size_t row = 0; row < tx_row_shift_.size(); ++row) {
+                packet_contribs_[row].frame_bits = std::span<const std::uint8_t>(
+                    frame_bits_store_.data() + row * frame_bits, frame_bits);
+            }
+            ns::channel::symbol_domain_params sd;
+            sd.zero_padding = config_.zero_padding;
+            sd.preamble_upchirps = ns::phy::distributed_modulator::preamble_upchirps;
+            sd.preamble_symbols = config_.frame.preamble_symbols;
+            sd.payload_symbols = frame_bits;
+            sd.kernel_radius_bins = config_.symbol_kernel_radius_bins;
+            ns::channel::combine_symbol_domain(packet_contribs_, config_.phy, chan,
+                                               sd, rng_, chan_ws_);
+            decode_start = clock::now();
+            receiver_.decode_spectra_into(chan_ws_.symbol_spectra, decoded_,
+                                          decode_ws_);
+            ++result.fast_path_rounds;
+        } else {
+            // In-band interferers (scenario-injected) share the channel.
+            for (const auto& interferer : plan.interference) {
+                contributions_.push_back(interferer);
+            }
+            const ns::dsp::cvec& received = ns::channel::combine(
+                std::span<const ns::channel::tx_contribution>(contributions_),
+                packet_samples, config_.phy, chan, rng_, chan_ws_);
+            decode_start = clock::now();
+            receiver_.decode_into(received, 0, decoded_, decode_ws_);
+        }
+        result.synth_wall_s +=
+            std::chrono::duration<double>(decode_start - synth_start).count();
 
-        for (const auto& report : decoded.reports) {
-            const auto it = sent_bits.find(report.cyclic_shift);
-            if (it == sent_bits.end()) continue;  // device did not transmit
+        for (const auto& report : decoded_.reports) {
+            const std::int32_t row = sent_row_of_shift_[report.cyclic_shift];
+            if (row < 0) continue;  // device did not transmit
+            const std::span<const std::uint8_t> sent(
+                frame_bits_store_.data() +
+                    static_cast<std::size_t>(row) * frame_bits,
+                frame_bits);
             if (report.detected) {
                 ++outcome.detected;
-                outcome.bits_sent += it->second.size();
-                outcome.bit_errors += ns::util::hamming_distance(report.bits, it->second);
-                if (report.crc_ok && report.bits == it->second) ++outcome.delivered;
+                outcome.bits_sent += sent.size();
+                outcome.bit_errors += ns::util::hamming_distance(report.bits, sent);
+                if (report.crc_ok && ns::util::bits_equal(report.bits, sent)) {
+                    ++outcome.delivered;
+                }
             } else {
                 // Missed preamble: every bit of the packet is lost.
-                outcome.bits_sent += it->second.size();
-                std::size_t ones = 0;
-                for (bool b : it->second) ones += b ? 1 : 0;
-                outcome.bit_errors += ones;
+                outcome.bits_sent += sent.size();
+                outcome.bit_errors += ns::util::count_ones(sent);
             }
         }
+        result.decode_wall_s +=
+            std::chrono::duration<double>(clock::now() - decode_start).count();
 
         if (grouped() && scheduled_group < group_acc_.size()) {
             group_metrics& acc = group_acc_[scheduled_group];

@@ -16,6 +16,7 @@
 
 #include "netscatter/channel/fading.hpp"
 #include "netscatter/channel/impairments.hpp"
+#include "netscatter/channel/superposition.hpp"
 #include "netscatter/device/backscatter_device.hpp"
 #include "netscatter/mac/allocator.hpp"
 #include "netscatter/mac/scheduler.hpp"
@@ -28,6 +29,25 @@
 #include "netscatter/util/rng.hpp"
 
 namespace ns::sim {
+
+/// PHY synthesis fidelity of the simulator's channel (§3.2 fast path).
+///
+/// The dechirp-to-tone identity makes a standard packet's post-dechirp
+/// spectrum analytic (a Dirichlet kernel at bin shift + fractional
+/// offset), so rounds without sample-level effects can skip time-domain
+/// synthesis, the per-device forward FFTs and every intermediate buffer.
+enum class phy_fidelity {
+    /// Always synthesize time-domain waveforms and decode from samples.
+    /// Bit-identical to the historic simulator.
+    sample,
+    /// Always use the symbol-domain fast path. Throws if a round injects
+    /// sample-level interference (not representable as a post-dechirp
+    /// tone) — use `automatic` when scenarios mix in interferers.
+    symbol,
+    /// Fast path whenever it is exact-to-tolerance for the round (no
+    /// in-band interference contribution), sample path otherwise.
+    automatic,
+};
 
 /// Mid-scenario adaptive control of the group partition (§3.3.3).
 enum class regroup_policy {
@@ -70,6 +90,14 @@ struct sim_config {
     bool power_adaptation = true;        ///< §3.2.3 fine-grained adjustment
     bool model_timing_jitter = true;     ///< hardware delay variation (§3.2.1)
     bool model_cfo = true;               ///< crystal offsets (§3.2.2)
+
+    /// Channel synthesis fidelity (see phy_fidelity). `sample` keeps
+    /// historic bit-identical results; the default lets eligible rounds
+    /// take the symbol-domain fast path (statistically equivalent —
+    /// enforced by tests — and order-of-magnitude cheaper per device).
+    phy_fidelity fidelity = phy_fidelity::automatic;
+    /// Dirichlet kernel truncation radius of the fast path, in chip bins.
+    std::size_t symbol_kernel_radius_bins = 16;
 
     double fading_sigma_db = 1.5;        ///< per-device one-way fading std dev
     double fading_rho = 0.9;             ///< round-to-round correlation
@@ -156,6 +184,16 @@ struct sim_result {
     std::size_t total_realloc_events = 0;
     std::size_t total_full_reassignments = 0;
     std::size_t total_regroups = 0;
+
+    /// Rounds served by the symbol-domain fast path (== rounds.size()
+    /// under phy_fidelity::symbol, 0 under ::sample).
+    std::size_t fast_path_rounds = 0;
+    /// Host wall-clock split of the round loop: transmit-side work
+    /// (device MAC decisions + packet/spectrum synthesis + channel
+    /// superposition) vs receiver decode. Excluded from determinism
+    /// comparisons; merge() sums.
+    double synth_wall_s = 0.0;
+    double decode_wall_s = 0.0;
 
     /// Per-group accumulators, indexed by group id; empty when grouping
     /// is off. merge() sums entries index-wise, so after a replica merge
@@ -299,6 +337,22 @@ private:
     std::vector<group_metrics> group_acc_;  ///< per-group accumulators
     std::size_t misfits_since_regroup_ = 0;
     ns::rx::receiver receiver_;
+
+    // --- Per-round workspaces (reused across rounds; the steady-state
+    // loop allocates nothing per device once the buffers are warm) ------
+    ns::channel::channel_workspace chan_ws_;
+    ns::rx::decode_workspace decode_ws_;
+    ns::rx::decode_result decoded_;
+    std::vector<ns::channel::tx_contribution> contributions_;
+    std::vector<ns::channel::packet_contribution> packet_contribs_;
+    std::vector<bool> payload_scratch_;
+    std::vector<bool> frame_scratch_;
+    /// Flat 0/1 bytes of every transmitter's frame bits this round, one
+    /// fixed-width row per transmitter in transmit order.
+    std::vector<std::uint8_t> frame_bits_store_;
+    std::vector<std::uint32_t> tx_row_shift_;    ///< row -> cyclic shift
+    std::vector<std::int32_t> sent_row_of_shift_;  ///< shift -> row or -1
+    std::vector<std::uint32_t> shift_scratch_;   ///< registered-shift staging
 };
 
 }  // namespace ns::sim

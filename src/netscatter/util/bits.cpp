@@ -48,4 +48,27 @@ std::size_t hamming_distance(const std::vector<bool>& a, const std::vector<bool>
     return count;
 }
 
+std::size_t hamming_distance(const std::vector<bool>& a, std::span<const std::uint8_t> b) {
+    require(a.size() == b.size(), "hamming_distance: length mismatch");
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != (b[i] != 0)) ++count;
+    }
+    return count;
+}
+
+bool bits_equal(const std::vector<bool>& a, std::span<const std::uint8_t> b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != (b[i] != 0)) return false;
+    }
+    return true;
+}
+
+std::size_t count_ones(std::span<const std::uint8_t> bits) {
+    std::size_t count = 0;
+    for (std::uint8_t bit : bits) count += bit != 0 ? 1 : 0;
+    return count;
+}
+
 }  // namespace ns::util

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace ns::util {
@@ -23,5 +24,15 @@ std::uint64_t read_uint(const std::vector<bool>& bits, std::size_t& offset, int 
 
 /// Number of differing positions between two equal-length bit vectors.
 std::size_t hamming_distance(const std::vector<bool>& a, const std::vector<bool>& b);
+
+/// hamming_distance against a flat 0/1 byte row (the simulator's
+/// allocation-free sent-bit storage). Requires equal lengths.
+std::size_t hamming_distance(const std::vector<bool>& a, std::span<const std::uint8_t> b);
+
+/// Whether a bit vector equals a flat 0/1 byte row (lengths included).
+bool bits_equal(const std::vector<bool>& a, std::span<const std::uint8_t> b);
+
+/// Number of set bits in a flat 0/1 byte row.
+std::size_t count_ones(std::span<const std::uint8_t> bits);
 
 }  // namespace ns::util

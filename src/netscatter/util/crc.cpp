@@ -5,11 +5,16 @@
 namespace ns::util {
 
 std::uint8_t crc8(const std::vector<bool>& bits) {
+    return crc8_prefix(bits, bits.size());
+}
+
+std::uint8_t crc8_prefix(const std::vector<bool>& bits, std::size_t length) {
+    ns::util::require(length <= bits.size(), "crc8_prefix: length exceeds bit count");
     std::uint8_t crc = 0x00;
-    for (bool bit : bits) {
+    for (std::size_t i = 0; i < length; ++i) {
         const bool top = (crc & 0x80) != 0;
         crc = static_cast<std::uint8_t>(crc << 1);
-        if (top != bit) crc ^= 0x07;
+        if (top != bits[i]) crc ^= 0x07;
     }
     return crc;
 }

@@ -29,6 +29,11 @@ std::vector<bool> append_crc8(std::vector<bool> payload_bits);
 /// 8 bits fail the check.
 bool check_crc8(const std::vector<bool>& protected_bits);
 
+/// CRC-8 over the first `length` bits only (no copy — the allocation-free
+/// form the receiver's steady-state CRC validation uses). Requires
+/// length <= bits.size().
+std::uint8_t crc8_prefix(const std::vector<bool>& bits, std::size_t length);
+
 /// Splits a CRC-8-protected sequence back into its payload (drops the
 /// trailing 8 CRC bits). Requires the sequence to be at least 8 bits.
 std::vector<bool> strip_crc8(const std::vector<bool>& protected_bits);

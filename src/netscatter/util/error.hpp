@@ -36,4 +36,12 @@ inline void require(bool condition, const std::string& message) {
     if (!condition) throw invalid_argument(message);
 }
 
+/// Literal-message overload: contract checks sit on per-bin hot paths
+/// (peak searches run two per device per symbol), and the std::string
+/// overload would heap-allocate the message on EVERY call, success
+/// included. This one materializes the string only on failure.
+inline void require(bool condition, const char* message) {
+    if (!condition) throw invalid_argument(message);
+}
+
 }  // namespace ns::util

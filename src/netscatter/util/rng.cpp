@@ -112,9 +112,14 @@ bool rng::bernoulli(double p) {
 }
 
 std::vector<bool> rng::bits(std::size_t n) {
-    std::vector<bool> out(n);
-    for (std::size_t i = 0; i < n; ++i) out[i] = bernoulli(0.5);
+    std::vector<bool> out;
+    fill_bits(n, out);
     return out;
+}
+
+void rng::fill_bits(std::size_t n, std::vector<bool>& out) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = bernoulli(0.5);
 }
 
 rng rng::fork() {

@@ -67,6 +67,11 @@ public:
     /// Random bit vector of length n (each bit i.i.d. fair).
     std::vector<bool> bits(std::size_t n);
 
+    /// bits() into a caller-provided vector (resized; capacity reuse
+    /// makes repeated calls allocation-free). Draws the identical stream
+    /// as bits(), so the two are interchangeable mid-sequence.
+    void fill_bits(std::size_t n, std::vector<bool>& out);
+
     /// Forks an independent child generator. The child stream is decorrelated
     /// from the parent by hashing the parent's next output through splitmix64.
     rng fork();

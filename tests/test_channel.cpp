@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "netscatter/channel/awgn.hpp"
 #include "netscatter/channel/fading.hpp"
@@ -13,6 +14,7 @@
 #include "netscatter/dsp/vector_ops.hpp"
 #include "netscatter/phy/chirp.hpp"
 #include "netscatter/phy/demodulator.hpp"
+#include "netscatter/phy/modulator.hpp"
 #include "netscatter/util/error.hpp"
 #include "netscatter/util/stats.hpp"
 
@@ -233,7 +235,8 @@ TEST(superposition, single_device_snr_realized) {
     const ns::phy::css_params p = ns::phy::deployed_params();
     ns::util::rng gen(13);
     tx_contribution tx;
-    tx.waveform = ns::phy::make_upchirp(p, 50.0);
+    const cvec waveform = ns::phy::make_upchirp(p, 50.0);
+    tx.waveform = waveform;
     tx.snr_db = 20.0;
     tx.random_phase = false;
     channel_config config;
@@ -248,9 +251,11 @@ TEST(superposition, two_devices_decodable_at_distinct_bins) {
     const ns::phy::demodulator demod(p, 1);
     ns::util::rng gen(14);
     tx_contribution a, b;
-    a.waveform = ns::phy::make_upchirp(p, 10.0);
+    const cvec wave_a = ns::phy::make_upchirp(p, 10.0);
+    const cvec wave_b = ns::phy::make_upchirp(p, 300.0);
+    a.waveform = wave_a;
     a.snr_db = 10.0;
-    b.waveform = ns::phy::make_upchirp(p, 300.0);
+    b.waveform = wave_b;
     b.snr_db = 10.0;
     channel_config config;
     const cvec rx = combine({a, b}, a.waveform.size(), p, config, gen);
@@ -265,7 +270,8 @@ TEST(superposition, timing_offset_moves_peak) {
     const ns::phy::demodulator demod(p, 1);
     ns::util::rng gen(15);
     tx_contribution tx;
-    tx.waveform = ns::phy::make_upchirp(p, 100.0);
+    const cvec waveform = ns::phy::make_upchirp(p, 100.0);
+    tx.waveform = waveform;
     tx.snr_db = 30.0;
     tx.timing_offset_s = 4e-6;  // exactly 2 bins at 500 kHz
     channel_config config;
@@ -278,7 +284,8 @@ TEST(superposition, sample_delay_shifts_waveform) {
     const ns::phy::css_params p = ns::phy::deployed_params();
     ns::util::rng gen(16);
     tx_contribution tx;
-    tx.waveform = cvec(10, cplx{1.0, 0.0});
+    const cvec waveform(10, cplx{1.0, 0.0});
+    tx.waveform = waveform;
     // SNR is relative to the configured noise power: 120 dB over 1e-6
     // noise gives signal power 1e6 (amplitude 1000).
     tx.snr_db = 120.0;
@@ -300,6 +307,127 @@ TEST(superposition, empty_contributions_is_pure_noise) {
     config.noise_power = 4.0;
     const cvec rx = combine({}, 10000, p, config, gen);
     EXPECT_NEAR(ns::dsp::mean_power(rx), 4.0, 0.3);
+}
+
+TEST(superposition, workspace_combine_is_bit_identical_to_owned_combine) {
+    // The workspace form reuses the received buffer across rounds; its
+    // samples must be bit-identical to the allocating convenience
+    // overload given the same RNG stream — including the shifted and
+    // multipath staging paths.
+    const ns::phy::css_params p = ns::phy::deployed_params();
+    const cvec wave_a = ns::phy::make_upchirp(p, 40.0);
+    const cvec wave_b = ns::phy::make_upchirp(p, 200.0);
+    tx_contribution a, b;
+    a.waveform = wave_a;
+    a.snr_db = 12.0;
+    a.timing_offset_s = 0.7e-6;  // exercises the fused shifted path
+    b.waveform = wave_b;
+    b.snr_db = 3.0;
+    b.sample_delay = 11;
+    const std::vector<tx_contribution> txs = {a, b};
+
+    for (const bool multipath : {false, true}) {
+        channel_config config;
+        config.enable_multipath = multipath;
+        ns::util::rng gen_owned(23);
+        const cvec owned = combine(txs, wave_a.size() + 32, p, config, gen_owned);
+
+        ns::util::rng gen_ws(23);
+        channel_workspace workspace;
+        // Run twice: the second round reuses warm buffers and must not
+        // be polluted by the first.
+        combine(std::span<const tx_contribution>(txs), wave_a.size() + 32, p,
+                config, gen_ws, workspace);
+        ns::util::rng gen_ws2(23);
+        const cvec& reused = combine(std::span<const tx_contribution>(txs),
+                                     wave_a.size() + 32, p, config, gen_ws2,
+                                     workspace);
+        ASSERT_EQ(owned.size(), reused.size());
+        for (std::size_t i = 0; i < owned.size(); ++i) {
+            ASSERT_EQ(owned[i], reused[i]) << "sample " << i
+                                           << " multipath " << multipath;
+        }
+    }
+}
+
+TEST(superposition, fused_accumulate_matches_staged_sequence) {
+    // accumulate_scaled_shifted must be bit-identical to the historic
+    // frequency_shift -> scale -> accumulate_at staging it replaced.
+    ns::util::rng gen(29);
+    cvec source(3000);
+    for (auto& v : source) v = cplx{gen.gaussian(), gen.gaussian()};
+    const cplx gain{0.8, -0.3};
+    const double tone_hz = 173.0;
+    const double fs = 500e3;
+
+    cvec staged = ns::dsp::frequency_shift(source, tone_hz, fs);
+    ns::dsp::scale(staged, gain);
+    cvec expected(3100, cplx{0.0, 0.0});
+    ns::dsp::accumulate_at(expected, staged, 17);
+
+    cvec fused(3100, cplx{0.0, 0.0});
+    ns::dsp::accumulate_scaled_shifted(fused, source, gain, tone_hz, fs, 17);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(expected[i], fused[i]) << "sample " << i;
+    }
+}
+
+TEST(superposition, symbol_domain_single_device_spectra_match_demodulator) {
+    // End-to-end fast-path check: with (near-)zero noise, the symbol
+    // spectra of one packet must match dechirp + padded FFT of the
+    // time-domain synthesis, symbol by symbol.
+    const ns::phy::css_params p{.bandwidth_hz = 500e3, .spreading_factor = 7};
+    const ns::phy::demodulator demod(p, 4);
+    const std::uint32_t shift = 30;
+    const std::vector<bool> bits = {true, false, true, true, false, false, true, false};
+    const ns::phy::distributed_modulator mod(p, shift);
+    cvec packet = mod.modulate_packet(bits);
+    const double tone_hz = 95.0;
+    packet = ns::dsp::frequency_shift(packet, tone_hz, p.bandwidth_hz);
+
+    std::vector<std::uint8_t> frame_bits;
+    for (bool bit : bits) frame_bits.push_back(bit ? 1 : 0);
+    packet_contribution contribution;
+    contribution.cyclic_shift = shift;
+    contribution.frame_bits = frame_bits;
+    contribution.snr_db = 200.0;  // signal streets ahead of the epsilon noise
+    contribution.frequency_offset_hz = tone_hz;
+    contribution.random_phase = false;
+
+    channel_config config;
+    config.noise_power = 1e-18;
+    symbol_domain_params sd;
+    sd.zero_padding = 4;
+    sd.payload_symbols = bits.size();
+    sd.kernel_radius_bins = p.num_bins() / 2;  // untruncated
+    ns::util::rng gen(31);
+    channel_workspace workspace;
+    const std::vector<packet_contribution> packets = {contribution};
+    combine_symbol_domain(packets, p, config, sd, gen, workspace);
+
+    const double amplitude = std::sqrt(config.noise_power) * 1e10;  // 200 dB
+    const std::size_t sps = p.samples_per_symbol();
+    ASSERT_EQ(workspace.symbol_spectra.size(), sd.preamble_upchirps + bits.size());
+    for (std::size_t g = 0; g < sd.preamble_upchirps + bits.size(); ++g) {
+        // Symbol index within the full packet (downchirps skipped).
+        const std::size_t packet_symbol =
+            g < sd.preamble_upchirps ? g : sd.preamble_symbols + (g - sd.preamble_upchirps);
+        const cvec window(packet.begin() + static_cast<std::ptrdiff_t>(
+                                               packet_symbol * sps),
+                          packet.begin() + static_cast<std::ptrdiff_t>(
+                                               (packet_symbol + 1) * sps));
+        const cvec expected = demod.symbol_spectrum(window);
+        const cvec& produced = workspace.symbol_spectra[g];
+        ASSERT_EQ(produced.size(), expected.size());
+        double max_error = 0.0;
+        for (std::size_t m = 0; m < expected.size(); ++m) {
+            max_error = std::max(max_error,
+                                 std::abs(produced[m] - amplitude * expected[m]));
+        }
+        // Relative to the peak magnitude amplitude * N.
+        EXPECT_LT(max_error, 1e-6 * amplitude * static_cast<double>(p.num_bins()))
+            << "symbol " << g;
+    }
 }
 
 }  // namespace

@@ -88,6 +88,7 @@ TEST(failure_injection, decode_survives_indoor_multipath) {
     int delivered = 0, total = 0;
     for (int trial = 0; trial < 5; ++trial) {
         std::vector<ns::channel::tx_contribution> txs;
+        std::vector<cvec> waveforms;
         std::vector<std::vector<bool>> sent;
         for (std::uint32_t shift : {64u, 192u, 320u, 448u}) {
             const auto bits =
@@ -95,7 +96,8 @@ TEST(failure_injection, decode_survives_indoor_multipath) {
             sent.push_back(bits);
             ns::phy::distributed_modulator mod(rxp.phy, shift);
             ns::channel::tx_contribution tx;
-            tx.waveform = mod.modulate_packet(bits);
+            waveforms.push_back(mod.modulate_packet(bits));
+            tx.waveform = waveforms.back();
             tx.snr_db = 5.0;
             txs.push_back(std::move(tx));
         }
@@ -129,7 +131,8 @@ TEST(failure_injection, decode_survives_walking_doppler) {
         ns::phy::build_frame_bits(rxp.frame, gen.bits(rxp.frame.payload_bits));
     ns::phy::distributed_modulator mod(rxp.phy, 100);
     ns::channel::tx_contribution tx;
-    tx.waveform = mod.modulate_packet(bits);
+    const cvec waveform = mod.modulate_packet(bits);
+    tx.waveform = waveform;
     tx.snr_db = 0.0;
     tx.frequency_offset_hz = ns::channel::doppler_shift_hz(5.0, 900e6);
     ns::channel::channel_config config;
@@ -154,6 +157,7 @@ TEST(failure_injection, jitter_beyond_skip_budget_collides_with_neighbour) {
     ns::util::rng gen(23);
 
     std::vector<ns::channel::tx_contribution> txs;
+    std::vector<cvec> waveforms;
     std::vector<std::vector<bool>> sent;
     for (const auto& [shift, delay_s] :
          std::vector<std::pair<std::uint32_t, double>>{{100, 4e-6}, {102, 0.0}}) {
@@ -162,7 +166,8 @@ TEST(failure_injection, jitter_beyond_skip_budget_collides_with_neighbour) {
         sent.push_back(bits);
         ns::phy::distributed_modulator mod(rxp.phy, shift);
         ns::channel::tx_contribution tx;
-        tx.waveform = mod.modulate_packet(bits);
+        waveforms.push_back(mod.modulate_packet(bits));
+        tx.waveform = waveforms.back();
         tx.snr_db = 10.0;
         tx.timing_offset_s = delay_s;
         txs.push_back(std::move(tx));
@@ -188,7 +193,8 @@ TEST(failure_injection, unregistered_transmitter_is_ignored) {
         ns::phy::build_frame_bits(rxp.frame, gen.bits(rxp.frame.payload_bits));
     ns::phy::distributed_modulator mod(rxp.phy, 300);
     ns::channel::tx_contribution tx;
-    tx.waveform = mod.modulate_packet(bits);
+    const cvec waveform = mod.modulate_packet(bits);
+    tx.waveform = waveform;
     tx.snr_db = 15.0;
     ns::channel::channel_config config;
     const cvec stream =

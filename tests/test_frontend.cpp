@@ -141,7 +141,8 @@ struct estimator_fixture {
             ns::phy::build_frame_bits(rxp.frame, gen.bits(rxp.frame.payload_bits));
         ns::phy::distributed_modulator mod(rxp.phy, 100);
         ns::channel::tx_contribution tx;
-        tx.waveform = mod.modulate_packet(bits);
+        const ns::dsp::cvec waveform = mod.modulate_packet(bits);
+        tx.waveform = waveform;
         tx.snr_db = snr_db;
         tx.frequency_offset_hz = tone_hz;
         ns::channel::channel_config config;
@@ -180,6 +181,7 @@ TEST(estimators, estimates_work_concurrently) {
     ns::util::rng gen(9);
 
     std::vector<ns::channel::tx_contribution> txs;
+    std::vector<ns::dsp::cvec> waveforms;
     const double snrs[2] = {15.0, -5.0};
     const double tones[2] = {120.0, -200.0};
     for (int d = 0; d < 2; ++d) {
@@ -187,7 +189,8 @@ TEST(estimators, estimates_work_concurrently) {
             ns::phy::build_frame_bits(rxp.frame, gen.bits(rxp.frame.payload_bits));
         ns::phy::distributed_modulator mod(rxp.phy, d == 0 ? 100 : 300);
         ns::channel::tx_contribution tx;
-        tx.waveform = mod.modulate_packet(bits);
+        waveforms.push_back(mod.modulate_packet(bits));
+        tx.waveform = waveforms.back();
         tx.snr_db = snrs[d];
         tx.frequency_offset_hz = tones[d];
         txs.push_back(std::move(tx));
@@ -216,7 +219,8 @@ TEST(estimators, timing_jitter_appears_as_tone_offset) {
         ns::phy::build_frame_bits(fx.rxp.frame, gen.bits(fx.rxp.frame.payload_bits));
     ns::phy::distributed_modulator mod(fx.rxp.phy, 100);
     ns::channel::tx_contribution tx;
-    tx.waveform = mod.modulate_packet(bits);
+    const ns::dsp::cvec waveform = mod.modulate_packet(bits);
+    tx.waveform = waveform;
     tx.snr_db = 10.0;
     tx.timing_offset_s = 1e-6;  // 0.5 bins == 488.3 Hz equivalent tone
     ns::channel::channel_config config;

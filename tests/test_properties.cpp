@@ -96,6 +96,7 @@ TEST_P(impaired_decoding, skip2_tolerates_sub_bin_residuals) {
     rx.set_registered_shifts(shifts);
 
     std::vector<ns::channel::tx_contribution> contributions;
+    std::vector<cvec> waveforms;
     std::vector<std::vector<bool>> sent;
     for (std::uint32_t shift : shifts) {
         const std::vector<bool> bits =
@@ -103,7 +104,8 @@ TEST_P(impaired_decoding, skip2_tolerates_sub_bin_residuals) {
         sent.push_back(bits);
         ns::phy::distributed_modulator mod(rxp.phy, shift);
         ns::channel::tx_contribution tx;
-        tx.waveform = mod.modulate_packet(bits);
+        waveforms.push_back(mod.modulate_packet(bits));
+        tx.waveform = waveforms.back();
         tx.snr_db = 5.0;
         tx.timing_offset_s = gen.uniform(-0.8e-6, 0.8e-6);   // < 0.4 bin
         tx.frequency_offset_hz = gen.uniform(-90.0, 90.0);   // < 0.1 bin
@@ -214,7 +216,8 @@ TEST(properties, single_device_ber_monotone_in_snr) {
                 ns::phy::build_frame_bits(rxp.frame, gen.bits(rxp.frame.payload_bits));
             ns::phy::distributed_modulator mod(rxp.phy, 100);
             ns::channel::tx_contribution tx;
-            tx.waveform = mod.modulate_packet(frame_bits);
+            const cvec waveform = mod.modulate_packet(frame_bits);
+            tx.waveform = waveform;
             tx.snr_db = snr;
             ns::channel::channel_config config;
             const std::size_t samples = tx.waveform.size();

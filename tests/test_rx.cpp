@@ -45,13 +45,15 @@ concurrent_setup make_concurrent(const receiver_params& rxp,
         (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
         rxp.phy.samples_per_symbol();
     std::vector<ns::channel::tx_contribution> contributions;
+    std::vector<ns::dsp::cvec> waveforms;
     for (std::size_t d = 0; d < shifts.size(); ++d) {
         const std::vector<bool> payload = gen.bits(rxp.frame.payload_bits);
         const std::vector<bool> bits = ns::phy::build_frame_bits(rxp.frame, payload);
         setup.frame_bits.push_back(bits);
         ns::phy::distributed_modulator mod(rxp.phy, shifts[d]);
         ns::channel::tx_contribution tx;
-        tx.waveform = mod.modulate_packet(bits);
+        waveforms.push_back(mod.modulate_packet(bits));
+        tx.waveform = waveforms.back();
         tx.snr_db = snrs_db[d];
         tx.sample_delay = lead_in;
         contributions.push_back(std::move(tx));
@@ -214,7 +216,8 @@ TEST(receiver, payload_zero_and_one_runs) {
         const std::vector<bool> bits = ns::phy::build_frame_bits(rxp.frame, payload);
         ns::phy::distributed_modulator mod(rxp.phy, 128);
         ns::channel::tx_contribution tx;
-        tx.waveform = mod.modulate_packet(bits);
+        const ns::dsp::cvec waveform = mod.modulate_packet(bits);
+        tx.waveform = waveform;
         tx.snr_db = 5.0;
         ns::channel::channel_config config;
         const cvec stream =
@@ -240,10 +243,12 @@ TEST(receiver, timing_jitter_within_skip_tolerated) {
     const auto bits_b = ns::phy::build_frame_bits(rxp.frame, payload_b);
 
     ns::channel::tx_contribution a, b;
-    a.waveform = mod_a.modulate_packet(bits_a);
+    const ns::dsp::cvec wave_a = mod_a.modulate_packet(bits_a);
+    const ns::dsp::cvec wave_b = mod_b.modulate_packet(bits_b);
+    a.waveform = wave_a;
     a.snr_db = 5.0;
     a.timing_offset_s = 0.8e-6;  // 0.4 bins
-    b.waveform = mod_b.modulate_packet(bits_b);
+    b.waveform = wave_b;
     b.snr_db = 5.0;
     b.timing_offset_s = -0.8e-6;
     ns::channel::channel_config config;
