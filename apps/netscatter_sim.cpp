@@ -196,6 +196,13 @@ void write_json(const ns::scenario::scenario_result& result,
                       static_cast<double>(result.stats.association_collisions));
     report.set_scalar("interference_events",
                       static_cast<double>(result.stats.interference_events));
+    report.set_scalar("network_id",
+                      static_cast<double>(result.spec.sim.network_id));
+    report.set_scalar("cross_tx", static_cast<double>(result.sim.total_cross_tx));
+    report.set_scalar("cross_collisions",
+                      static_cast<double>(result.sim.total_cross_collisions));
+    report.set_scalar("cross_collided_delivered",
+                      static_cast<double>(result.sim.total_cross_collided_delivered));
     report.set_scalar("num_groups", static_cast<double>(result.num_groups));
     report.set_scalar("regroups", static_cast<double>(result.sim.total_regroups));
     report.set_scalar("control_overhead_s", result.control_overhead_s);
@@ -253,6 +260,8 @@ void write_json(const ns::scenario::scenario_result& result,
              {"leaves", static_cast<double>(round.leaves)},
              {"realloc_events", static_cast<double>(round.realloc_events)},
              {"regroups", static_cast<double>(round.regroups)},
+             {"cross_tx", static_cast<double>(round.cross_tx)},
+             {"cross_collisions", static_cast<double>(round.cross_collisions)},
              {"query_time_s", query_time_s},
              {"reassoc_latency_rounds", reassoc_latency},
              {"throughput_bps", throughput},

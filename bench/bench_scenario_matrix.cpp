@@ -73,6 +73,9 @@ int main() {
              {"association_collisions",
               static_cast<double>(result.stats.association_collisions)},
              {"mean_reassoc_latency_rounds", result.stats.mean_join_latency_rounds()},
+             {"cross_tx", static_cast<double>(result.sim.total_cross_tx)},
+             {"cross_collisions",
+              static_cast<double>(result.sim.total_cross_collisions)},
              {"fast_path_rounds", static_cast<double>(result.sim.fast_path_rounds)},
              {"synth_ms_per_round", result.sim.synth_wall_s * 1e3 / n_rounds},
              {"decode_ms_per_round", result.sim.decode_wall_s * 1e3 / n_rounds},

@@ -22,4 +22,30 @@ double gauss_markov_fading::next_db() {
     return current_db_;
 }
 
+tap_delay_line::tap_delay_line(const multipath_model& model, double sample_rate_hz,
+                               double correlation, ns::util::rng rng)
+    : rho_(correlation), powers_(model.tap_powers(sample_rate_hz)), rng_(rng) {
+    ns::util::require(correlation >= 0.0 && correlation < 1.0,
+                      "tap_delay_line: correlation must be in [0,1)");
+    // Start from the stationary distribution (the same draw sequence as
+    // multipath_model::sample_taps).
+    taps_.resize(powers_.size());
+    taps_[0] = std::polar(std::sqrt(powers_[0]),
+                          rng_.uniform(0.0, 2.0 * 3.141592653589793));
+    for (std::size_t i = 1; i < powers_.size(); ++i) {
+        const double sigma = std::sqrt(powers_[i] / 2.0);
+        taps_[i] = cplx{rng_.gaussian(0.0, sigma), rng_.gaussian(0.0, sigma)};
+    }
+}
+
+std::span<const cplx> tap_delay_line::next() {
+    const double innovation_scale = std::sqrt(1.0 - rho_ * rho_);
+    for (std::size_t i = 1; i < taps_.size(); ++i) {
+        const double sigma = innovation_scale * std::sqrt(powers_[i] / 2.0);
+        taps_[i] = rho_ * taps_[i] +
+                   cplx{rng_.gaussian(0.0, sigma), rng_.gaussian(0.0, sigma)};
+    }
+    return taps_;
+}
+
 }  // namespace ns::channel

@@ -7,6 +7,10 @@
 // standard model for shadow-fading time series.
 #pragma once
 
+#include <span>
+#include <vector>
+
+#include "netscatter/channel/impairments.hpp"
 #include "netscatter/util/rng.hpp"
 
 namespace ns::channel {
@@ -30,6 +34,36 @@ private:
     double sigma_db_;
     double rho_;
     double current_db_;
+    ns::util::rng rng_;
+};
+
+/// Per-device frequency-selective multipath state: a tapped delay line
+/// (tap `i` delayed i samples) whose scattered taps evolve round to
+/// round as independent complex AR(1) (Gauss-Markov) processes around
+/// the model's power-delay profile, while the LoS tap stays fixed — the
+/// Rician picture of a constant specular path plus Rayleigh scatter
+/// that decorrelates as people move through the clutter. The process is
+/// stationary: each scattered tap is CN(0, p_i) at every round, so the
+/// line keeps unit mean total power.
+class tap_delay_line {
+public:
+    /// `correlation` is the round-to-round correlation coefficient rho
+    /// in [0, 1) of each scattered tap.
+    tap_delay_line(const multipath_model& model, double sample_rate_hz,
+                   double correlation, ns::util::rng rng);
+
+    /// Advances one round and returns the current taps. The span views
+    /// internal storage and stays valid until the line is destroyed
+    /// (values change on the next call).
+    std::span<const cplx> next();
+
+    /// Current taps without advancing.
+    std::span<const cplx> current() const { return taps_; }
+
+private:
+    double rho_;
+    std::vector<double> powers_;  ///< stationary per-tap power (0 = LoS)
+    cvec taps_;
     ns::util::rng rng_;
 };
 

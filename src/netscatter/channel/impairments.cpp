@@ -31,7 +31,7 @@ double sample_doppler_hz(double speed_mps, double carrier_hz, ns::util::rng& rng
     return doppler_shift_hz(radial, carrier_hz);
 }
 
-cvec multipath_model::sample_taps(double sample_rate_hz, ns::util::rng& rng) const {
+std::vector<double> multipath_model::tap_powers(double sample_rate_hz) const {
     ns::util::require(num_taps >= 0, "multipath_model: num_taps must be >= 0");
     ns::util::require(sample_rate_hz > 0.0, "multipath_model: sample rate must be positive");
 
@@ -40,35 +40,47 @@ cvec multipath_model::sample_taps(double sample_rate_hz, ns::util::rng& rng) con
     const double los_power = k_linear / (1.0 + k_linear);
     const double tap_interval_s = 1.0 / sample_rate_hz;
 
-    cvec taps(static_cast<std::size_t>(num_taps) + 1);
-    // LoS tap: fixed power, random phase.
-    taps[0] = std::polar(std::sqrt(los_power), rng.uniform(0.0, 2.0 * 3.141592653589793));
-    // Scattered taps: Rayleigh with exponentially decaying power profile.
+    std::vector<double> powers(static_cast<std::size_t>(num_taps) + 1);
+    // With no scattered taps the LoS carries everything — the profile
+    // stays unit-power at every tap count.
+    powers[0] = num_taps == 0 ? 1.0 : los_power;
     double profile_sum = 0.0;
-    std::vector<double> profile(static_cast<std::size_t>(num_taps));
     for (int i = 0; i < num_taps; ++i) {
         const double delay = static_cast<double>(i + 1) * tap_interval_s;
-        profile[static_cast<std::size_t>(i)] = std::exp(-delay / delay_spread_s);
-        profile_sum += profile[static_cast<std::size_t>(i)];
+        powers[static_cast<std::size_t>(i) + 1] = std::exp(-delay / delay_spread_s);
+        profile_sum += powers[static_cast<std::size_t>(i) + 1];
     }
     for (int i = 0; i < num_taps; ++i) {
-        const double p = profile_sum > 0.0
-                             ? scatter_power * profile[static_cast<std::size_t>(i)] / profile_sum
-                             : 0.0;
-        const double sigma = std::sqrt(p / 2.0);
-        taps[static_cast<std::size_t>(i) + 1] =
-            cplx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+        powers[static_cast<std::size_t>(i) + 1] =
+            profile_sum > 0.0
+                ? scatter_power * powers[static_cast<std::size_t>(i) + 1] / profile_sum
+                : 0.0;
+    }
+    return powers;
+}
+
+cvec multipath_model::sample_taps(double sample_rate_hz, ns::util::rng& rng) const {
+    const std::vector<double> powers = tap_powers(sample_rate_hz);
+
+    cvec taps(powers.size());
+    // LoS tap: fixed power, random phase.
+    taps[0] = std::polar(std::sqrt(powers[0]), rng.uniform(0.0, 2.0 * 3.141592653589793));
+    // Scattered taps: Rayleigh with exponentially decaying power profile.
+    for (std::size_t i = 1; i < powers.size(); ++i) {
+        const double sigma = std::sqrt(powers[i] / 2.0);
+        taps[i] = cplx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
     }
     return taps;
 }
 
-cvec apply_multipath(std::span<const cplx> signal, const cvec& taps) {
+cvec apply_multipath(std::span<const cplx> signal, std::span<const cplx> taps) {
     cvec out;
     apply_multipath_into(signal, taps, out);
     return out;
 }
 
-void apply_multipath_into(std::span<const cplx> signal, const cvec& taps, cvec& out) {
+void apply_multipath_into(std::span<const cplx> signal, std::span<const cplx> taps,
+                          cvec& out) {
     out.assign(signal.size(), cplx{0.0, 0.0});
     for (std::size_t t = 0; t < taps.size(); ++t) {
         if (taps[t] == cplx{0.0, 0.0}) continue;

@@ -65,6 +65,11 @@ struct multipath_model {
     int num_taps = 4;                ///< taps beyond the LoS tap
     double rician_k_db = 9.0;        ///< LoS-to-scatter power ratio
 
+    /// Stationary per-tap power profile at `sample_rate_hz`: index 0 is
+    /// the LoS tap, 1..num_taps the exponentially decaying scattered
+    /// taps. Powers sum to 1 (unit total power).
+    std::vector<double> tap_powers(double sample_rate_hz) const;
+
     /// Draws a normalized (unit total power) tap vector; tap spacing is
     /// one sample at `sample_rate_hz`.
     cvec sample_taps(double sample_rate_hz, ns::util::rng& rng) const;
@@ -72,12 +77,13 @@ struct multipath_model {
 
 /// Applies a tapped-delay-line channel to a signal (linear convolution
 /// truncated to the input length).
-cvec apply_multipath(std::span<const cplx> signal, const cvec& taps);
+cvec apply_multipath(std::span<const cplx> signal, std::span<const cplx> taps);
 
 /// apply_multipath into a caller-provided buffer (resized; capacity
 /// reuse makes repeated calls allocation-free). `out` must not alias
 /// `signal`.
-void apply_multipath_into(std::span<const cplx> signal, const cvec& taps, cvec& out);
+void apply_multipath_into(std::span<const cplx> signal, std::span<const cplx> taps,
+                          cvec& out);
 
 /// Converts an impairment pair (timing offset, frequency offset) into the
 /// equivalent dechirped-domain frequency shift in Hz for the given CSS

@@ -31,4 +31,15 @@ double backscatter_rx_power_dbm(double ap_tx_dbm, double device_gain_db,
     return ap_tx_dbm + device_gain_db - roundtrip_loss_db;
 }
 
+double gudmundson_shadowing_step_db(const pathloss_params& params, double shadow_db,
+                                    double moved_m, ns::util::rng& rng) {
+    ns::util::require(params.shadowing_decorrelation_m > 0.0,
+                      "gudmundson: decorrelation distance must be positive");
+    ns::util::require(moved_m >= 0.0, "gudmundson: moved distance must be >= 0");
+    const double rho = std::exp(-moved_m / params.shadowing_decorrelation_m);
+    const double innovation =
+        params.shadowing_sigma_db * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+    return rho * shadow_db + rng.gaussian(0.0, innovation);
+}
+
 }  // namespace ns::channel

@@ -19,7 +19,19 @@ struct pathloss_params {
     double exponent = 3.0;               ///< indoor office with obstructions
     double wall_loss_db = 5.0;           ///< attenuation per intervening wall
     double shadowing_sigma_db = 3.0;     ///< lognormal shadowing std dev
+    /// Gudmundson decorrelation distance: the spatial correlation of the
+    /// shadowing process is exp(-d / d_corr), so a mover's shadowing
+    /// offset evolves as an AR(1) process along its path instead of
+    /// staying frozen (~5-20 m indoors).
+    double shadowing_decorrelation_m = 10.0;
 };
+
+/// One Gudmundson step of a mover's shadowing offset: advances
+/// `shadow_db` by `moved_m` metres of walked distance, keeping the
+/// process stationary at `params.shadowing_sigma_db` with spatial
+/// correlation exp(-moved_m / decorrelation).
+double gudmundson_shadowing_step_db(const pathloss_params& params, double shadow_db,
+                                    double moved_m, ns::util::rng& rng);
 
 /// One-way path loss in dB over `distance_m` metres through `walls`
 /// intervening walls, with a shadowing sample drawn from `rng`.

@@ -34,14 +34,21 @@ const cvec& combine(std::span<const tx_contribution> contributions, std::size_t 
         const double tone_hz =
             equivalent_tone_shift_hz(params, tx.timing_offset_s, tx.frequency_offset_hz);
 
-        if (config.enable_multipath) {
+        const bool filtered = config.enable_multipath || !tx.taps.empty();
+        if (filtered) {
             if (tone_hz != 0.0) {
                 ns::dsp::frequency_shift_into(source, tone_hz, params.bandwidth_hz,
                                               workspace.staged);
                 source = workspace.staged;
             }
-            const cvec taps = config.multipath.sample_taps(params.bandwidth_hz, rng);
-            apply_multipath_into(source, taps, workspace.filtered);
+            if (!tx.taps.empty()) {
+                // Explicit per-device taps (e.g. a tap_delay_line whose
+                // state persists across rounds).
+                apply_multipath_into(source, tx.taps, workspace.filtered);
+            } else {
+                const cvec taps = config.multipath.sample_taps(params.bandwidth_hz, rng);
+                apply_multipath_into(source, taps, workspace.filtered);
+            }
             source = workspace.filtered;
         }
 
@@ -50,7 +57,7 @@ const cvec& combine(std::span<const tx_contribution> contributions, std::size_t 
             gain = std::polar(amplitude, rng.uniform(0.0, 2.0 * std::numbers::pi));
         }
 
-        if (!config.enable_multipath && tone_hz != 0.0) {
+        if (!filtered && tone_hz != 0.0) {
             // Fused shift + scale + accumulate: bit-identical to the
             // staged sequence, without the intermediate buffer.
             ns::dsp::accumulate_scaled_shifted(received, source, gain, tone_hz,
@@ -96,8 +103,9 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
                            const symbol_domain_params& sd, ns::util::rng& rng,
                            channel_workspace& workspace) {
     ns::util::require(!config.enable_multipath,
-                      "combine_symbol_domain: multipath is not representable as a "
-                      "post-dechirp tone; use the sample-domain combine()");
+                      "combine_symbol_domain: config-level random multipath is "
+                      "sample-only; pass deterministic per-device taps via "
+                      "packet_contribution::taps instead");
     ns::util::require(sd.zero_padding >= 1 &&
                           ns::dsp::is_power_of_two(sd.zero_padding),
                       "combine_symbol_domain: zero_padding must be a power of two");
@@ -200,15 +208,30 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
 
         const double tone_hz = equivalent_tone_shift_hz(
             params, packet.timing_offset_s, packet.frequency_offset_hz);
+        const double tone_bins = tone_hz / params.bin_spacing_hz();
         const double position_bins =
-            static_cast<double>(packet.cyclic_shift) + tone_hz / params.bin_spacing_hz();
+            static_cast<double>(packet.cyclic_shift) + tone_bins;
 
         // The kernel's complex values are identical for every ON symbol
         // of the device; only the leading scalar A·e^{jφ_g} rotates with
         // the global symbol index g (the tone's phase advances across
-        // the whole packet, downchirps included).
-        const std::size_t first = ns::phy::make_dechirped_tone_kernel(
-            workspace.kernel, position_bins, n, sd.zero_padding, sd.kernel_radius_bins);
+        // the whole packet, downchirps included). A multipath device uses
+        // the tap-enveloped window instead of the bare Dirichlet one —
+        // the taps' per-symbol effect is identical too (each tap is a
+        // fixed-bin cyclic shift), so the same scalar applies.
+        std::size_t first;
+        const cvec* window;
+        if (packet.taps.empty()) {
+            first = ns::phy::make_dechirped_tone_kernel(
+                workspace.kernel, position_bins, n, sd.zero_padding,
+                sd.kernel_radius_bins);
+            window = &workspace.kernel;
+        } else {
+            first = ns::phy::make_multipath_tone_kernel(
+                workspace.envelope, packet.taps, packet.cyclic_shift, tone_bins, n,
+                sd.zero_padding, sd.kernel_radius_bins, workspace.kernel);
+            window = &workspace.envelope;
+        }
         const double symbol_phase_step =
             2.0 * std::numbers::pi * tone_hz * static_cast<double>(n) /
             params.bandwidth_hz;
@@ -219,7 +242,7 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
         };
 
         for (std::size_t k = 0; k < sd.preamble_upchirps; ++k) {
-            add_kernel_at(workspace.symbol_spectra[k], workspace.kernel, first,
+            add_kernel_at(workspace.symbol_spectra[k], *window, first,
                           symbol_scalar(k));
         }
         const std::size_t on_bits =
@@ -227,7 +250,7 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
         for (std::size_t i = 0; i < on_bits; ++i) {
             if (packet.frame_bits[i] == 0) continue;
             add_kernel_at(workspace.symbol_spectra[sd.preamble_upchirps + i],
-                          workspace.kernel, first,
+                          *window, first,
                           symbol_scalar(sd.preamble_symbols + i));
         }
     }

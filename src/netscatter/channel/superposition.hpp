@@ -66,6 +66,11 @@ struct tx_contribution {
     double frequency_offset_hz = 0.0;  ///< residual CFO (crystal + Doppler)
     bool random_phase = true;       ///< rotate by a uniform carrier phase
     std::size_t sample_delay = 0;   ///< integer-sample misalignment (coarse)
+    /// Explicit per-device multipath taps (tap i delayed i samples;
+    /// non-owning — e.g. a tap_delay_line's span). When non-empty they
+    /// are convolved onto the waveform and take precedence over
+    /// channel_config::enable_multipath's per-round random draw.
+    std::span<const cplx> taps;
 };
 
 /// Symbolic description of one standard NetScatter packet (preamble at
@@ -80,6 +85,11 @@ struct packet_contribution {
     double timing_offset_s = 0.0;
     double frequency_offset_hz = 0.0;
     bool random_phase = true;
+    /// Per-device multipath taps (non-owning; empty = flat channel).
+    /// The fast path folds them into a spectral envelope on the Dirichlet
+    /// window (phy::make_multipath_tone_kernel), so multipath rounds stay
+    /// symbol-domain.
+    std::span<const cplx> taps;
 };
 
 /// Superposition channel configuration.
@@ -123,6 +133,7 @@ struct channel_workspace {
     std::vector<cvec> symbol_spectra;  ///< per-symbol accumulators (fast path):
                                        ///< preamble upchirps then payload symbols
     cvec kernel;                    ///< per-device Dirichlet window
+    cvec envelope;                  ///< multipath-enveloped kernel window
     cvec noise_bins;                ///< on-grid noise draws + wrap margins
     cvec noise_taps;                ///< banded interpolation coefficients
     /// Sample-path per-device packet buffers (span-stable handout; see
@@ -151,9 +162,14 @@ cvec combine(const std::vector<tx_contribution>& contributions, std::size_t leng
 /// decoder never inspects them at a known packet start). Each spectrum
 /// holds thermal noise (drawn in the frequency domain via one FFT per
 /// symbol — distribution-identical to dechirped time-domain noise) plus
-/// one truncated Dirichlet kernel per ON symbol per device. Requires
-/// config.enable_multipath == false (multipath is not representable as a
-/// single post-dechirp tone; callers fall back to combine()).
+/// one truncated Dirichlet kernel per ON symbol per device — or, for
+/// packets carrying explicit multipath taps, one enveloped kernel (the
+/// tap-weighted sum of the window at integer-bin offsets, see
+/// phy::make_multipath_tone_kernel). Requires config.enable_multipath ==
+/// false: the config-level switch draws RANDOM taps per device per round
+/// in a sample-path-specific order and stays sample-only; deterministic
+/// per-device taps flow through packet_contribution::taps instead and
+/// keep the round on the fast path.
 void combine_symbol_domain(std::span<const packet_contribution> packets,
                            const ns::phy::css_params& params,
                            const channel_config& config,

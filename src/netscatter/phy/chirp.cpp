@@ -102,6 +102,51 @@ std::size_t make_dechirped_tone_kernel(cvec& kernel, double position_bins,
     return static_cast<std::size_t>(((first_signed % m_signed) + m_signed) % m_signed);
 }
 
+std::size_t make_multipath_tone_kernel(cvec& envelope, std::span<const cplx> taps,
+                                       std::uint32_t cyclic_shift, double tone_bins,
+                                       std::size_t num_bins, std::size_t padding,
+                                       std::size_t radius_bins, cvec& kernel_scratch) {
+    ns::util::require(!taps.empty(), "multipath_tone_kernel: need at least one tap");
+    const std::size_t m_total = num_bins * padding;
+    const std::size_t spread = (taps.size() - 1) * padding;
+    ns::util::require(spread < m_total,
+                      "multipath_tone_kernel: more taps than the spectrum has bins");
+    // Clamp the per-tap window so window + tap spread fits the spectrum —
+    // the same silent clamping make_dechirped_tone_kernel applies at
+    // radius >= num_bins/2, extended by the spread the taps add.
+    const std::size_t max_radius = ((m_total - spread - 1) / 2) / padding;
+    const double position = static_cast<double>(cyclic_shift) + tone_bins;
+    const std::size_t first_p = make_dechirped_tone_kernel(
+        kernel_scratch, position, num_bins, padding,
+        std::min(radius_bins, max_radius));
+
+    const std::size_t window = kernel_scratch.size();
+    envelope.assign(window + spread, cplx{0.0, 0.0});
+
+    const double n = static_cast<double>(num_bins);
+    const double omega = 2.0 * std::numbers::pi * tone_bins / n;  // rad/sample
+    for (std::size_t t = 0; t < taps.size(); ++t) {
+        if (taps[t] == cplx{0.0, 0.0}) continue;
+        const double td = static_cast<double>(t);
+        // Constant phase of the t-sample delay: the cyclic-shift identity
+        // β_t plus the residual tone's e^{-jωt} (the tone is applied to
+        // the waveform before the channel delays it).
+        const double beta =
+            2.0 * std::numbers::pi *
+                (td / 2.0 + td * td / (2.0 * n) -
+                 static_cast<double>(cyclic_shift) * td / n) -
+            omega * td;
+        const cplx gain = taps[t] * std::polar(1.0, beta);
+        // Tap t's kernel sits t·padding padded bins below the LoS peak;
+        // envelope[0] anchors at first_p - spread.
+        const std::size_t base = spread - t * padding;
+        for (std::size_t w = 0; w < window; ++w) {
+            envelope[base + w] += gain * kernel_scratch[w];
+        }
+    }
+    return (first_p + m_total - spread) % m_total;
+}
+
 cvec dechirp(const css_params& params, const cvec& symbol) {
     ns::util::require(symbol.size() == params.samples_per_symbol(),
                       "dechirp: symbol length mismatch");

@@ -11,6 +11,9 @@
 // agree for integer shifts.
 #pragma once
 
+#include <cstdint>
+#include <span>
+
 #include "netscatter/dsp/fft.hpp"
 #include "netscatter/phy/css_params.hpp"
 
@@ -60,5 +63,31 @@ cvec dechirp(const css_params& params, const cvec& symbol);
 std::size_t make_dechirped_tone_kernel(cvec& kernel, double position_bins,
                                        std::size_t num_bins, std::size_t padding,
                                        std::size_t radius_bins);
+
+/// Frequency-selective multipath on the fast path. A tap delaying the
+/// chirp by t samples is — at the critical sampling rate — exactly a
+/// -t-bin cyclic shift with a constant, shift-dependent phase:
+///   x_s[n - t] = x_{s-t}[n] · e^{jβ_t},   β_t = 2π(t/2 + t²/2N − s·t/N),
+/// so the post-dechirp spectrum of a multipath chirp is the tap-weighted
+/// sum of the SAME Dirichlet window at integer-bin offsets. (Dual view:
+/// an LTI channel multiplies a chirp pointwise in time by its frequency
+/// response sampled along the sweep, and after dechirping time maps to
+/// frequency — the taps become a spectral envelope on the kernel.)
+///
+/// Writes the combined window for taps `taps` (tap i delayed i samples)
+/// of a device at integer shift `cyclic_shift` with residual tone
+/// displacement `tone_bins` chip bins into `envelope` (window size
+/// kernel + (taps-1)·padding; resized, capacity reuse) and returns the
+/// padded-bin index of envelope[0]. The residual tone — applied to the
+/// waveform BEFORE the channel — adds e^{-jωt} per tap
+/// (ω = 2π·tone_bins/N rad/sample). `kernel_scratch` holds the
+/// single-tap window. With taps == {1} this reduces exactly to
+/// make_dechirped_tone_kernel. Exact up to the kernel truncation and
+/// the t-sample symbol-boundary effect of linear (vs cyclic) tap
+/// convolution, both below the truncation tolerance class.
+std::size_t make_multipath_tone_kernel(cvec& envelope, std::span<const cplx> taps,
+                                       std::uint32_t cyclic_shift, double tone_bins,
+                                       std::size_t num_bins, std::size_t padding,
+                                       std::size_t radius_bins, cvec& kernel_scratch);
 
 }  // namespace ns::phy

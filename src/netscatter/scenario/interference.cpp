@@ -1,8 +1,11 @@
 #include "netscatter/scenario/interference.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "netscatter/mac/allocator.hpp"
+#include "netscatter/mac/scheduler.hpp"
 #include "netscatter/phy/modulator.hpp"
 #include "netscatter/util/error.hpp"
 
@@ -81,6 +84,105 @@ std::vector<ns::channel::tx_contribution> interference_source::step(std::size_t 
     }
     total_events_ += contributions.size();
     return contributions;
+}
+
+cochannel_source::cochannel_source(cochannel_spec spec, ns::phy::css_params phy,
+                                   std::uint32_t skip, ns::phy::frame_format frame,
+                                   ns::channel::crystal_model crystal,
+                                   ns::channel::hardware_delay_model delay,
+                                   std::uint64_t seed)
+    : spec_(spec), frame_(frame), delay_(delay), rng_(seed) {
+    ns::util::require(spec_.num_devices > 0,
+                      "cochannel: num_devices must be > 0 when enabled");
+    ns::util::require(spec_.min_snr_db <= spec_.max_snr_db,
+                      "cochannel: min_snr_db must be <= max_snr_db");
+    ns::util::require(spec_.duty_cycle >= 0.0 && spec_.duty_cycle <= 1.0,
+                      "cochannel: duty_cycle must be in [0, 1]");
+    ns::util::require(spec_.max_round_offset_s >= 0.0,
+                      "cochannel: max_round_offset_s must be >= 0");
+
+    // The inter-AP carrier offset is common to every foreign packet seen
+    // by the victim (one oscillator pair), drawn once.
+    const double network_cfo_hz =
+        rng_.uniform(-spec_.carrier_offset_hz, spec_.carrier_offset_hz);
+
+    // Draw the foreign population's link budgets at the victim AP plus
+    // each device's own crystal offset.
+    std::vector<ns::mac::device_power> powers;
+    powers.reserve(spec_.num_devices);
+    std::vector<double> snrs(spec_.num_devices);
+    std::vector<double> cfos(spec_.num_devices);
+    for (std::size_t i = 0; i < spec_.num_devices; ++i) {
+        snrs[i] = rng_.uniform(spec_.min_snr_db, spec_.max_snr_db);
+        cfos[i] = crystal.sample_static_offset_hz(rng_) + network_cfo_hz;
+        powers.push_back({static_cast<std::uint32_t>(i), snrs[i]});
+    }
+
+    // The foreign AP's own §3.3.3 machinery: signal-strength partition,
+    // then a power-aware per-group shift allocation on the same slot
+    // geometry (identical PHY/SKIP — both networks deploy NetScatter).
+    const ns::mac::shift_allocator allocator(
+        ns::mac::allocation_params{.phy = phy, .skip = skip,
+                                   .num_association_slots = 0});
+    const ns::mac::group_scheduler scheduler(ns::mac::scheduler_params{
+        .group_capacity =
+            std::min(spec_.group_capacity, allocator.num_data_slots())});
+    const std::vector<ns::mac::device_group> partition =
+        scheduler.partition(powers);
+    num_groups_ = std::max<std::size_t>(1, partition.size());
+    schedule_phase_ = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(num_groups_) - 1));
+
+    devices_.reserve(spec_.num_devices);
+    for (std::size_t g = 0; g < partition.size(); ++g) {
+        std::vector<ns::mac::device_power> members;
+        members.reserve(partition[g].size());
+        for (std::uint32_t id : partition[g].device_ids) {
+            members.push_back({id, snrs[id]});
+        }
+        const auto shifts = allocator.allocate(members).shifts;
+        for (std::uint32_t id : partition[g].device_ids) {
+            devices_.push_back({.shift = shifts.at(id),
+                                .group = g,
+                                .snr_db = snrs[id],
+                                .cfo_hz = cfos[id]});
+        }
+    }
+    bits_store_.reserve(spec_.num_devices * frame_.payload_plus_crc_bits());
+}
+
+std::span<const ns::channel::packet_contribution> cochannel_source::step(
+    std::size_t round) {
+    contribs_.clear();
+    bits_store_.clear();
+    const std::size_t scheduled = (round + schedule_phase_) % num_groups_;
+    // The APs are unsynchronized: this round's offset of the foreign
+    // query relative to the victim's, common to the scheduled group.
+    const double round_offset_s = rng_.uniform(0.0, spec_.max_round_offset_s);
+    const std::size_t frame_bits = frame_.payload_plus_crc_bits();
+
+    for (const foreign_device& device : devices_) {
+        if (device.group != scheduled) continue;
+        if (!rng_.bernoulli(spec_.duty_cycle)) continue;
+        ns::channel::packet_contribution packet;
+        packet.cyclic_shift = device.shift;
+        packet.snr_db = device.snr_db;
+        packet.timing_offset_s = round_offset_s + delay_.sample_s(rng_);
+        packet.frequency_offset_hz = device.cfo_hz;
+        // The foreign payload is opaque data to the victim: i.i.d. bits.
+        for (std::size_t b = 0; b < frame_bits; ++b) {
+            bits_store_.push_back(rng_.bernoulli(0.5) ? 1 : 0);
+        }
+        contribs_.push_back(packet);
+    }
+    // Attach the bit spans once the store is final (reserve() in the
+    // constructor makes growth here impossible, but stay defensive).
+    for (std::size_t row = 0; row < contribs_.size(); ++row) {
+        contribs_[row].frame_bits = std::span<const std::uint8_t>(
+            bits_store_.data() + row * frame_bits, frame_bits);
+    }
+    total_tx_ += contribs_.size();
+    return contribs_;
 }
 
 }  // namespace ns::scenario

@@ -12,10 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "netscatter/channel/impairments.hpp"
 #include "netscatter/channel/superposition.hpp"
 #include "netscatter/phy/css_params.hpp"
+#include "netscatter/phy/frame.hpp"
 #include "netscatter/scenario/scenario_spec.hpp"
 #include "netscatter/util/rng.hpp"
 
@@ -48,6 +51,54 @@ private:
     /// Waveform storage behind the returned spans (span-stable handout;
     /// see ns::dsp::cvec_pool). Released at each step().
     ns::dsp::cvec_pool waveform_pool_;
+};
+
+/// A second NetScatter network sharing the band (cochannel_spec): the
+/// foreign AP runs its own §3.3.3 grouped schedule — its population is
+/// partitioned into signal-strength groups by the same group_scheduler
+/// the victim AP uses, shifts are allocated power-aware per group, and
+/// one group is addressed per round (round-robin on the foreign AP's own
+/// phase). The scheduled members' packets are produced as symbolic
+/// packet_contributions (round_plan::cochannel), so the victim simulator
+/// superposes them on either synthesis path and co-channel rounds stay
+/// fast-path eligible.
+class cochannel_source {
+public:
+    /// `skip`/`frame`/`crystal`/`delay` mirror the victim sim's
+    /// configuration: both networks deploy the same protocol stack.
+    cochannel_source(cochannel_spec spec, ns::phy::css_params phy,
+                     std::uint32_t skip, ns::phy::frame_format frame,
+                     ns::channel::crystal_model crystal,
+                     ns::channel::hardware_delay_model delay, std::uint64_t seed);
+
+    /// Foreign packets to superpose into `round` (possibly empty).
+    /// frame_bits spans view storage owned by this source; they stay
+    /// valid until the next step() call.
+    std::span<const ns::channel::packet_contribution> step(std::size_t round);
+
+    std::size_t total_tx() const { return total_tx_; }
+    std::size_t num_groups() const { return num_groups_; }
+    std::uint32_t network_id() const { return spec_.network_id; }
+
+private:
+    struct foreign_device {
+        std::uint32_t shift = 0;
+        std::size_t group = 0;
+        double snr_db = 0.0;       ///< at the victim AP
+        double cfo_hz = 0.0;       ///< crystal offset + inter-AP carrier offset
+    };
+
+    cochannel_spec spec_;
+    ns::phy::frame_format frame_;
+    ns::channel::hardware_delay_model delay_;
+    ns::util::rng rng_;
+    std::vector<foreign_device> devices_;  ///< grouped, strongest first
+    std::size_t num_groups_ = 1;
+    std::size_t schedule_phase_ = 0;  ///< the foreign AP's round-robin phase
+    std::size_t total_tx_ = 0;
+    /// Per-round storage behind the returned spans.
+    std::vector<std::uint8_t> bits_store_;
+    std::vector<ns::channel::packet_contribution> contribs_;
 };
 
 }  // namespace ns::scenario

@@ -33,9 +33,10 @@ mobility_process::mobility_process(mobility_spec spec, const ns::sim::deployment
         m.y_m = device.y_m;
         m.waypoint_x_m = rng_.uniform(0.0, dep.params().floor_width_m);
         m.waypoint_y_m = rng_.uniform(0.0, dep.params().floor_depth_m);
-        // The placement's loss includes a lognormal shadowing draw; keep
-        // the device's offset from the deterministic model frozen as it
-        // moves (its local clutter travels with it).
+        // The placement's loss includes a lognormal shadowing draw; start
+        // from the device's offset from the deterministic model. As the
+        // device walks, the offset decorrelates with distance (Gudmundson
+        // model, see step()) instead of travelling frozen with it.
         const double deterministic = ns::channel::oneway_loss_db(
             dep.params().pathloss, distance_to_ap(dep, m.x_m, m.y_m), device.walls);
         m.shadow_db = device.oneway_loss_db - deterministic;
@@ -76,7 +77,9 @@ std::vector<ns::sim::link_update> mobility_process::step(std::size_t round) {
         const double to_wx = m.waypoint_x_m - m.x_m;
         const double to_wy = m.waypoint_y_m - m.y_m;
         const double remaining = std::hypot(to_wx, to_wy);
+        double moved_m = step_m;
         if (remaining <= step_m || remaining == 0.0) {
+            moved_m = remaining;
             m.x_m = m.waypoint_x_m;
             m.y_m = m.waypoint_y_m;
             m.waypoint_x_m = rng_.uniform(0.0, deployment_->params().floor_width_m);
@@ -85,6 +88,10 @@ std::vector<ns::sim::link_update> mobility_process::step(std::size_t round) {
             m.x_m += step_m * to_wx / remaining;
             m.y_m += step_m * to_wy / remaining;
         }
+        // Shadowing decorrelates with walked distance (Gudmundson):
+        // stationary AR(1) step at correlation exp(-moved/d_corr).
+        m.shadow_db = ns::channel::gudmundson_shadowing_step_db(
+            deployment_->params().pathloss, m.shadow_db, moved_m, rng_);
         updates.push_back(derive_update(m, prev_distance));
     }
     return updates;

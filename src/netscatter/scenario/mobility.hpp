@@ -4,10 +4,13 @@
 // pace and picks a new one on arrival (random-waypoint model). Every
 // round the process re-derives the device's path loss — log-distance
 // exponent, walls actually crossed at the new position, the device's
-// frozen shadowing offset — plus round-trip flight time and the radial
-// Doppler shift, and hands the simulator the updated budget. The
-// device's power-adaptation loop (§3.2.3) then reacts to the moving
-// channel exactly as it would in deployment.
+// shadowing offset correlated along the walk (Gudmundson model:
+// spatial correlation exp(-d/d_corr), so the local clutter decorrelates
+// as the device moves instead of travelling frozen with it) — plus
+// round-trip flight time and the radial Doppler shift, and hands the
+// simulator the updated budget. The device's power-adaptation loop
+// (§3.2.3) then reacts to the moving channel exactly as it would in
+// deployment.
 #pragma once
 
 #include <cstdint>
@@ -37,12 +40,16 @@ public:
         return {movers_[i].x_m, movers_[i].y_m};
     }
 
+    /// Current shadowing offset of mover `i` in dB (tests): evolves along
+    /// the walk with the Gudmundson correlation.
+    double shadow_db(std::size_t i) const { return movers_[i].shadow_db; }
+
 private:
     struct mover {
         std::uint32_t id = 0;
         double x_m = 0.0, y_m = 0.0;
         double waypoint_x_m = 0.0, waypoint_y_m = 0.0;
-        double shadow_db = 0.0;  ///< frozen shadowing offset of this device
+        double shadow_db = 0.0;  ///< Gudmundson-correlated shadowing offset
     };
 
     ns::sim::link_update derive_update(mover& m, double prev_distance_m) const;

@@ -93,7 +93,13 @@ scenario_driver::scenario_driver(const scenario_spec& spec,
                     (spec.sim.frame.preamble_symbols +
                      spec.sim.frame.payload_plus_crc_bits()) *
                         spec.sim.phy.samples_per_symbol(),
-                    ns::engine::split_seed(seed, 4, 0)) {}
+                    ns::engine::split_seed(seed, 4, 0)) {
+    if (spec_.cochannel.enabled) {
+        cochannel_.emplace(spec_.cochannel, spec_.sim.phy, spec_.sim.skip,
+                           spec_.sim.frame, spec_.sim.crystal, spec_.sim.delay_model,
+                           ns::engine::split_seed(seed, 5, 0));
+    }
+}
 
 std::optional<std::vector<std::uint32_t>> scenario_driver::initial_active() {
     if (!has_churn_) return std::nullopt;  // everyone, batch-associated
@@ -127,6 +133,10 @@ ns::sim::round_plan scenario_driver::plan_round(std::size_t round) {
     plan.link_updates = mobility_.step(round);
     plan.interference = interference_.step(round);
     stats_.interference_events = interference_.total_events();
+    if (cochannel_) {
+        const auto packets = cochannel_->step(round);
+        plan.cochannel.assign(packets.begin(), packets.end());
+    }
     return plan;
 }
 

@@ -72,6 +72,9 @@ private:
     churn_process churn_;
     mobility_process mobility_;
     interference_source interference_;
+    /// The co-channel network (spec.cochannel.enabled only), on its own
+    /// seed stream like every other model.
+    std::optional<cochannel_source> cochannel_;
     driver_stats stats_;
 };
 

@@ -205,6 +205,72 @@ std::vector<scenario_spec> build_registry() {
         scenarios.push_back(spec);
     }
     {
+        // Frequency-selective multipath on the fast path: every device
+        // gets a persistent tapped delay line whose scattered taps
+        // decorrelate round to round; the post-dechirp effect is a
+        // spectral envelope on the Dirichlet window, so every round
+        // still runs symbol-domain.
+        scenario_spec spec;
+        spec.name = "office-multipath";
+        spec.description =
+            "192-device office through frequency-selective indoor multipath "
+            "(per-device tap delay lines, fast path)";
+        spec.geometry.preset = geometry_preset::office;
+        spec.geometry.num_devices = 192;
+        spec.sim = base_sim(20, 15);
+        spec.sim.model_multipath = true;
+        scenarios.push_back(spec);
+    }
+    {
+        // Two NetScatter networks in one band: a second AP (distinct
+        // network_id) runs its own grouped schedule and its packets
+        // superpose into the victim receiver as structured interference
+        // at misalignment-displaced bins. Standard packets are
+        // symbol-domain representable, so these rounds keep the fast
+        // path; the cross-network counters record the raids.
+        scenario_spec spec;
+        spec.name = "cochannel-2ap";
+        spec.description =
+            "128-device office sharing the band with a second 128-device "
+            "NetScatter AP (network_id 1)";
+        spec.geometry.preset = geometry_preset::office;
+        spec.geometry.num_devices = 128;
+        spec.cochannel.enabled = true;
+        spec.cochannel.network_id = 1;
+        spec.cochannel.num_devices = 128;
+        spec.cochannel.duty_cycle = 0.75;
+        spec.sim = base_sim(20, 16);
+        scenarios.push_back(spec);
+    }
+    {
+        // The grouped 1k-device hall through the multipath channel: the
+        // full §3.3.3 machinery (Aloha churn, mobility, periodic
+        // regroup) with per-device tap lines — and every round still on
+        // the symbol-domain fast path.
+        scenario_spec spec;
+        spec.name = "warehouse-1k-multipath";
+        spec.description =
+            "warehouse-1k-grouped through frequency-selective multipath "
+            "(tap delay lines on the fast path)";
+        spec.geometry.preset = geometry_preset::warehouse_aisle;
+        spec.geometry.num_devices = 1000;
+        spec.traffic.kind = traffic_kind::periodic;
+        spec.traffic.duty_cycle = 0.5;
+        spec.traffic.period_rounds = 4;
+        spec.churn.join_rate_per_round = 0.5;
+        spec.churn.leave_rate_per_round = 0.5;
+        spec.churn.association = association_mode::slotted_aloha;
+        spec.mobility.mobile_fraction = 0.1;
+        spec.sim = base_sim(16, 17);
+        spec.sim.model_multipath = true;
+        spec.sim.multipath.delay_spread_s = 250e-9;  // racked hall: long echoes
+        spec.sim.grouping.enabled = true;
+        spec.sim.grouping.group_capacity = 250;
+        spec.sim.grouping.policy = ns::sim::regroup_policy::periodic;
+        spec.sim.grouping.regroup_period_rounds = 8;
+        scenarios.push_back(spec);
+    }
+    {
         // Foreign classic-CSS frames share the band: same chirp slope,
         // misaligned in time, sweeping across the registered shifts.
         scenario_spec spec;

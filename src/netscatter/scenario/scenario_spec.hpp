@@ -126,6 +126,34 @@ struct interference_spec {
     double tone_hz = 100e3;        ///< periodic_tone frequency (baseband)
 };
 
+/// Co-channel NetScatter network (scenario/interference.hpp): a second
+/// AP with a distinct network_id running its own §3.3.3 grouped schedule
+/// in the same band. Its devices' packets superpose into the victim
+/// receiver as structured interference; being standard NetScatter
+/// packets they are symbol-domain representable, so co-channel rounds
+/// keep the fast path (unlike the waveform injectors above).
+struct cochannel_spec {
+    bool enabled = false;
+    std::uint32_t network_id = 1;     ///< distinct from the victim's sim.network_id
+    std::size_t num_devices = 128;    ///< foreign population
+    /// Probability a scheduled foreign device transmits each round (the
+    /// foreign network's offered load).
+    double duty_cycle = 1.0;
+    std::size_t group_capacity = 256; ///< the foreign AP's grouped schedule
+    /// Foreign uplink SNR range at the VICTIM AP (dB over its noise
+    /// floor, uniform per device). The foreign network is typically
+    /// farther away, hence weaker than the victim's own devices.
+    double min_snr_db = -4.0;
+    double max_snr_db = 10.0;
+    /// The two APs are unsynchronized: per-round offset of the foreign
+    /// round start relative to the victim's, uniform in [0, max]. Each
+    /// microsecond displaces the foreign dechirped peaks by BW·1e-6
+    /// bins, sweeping them across the victim's slot grid.
+    double max_round_offset_s = 40e-6;
+    /// Static inter-AP carrier offset bound (uniform ±, drawn once).
+    double carrier_offset_hz = 120.0;
+};
+
 /// One complete, reproducible workload.
 struct scenario_spec {
     std::string name;
@@ -135,6 +163,7 @@ struct scenario_spec {
     churn_spec churn{};
     mobility_spec mobility{};
     interference_spec interference{};
+    cochannel_spec cochannel{};
     /// Simulator knobs. `sim.rounds` is the per-replica round count and
     /// `sim.seed` the base seed every replica/model stream splits from.
     ns::sim::sim_config sim{};

@@ -28,6 +28,12 @@ void sim_config::validate() const {
     ns::util::require(frame.payload_bits > 0, "sim_config: payload_bits must be > 0");
     ns::util::require(symbol_kernel_radius_bins >= 1,
                       "sim_config: symbol_kernel_radius_bins must be >= 1");
+    ns::util::require(multipath_rho >= 0.0 && multipath_rho < 1.0,
+                      "sim_config: multipath_rho must be in [0, 1)");
+    if (model_multipath) {
+        ns::util::require(multipath.num_taps >= 0,
+                          "sim_config: multipath.num_taps must be >= 0");
+    }
     if (grouping.enabled) {
         ns::util::require(grouping.group_capacity >= 1,
                           "sim_config: grouping.group_capacity must be >= 1");
@@ -61,6 +67,9 @@ void sim_result::merge(const sim_result& other) {
     total_realloc_events += other.total_realloc_events;
     total_full_reassignments += other.total_full_reassignments;
     total_regroups += other.total_regroups;
+    total_cross_tx += other.total_cross_tx;
+    total_cross_collisions += other.total_cross_collisions;
+    total_cross_collided_delivered += other.total_cross_collided_delivered;
     fast_path_rounds += other.fast_path_rounds;
     synth_wall_s += other.synth_wall_s;
     decode_wall_s += other.decode_wall_s;
@@ -223,6 +232,10 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
                      ns::util::speed_of_light_mps,
             .active = active,
         };
+        if (config_.model_multipath) {
+            slot.taps.emplace(config_.multipath, config_.phy.bandwidth_hz,
+                              config_.multipath_rho, rng_.fork());
+        }
         if (active) {
             slot.device.force_associate(shift, placed[i].query_rssi_dbm, gain_levels[i]);
             ++active_count_;
@@ -511,10 +524,12 @@ sim_result network_simulator::run() {
         if (hooks_) plan = hooks_->plan_round(round);
         apply_round_plan(plan, outcome);
 
-        // Pick this round's synthesis domain (§3.2 fast path). The
-        // simulator's channel never enables multipath, so the only
-        // sample-level effect that disqualifies a round is injected
-        // interference (foreign waveforms, arbitrary sample delays).
+        // Pick this round's synthesis domain (§3.2 fast path). Multipath
+        // rides the fast path as a spectral envelope on the kernel and
+        // co-channel packets are symbol-domain representable by
+        // construction, so the only sample-level effect that disqualifies
+        // a round is injected interference (foreign non-CSS waveforms,
+        // arbitrary sample delays).
         bool fast_path = false;
         switch (config_.fidelity) {
             case phy_fidelity::sample:
@@ -573,10 +588,11 @@ sim_result network_simulator::run() {
         tx_row_shift_.clear();
 
         for (auto& slot : slots_) {
-            // Advance every device's fading process — active or not — so
-            // the channel time series of a device is independent of its
-            // membership history.
+            // Advance every device's fading (and multipath) process —
+            // active or not — so the channel time series of a device is
+            // independent of its membership history.
             const double fade_db = slot.fading.next_db();
+            if (slot.taps) slot.taps->next();
             if (!slot.active) continue;
             if (grouped()) {
                 // Only the scheduled group hears this round's query.
@@ -673,6 +689,7 @@ sim_result network_simulator::run() {
                 packet.snr_db = uplink_dbm - noise_floor;
                 packet.timing_offset_s = timing_offset_s;
                 packet.frequency_offset_hz = frequency_offset_hz;
+                if (slot.taps) packet.taps = slot.taps->current();
                 packet_contribs_.push_back(packet);
             } else {
                 if (!slot.modulator) {
@@ -685,6 +702,7 @@ sim_result network_simulator::run() {
                 tx.snr_db = uplink_dbm - noise_floor;
                 tx.timing_offset_s = timing_offset_s;
                 tx.frequency_offset_hz = frequency_offset_hz;
+                if (slot.taps) tx.taps = slot.taps->current();
                 contributions_.push_back(tx);
             }
             ++outcome.transmitting;
@@ -697,16 +715,52 @@ sim_result network_simulator::run() {
                                        : std::nullopt);
         }
 
+        // Cross-network accounting: a foreign packet's dechirped peak
+        // lands at its shift plus the displacement of the inter-AP
+        // misalignment; when that falls inside the guard region of a slot
+        // one of OUR transmitters used this round, the two packets
+        // collide at the receiver.
+        outcome.cross_tx = plan.cochannel.size();
+        row_collided_.assign(plan.cochannel.empty() ? 0 : tx_row_shift_.size(), 0);
+        if (!plan.cochannel.empty()) {
+            const double n_bins = static_cast<double>(config_.phy.num_bins());
+            const double guard = static_cast<double>(config_.skip) / 2.0;
+            for (const auto& foreign : plan.cochannel) {
+                double pos = static_cast<double>(foreign.cyclic_shift) +
+                             config_.phy.bins_from_time_offset(foreign.timing_offset_s) +
+                             config_.phy.bins_from_frequency_offset(
+                                 foreign.frequency_offset_hz);
+                pos -= std::floor(pos / n_bins) * n_bins;
+                const auto lo = static_cast<std::ptrdiff_t>(std::ceil(pos - guard));
+                const auto hi = static_cast<std::ptrdiff_t>(std::floor(pos + guard));
+                for (std::ptrdiff_t b = lo; b <= hi; ++b) {
+                    const auto n_signed = static_cast<std::ptrdiff_t>(config_.phy.num_bins());
+                    const std::size_t bin =
+                        static_cast<std::size_t>(((b % n_signed) + n_signed) % n_signed);
+                    const std::int32_t row = sent_row_of_shift_[bin];
+                    if (row >= 0) row_collided_[static_cast<std::size_t>(row)] = 1;
+                }
+            }
+            for (const std::uint8_t hit : row_collided_) {
+                outcome.cross_collisions += hit;
+            }
+        }
+
         // Superpose and decode.
         ns::channel::channel_config chan;
         chan.noise_power = 1.0;
         clock::time_point decode_start;
         if (fast_path) {
             // Attach the frame-bit spans now that the flat store is
-            // final, then synthesize post-dechirp spectra directly.
+            // final, then synthesize post-dechirp spectra directly. The
+            // co-channel network's packets join the accumulators as
+            // ordinary kernels at their displaced positions.
             for (std::size_t row = 0; row < tx_row_shift_.size(); ++row) {
                 packet_contribs_[row].frame_bits = std::span<const std::uint8_t>(
                     frame_bits_store_.data() + row * frame_bits, frame_bits);
+            }
+            for (const auto& foreign : plan.cochannel) {
+                packet_contribs_.push_back(foreign);
             }
             ns::channel::symbol_domain_params sd;
             sd.zero_padding = config_.zero_padding;
@@ -721,6 +775,31 @@ sim_result network_simulator::run() {
                                           decode_ws_);
             ++result.fast_path_rounds;
         } else {
+            // Co-channel packets are synthesized as real waveforms here:
+            // a cached modulator per foreign shift, the same symbolic
+            // description the fast path consumes — the two fidelities
+            // superpose the identical foreign transmission.
+            for (const auto& foreign : plan.cochannel) {
+                const auto mod_it =
+                    foreign_modulators_
+                        .try_emplace(foreign.cyclic_shift, config_.phy,
+                                     foreign.cyclic_shift)
+                        .first;
+                frame_scratch_.resize(foreign.frame_bits.size());
+                for (std::size_t i = 0; i < foreign.frame_bits.size(); ++i) {
+                    frame_scratch_[i] = foreign.frame_bits[i] != 0;
+                }
+                ns::dsp::cvec& packet_buffer = chan_ws_.packet_pool.acquire();
+                mod_it->second.modulate_packet_into(frame_scratch_, packet_buffer);
+                ns::channel::tx_contribution tx;
+                tx.waveform = packet_buffer;
+                tx.snr_db = foreign.snr_db;
+                tx.timing_offset_s = foreign.timing_offset_s;
+                tx.frequency_offset_hz = foreign.frequency_offset_hz;
+                tx.random_phase = foreign.random_phase;
+                tx.taps = foreign.taps;
+                contributions_.push_back(tx);
+            }
             // In-band interferers (scenario-injected) share the channel.
             for (const auto& interferer : plan.interference) {
                 contributions_.push_back(interferer);
@@ -747,6 +826,10 @@ sim_result network_simulator::run() {
                 outcome.bit_errors += ns::util::hamming_distance(report.bits, sent);
                 if (report.crc_ok && ns::util::bits_equal(report.bits, sent)) {
                     ++outcome.delivered;
+                    if (static_cast<std::size_t>(row) < row_collided_.size() &&
+                        row_collided_[static_cast<std::size_t>(row)] != 0) {
+                        ++outcome.cross_collided_delivered;
+                    }
                 }
             } else {
                 // Missed preamble: every bit of the packet is lost.
@@ -781,6 +864,9 @@ sim_result network_simulator::run() {
         result.total_realloc_events += outcome.realloc_events;
         result.total_full_reassignments += outcome.full_reassignments;
         result.total_regroups += outcome.regroups;
+        result.total_cross_tx += outcome.cross_tx;
+        result.total_cross_collisions += outcome.cross_collisions;
+        result.total_cross_collided_delivered += outcome.cross_collided_delivered;
     }
 
     if (grouped()) {

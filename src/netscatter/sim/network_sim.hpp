@@ -99,6 +99,21 @@ struct sim_config {
     /// Dirichlet kernel truncation radius of the fast path, in chip bins.
     std::size_t symbol_kernel_radius_bins = 16;
 
+    /// Frequency-selective multipath: every device gets a persistent
+    /// tapped delay line (channel::tap_delay_line) whose scattered taps
+    /// decorrelate round to round with coefficient multipath_rho.
+    /// Representable on BOTH synthesis paths — the sample path convolves
+    /// the taps, the fast path folds them into a spectral envelope on
+    /// the Dirichlet window — so multipath rounds stay symbol-domain.
+    bool model_multipath = false;
+    ns::channel::multipath_model multipath{};
+    double multipath_rho = 0.9;  ///< round-to-round tap correlation
+
+    /// This AP's network identifier. Co-channel deployments give each AP
+    /// a distinct id; packets of other networks reach this receiver only
+    /// as structured interference (round_plan::cochannel).
+    std::uint32_t network_id = 0;
+
     double fading_sigma_db = 1.5;        ///< per-device one-way fading std dev
     double fading_rho = 0.9;             ///< round-to-round correlation
 
@@ -142,6 +157,12 @@ struct round_outcome {
     int scheduled_group = -1;  ///< group this round's query addressed
     std::size_t scheduled = 0; ///< active devices in the scheduled group
     std::size_t regroups = 0;  ///< full-partition regroups this round
+
+    // Co-channel interference (zero without a second network).
+    std::size_t cross_tx = 0;          ///< foreign packets superposed
+    std::size_t cross_collisions = 0;  ///< own transmitters whose slot
+                                       ///< guard region a foreign peak hit
+    std::size_t cross_collided_delivered = 0;  ///< collided yet delivered
 };
 
 /// Per-group accumulators of a grouped run (§3.3.3), keyed by group id
@@ -184,6 +205,9 @@ struct sim_result {
     std::size_t total_realloc_events = 0;
     std::size_t total_full_reassignments = 0;
     std::size_t total_regroups = 0;
+    std::size_t total_cross_tx = 0;
+    std::size_t total_cross_collisions = 0;
+    std::size_t total_cross_collided_delivered = 0;
 
     /// Rounds served by the symbol-domain fast path (== rounds.size()
     /// under phy_fidelity::symbol, 0 under ::sample).
@@ -281,6 +305,10 @@ private:
         /// universe fit per-replica memory.
         std::optional<ns::phy::distributed_modulator> modulator;
         ns::channel::gauss_markov_fading fading;
+        /// Per-device multipath state (model_multipath only); advanced
+        /// every round like fading so a device's channel time series is
+        /// independent of its membership history.
+        std::optional<ns::channel::tap_delay_line> taps = std::nullopt;
         double tof_s = 0.0;       ///< propagation time of flight
         double doppler_hz = 0.0;  ///< mobility-induced Doppler this round
         bool active = false;      ///< currently associated
@@ -353,6 +381,13 @@ private:
     std::vector<std::uint32_t> tx_row_shift_;    ///< row -> cyclic shift
     std::vector<std::int32_t> sent_row_of_shift_;  ///< shift -> row or -1
     std::vector<std::uint32_t> shift_scratch_;   ///< registered-shift staging
+    /// Cross-network collision marks, one per transmitter row this round
+    /// (empty when the round had no co-channel packets).
+    std::vector<std::uint8_t> row_collided_;
+    /// Modulators for co-channel packets on the sample path, keyed by
+    /// foreign cyclic shift (the fast path never materializes them).
+    std::unordered_map<std::uint32_t, ns::phy::distributed_modulator>
+        foreign_modulators_;
 };
 
 }  // namespace ns::sim

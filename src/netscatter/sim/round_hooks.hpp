@@ -41,8 +41,18 @@ struct round_plan {
     /// Per-device link-budget updates (mobility).
     std::vector<link_update> link_updates;
     /// Extra in-band transmissions (tones, foreign CSS frames) summed
-    /// into the superposition channel before the receiver runs.
+    /// into the superposition channel before the receiver runs. These
+    /// are arbitrary sample-level waveforms, so a round carrying them
+    /// cannot take the symbol-domain fast path.
     std::vector<ns::channel::tx_contribution> interference;
+    /// Co-channel NetScatter packets: a second AP's network (distinct
+    /// network_id) sharing the band. Being standard packets they are
+    /// described symbolically and superposed on EITHER synthesis path —
+    /// the sample path modulates them, the fast path sums their
+    /// Dirichlet kernels — so co-channel rounds stay fast-path eligible.
+    /// frame_bits/taps spans must stay valid until the round completes
+    /// (the producing source typically owns the storage per round).
+    std::vector<ns::channel::packet_contribution> cochannel;
 };
 
 /// Hook interface the simulator consults every round. All methods have

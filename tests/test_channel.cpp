@@ -195,6 +195,95 @@ TEST(impairments, tone_shift_displaces_decoded_bin) {
     EXPECT_EQ(ns::dsp::argmax(power), 102u);
 }
 
+TEST(impairments, tap_powers_decompose_sample_taps) {
+    const multipath_model model{};
+    const std::vector<double> powers = model.tap_powers(500e3);
+    ASSERT_EQ(powers.size(), static_cast<std::size_t>(model.num_taps) + 1);
+    double total = 0.0;
+    for (const double p : powers) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    // LoS fraction follows the Rician K factor.
+    const double k_linear = std::pow(10.0, model.rician_k_db / 10.0);
+    EXPECT_NEAR(powers[0], k_linear / (1.0 + k_linear), 1e-12);
+
+    // With no scattered taps the LoS carries everything: the profile
+    // stays unit-power at every tap count.
+    multipath_model los_only;
+    los_only.num_taps = 0;
+    const std::vector<double> los_powers = los_only.tap_powers(500e3);
+    ASSERT_EQ(los_powers.size(), 1u);
+    EXPECT_NEAR(los_powers[0], 1.0, 1e-12);
+}
+
+// ----------------------------------------------------- tap delay line --
+
+TEST(tap_delay_line, stationary_unit_power_and_fixed_los) {
+    const multipath_model model{};
+    ns::util::rng gen(11);
+    ns::util::running_stats energy;
+    tap_delay_line line(model, 500e3, 0.9, gen.fork());
+    const cplx los = line.current()[0];
+    for (int round = 0; round < 4000; ++round) {
+        const auto taps = line.next();
+        EXPECT_EQ(taps[0], los);  // the specular path does not fade
+        energy.add(ns::dsp::energy(cvec(taps.begin(), taps.end())));
+    }
+    EXPECT_NEAR(energy.mean(), 1.0, 0.05);
+}
+
+TEST(tap_delay_line, scattered_taps_decorrelate_at_rho) {
+    // Ensemble one-step correlation of a scattered tap must track the
+    // configured rho (real parts; the AR(1) acts per component).
+    const multipath_model model{};
+    const double rho = 0.7;
+    ns::util::rng gen(12);
+    double num = 0.0;
+    double den = 0.0;
+    for (int device = 0; device < 4000; ++device) {
+        tap_delay_line line(model, 500e3, rho, gen.fork());
+        const double before = line.current()[1].real();
+        const double after = line.next()[1].real();
+        num += before * after;
+        den += before * before;
+    }
+    EXPECT_NEAR(num / den, rho, 0.05);
+}
+
+TEST(superposition, explicit_unit_tap_matches_flat_channel) {
+    // A single unit LoS tap is the identity channel: combine() through
+    // the explicit-taps path must reproduce the flat-channel result
+    // exactly (same RNG consumption, identity convolution).
+    const ns::phy::css_params phy{.bandwidth_hz = 500e3, .spreading_factor = 7};
+    const ns::phy::distributed_modulator mod(phy, 12);
+    const cvec waveform = mod.modulate_packet({true, false, true, true});
+
+    const cvec unit_taps{cplx{1.0, 0.0}};
+    for (const double tone_offset_s : {0.0, 1.3e-6}) {
+        tx_contribution flat;
+        flat.waveform = waveform;
+        flat.snr_db = 10.0;
+        flat.timing_offset_s = tone_offset_s;
+        tx_contribution tapped = flat;
+        tapped.taps = unit_taps;
+
+        channel_config config;
+        ns::util::rng rng_a(33);
+        ns::util::rng rng_b(33);
+        const cvec flat_rx =
+            combine(std::vector<tx_contribution>{flat}, waveform.size(), phy,
+                    config, rng_a);
+        const cvec tapped_rx =
+            combine(std::vector<tx_contribution>{tapped}, waveform.size(), phy,
+                    config, rng_b);
+        ASSERT_EQ(flat_rx.size(), tapped_rx.size());
+        double max_error = 0.0;
+        for (std::size_t i = 0; i < flat_rx.size(); ++i) {
+            max_error = std::max(max_error, std::abs(flat_rx[i] - tapped_rx[i]));
+        }
+        EXPECT_LT(max_error, 1e-9) << "tone offset " << tone_offset_s;
+    }
+}
+
 // ------------------------------------------------------------- fading --
 
 TEST(fading, stationary_standard_deviation) {

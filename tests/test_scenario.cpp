@@ -448,6 +448,50 @@ TEST(mobility, budgets_actually_move) {
     EXPECT_TRUE(changed);
 }
 
+TEST(mobility, shadowing_decorrelates_along_the_walk) {
+    // Gudmundson model: a mover's shadowing offset must evolve (not stay
+    // frozen), with one-step correlation ~ exp(-moved/d_corr) and the
+    // stationary variance of the placement's sigma.
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 256, 7);
+    mobility_spec spec;
+    spec.mobile_fraction = 1.0;
+    spec.speed_mps = 2.0;
+    spec.round_period_s = 1.0;  // 2 m per round
+    mobility_process mobility(spec, dep, 31);
+    const std::size_t movers = mobility.mobile_count();
+    ASSERT_GT(movers, 200u);
+
+    const double sigma = dep.params().pathloss.shadowing_sigma_db;
+    const double d_corr = dep.params().pathloss.shadowing_decorrelation_m;
+    const double step_m = spec.speed_mps * spec.round_period_s;
+    const double expected_rho = std::exp(-step_m / d_corr);
+
+    // Warm past the (non-stationary) placement offsets, then measure the
+    // ensemble one-step correlation and the stationary spread.
+    for (std::size_t round = 0; round < 30; ++round) mobility.step(round);
+    double num = 0.0;
+    double den = 0.0;
+    double spread = 0.0;
+    std::size_t frozen = 0;
+    for (std::size_t round = 0; round < 40; ++round) {
+        std::vector<double> before(movers);
+        for (std::size_t i = 0; i < movers; ++i) before[i] = mobility.shadow_db(i);
+        mobility.step(30 + round);
+        for (std::size_t i = 0; i < movers; ++i) {
+            const double after = mobility.shadow_db(i);
+            num += before[i] * after;
+            den += before[i] * before[i];
+            spread += after * after;
+            if (after == before[i]) ++frozen;
+        }
+    }
+    EXPECT_EQ(frozen, 0u);  // the ROADMAP bug: shadowing froze per device
+    EXPECT_NEAR(num / den, expected_rho, 0.05);
+    const double measured_sigma =
+        std::sqrt(spread / (40.0 * static_cast<double>(movers)));
+    EXPECT_NEAR(measured_sigma, sigma, 0.3 * sigma);
+}
+
 // -------------------------------------------------------- interference --
 
 TEST(interference, periodic_tone_cadence_and_shape) {
@@ -480,6 +524,112 @@ TEST(interference, lora_frame_covers_window_and_misaligns) {
     ASSERT_EQ(contributions.size(), 1u);
     EXPECT_GE(contributions[0].waveform.size(), 10000u);
     EXPECT_GT(contributions[0].timing_offset_s, 0.0);
+}
+
+// ----------------------------------------------------------- cochannel --
+
+TEST(cochannel, source_runs_a_grouped_foreign_schedule) {
+    cochannel_spec spec;
+    spec.enabled = true;
+    spec.num_devices = 300;       // > one group at capacity 256
+    spec.group_capacity = 128;    // forces >= 3 groups
+    spec.duty_cycle = 1.0;
+    const ns::phy::css_params phy = ns::phy::deployed_params();
+    cochannel_source source(spec, phy, 2, ns::phy::phy_format(),
+                            ns::channel::crystal_model{},
+                            ns::channel::hardware_delay_model{}, 77);
+    EXPECT_GE(source.num_groups(), 3u);
+    EXPECT_EQ(source.network_id(), 1u);
+
+    const std::size_t frame_bits = ns::phy::phy_format().payload_plus_crc_bits();
+    std::size_t total = 0;
+    for (std::size_t round = 0; round < 2 * source.num_groups(); ++round) {
+        const auto packets = source.step(round);
+        // One group per round: never the whole population at once.
+        EXPECT_LE(packets.size(), 128u);
+        EXPECT_FALSE(packets.empty());
+        for (const auto& packet : packets) {
+            EXPECT_LT(packet.cyclic_shift, phy.num_bins());
+            EXPECT_EQ(packet.cyclic_shift % 2, 0u);  // skip-spaced slots
+            EXPECT_EQ(packet.frame_bits.size(), frame_bits);
+            EXPECT_GE(packet.timing_offset_s, 0.0);
+        }
+        total += packets.size();
+    }
+    EXPECT_EQ(source.total_tx(), total);
+    // Round-robin over the groups covers the full population twice.
+    EXPECT_EQ(total, 2 * spec.num_devices);
+}
+
+/// Injects one co-channel packet per round at a fixed displacement from
+/// victim shift 0 (always-ON payload so the raid has teeth).
+class cochannel_probe_hooks final : public ns::sim::round_hooks {
+public:
+    explicit cochannel_probe_hooks(double offset_bins, double snr_db)
+        : offset_bins_(offset_bins), snr_db_(snr_db) {
+        bits_.assign(64, 1);
+    }
+    ns::sim::round_plan plan_round(std::size_t) override {
+        ns::sim::round_plan plan;
+        ns::channel::packet_contribution packet;
+        packet.cyclic_shift = 0;
+        // Express the displacement as a pure timing offset: dt·BW bins.
+        packet.timing_offset_s = offset_bins_ * 2e-6;  // 1 bin = 2 us at 500 kHz
+        packet.snr_db = snr_db_;
+        packet.frame_bits = std::span<const std::uint8_t>(bits_.data(), 40);
+        plan.cochannel.push_back(packet);
+        return plan;
+    }
+
+private:
+    double offset_bins_;
+    double snr_db_;
+    std::vector<std::uint8_t> bits_;
+};
+
+TEST(cochannel, collision_accounting_and_fast_path_in_simulator) {
+    // A foreign packet inside victim slot 0's guard region counts as a
+    // cross-network collision; one displaced to the slot midpoint's far
+    // side does not. Either way the round stays symbol-domain.
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 16, 21);
+    ns::sim::sim_config config;
+    config.rounds = 4;
+    config.seed = 9;
+    config.zero_padding = 4;
+
+    cochannel_probe_hooks on_slot(0.4, 25.0);   // inside the +-1-bin guard
+    ns::sim::network_simulator hit_sim(dep, config, &on_slot);
+    const auto hit = hit_sim.run();
+    EXPECT_EQ(hit.fast_path_rounds, 4u);
+    EXPECT_EQ(hit.total_cross_tx, 4u);
+    // Shift 0 transmits every round (saturated static sim) and is raided
+    // every round.
+    EXPECT_EQ(hit.total_cross_collisions, 4u);
+
+    cochannel_probe_hooks off_slot(+1.4, 25.0);  // past the slot midpoint
+    ns::sim::network_simulator miss_sim(dep, config, &off_slot);
+    const auto miss = miss_sim.run();
+    EXPECT_EQ(miss.total_cross_tx, 4u);
+    EXPECT_EQ(miss.total_cross_collisions, 0u);
+
+    // The in-guard raid costs the victim network delivery relative to
+    // the clean run.
+    ns::sim::network_simulator clean_sim(dep, config);
+    const auto clean = clean_sim.run();
+    EXPECT_LE(hit.total_delivered, clean.total_delivered);
+}
+
+TEST(cochannel, registered_scenario_keeps_fast_path_and_counts_raids) {
+    auto spec = *find_scenario("cochannel-2ap");
+    spec.sim.rounds = 5;
+    spec.replicas = 1;
+    const auto result = run_scenario(spec);
+    EXPECT_EQ(result.sim.fast_path_rounds, 5u);
+    EXPECT_GT(result.sim.total_cross_tx, 0u);
+    EXPECT_GT(result.sim.total_cross_collisions, 0u);
+    // The two populations are both 128 strong at 50-75% duty: raids must
+    // actually intersect the victim's transmissions.
+    EXPECT_GT(result.sim.delivery_rate(), 0.3);
 }
 
 // -------------------------------------------- hooks/simulator coupling --

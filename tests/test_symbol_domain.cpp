@@ -109,6 +109,102 @@ TEST(tone_kernel, truncated_kernel_is_exact_inside_window) {
     }
 }
 
+TEST(tone_kernel, multipath_envelope_matches_sample_pipeline) {
+    // A tap delaying the chirp by t samples is a -t-bin cyclic shift with
+    // a constant phase, so the post-dechirp spectrum of a multipath
+    // symbol must equal the tap-enveloped kernel bin for bin. Two
+    // consecutive identical ON symbols + linear tap convolution make the
+    // second symbol exactly the cyclic picture the envelope models.
+    const ns::phy::css_params phy{.bandwidth_hz = 500e3, .spreading_factor = 7};
+    const std::size_t n = phy.num_bins();
+    const std::size_t padding = 4;
+    const std::size_t m_total = n * padding;
+    const ns::phy::demodulator demod(phy, padding);
+    ns::util::rng rng(7);
+
+    for (const std::uint32_t shift : {0u, 23u, 100u}) {
+        for (const double tone_hz : {0.0, 170.0, -95.0}) {
+            ns::channel::multipath_model model;
+            model.num_taps = 3;
+            const cvec taps = model.sample_taps(phy.bandwidth_hz, rng);
+
+            const cvec symbol =
+                ns::phy::make_upchirp(phy, static_cast<double>(shift));
+            cvec stream(2 * n);
+            std::copy(symbol.begin(), symbol.end(), stream.begin());
+            std::copy(symbol.begin(), symbol.end(),
+                      stream.begin() + static_cast<std::ptrdiff_t>(n));
+            if (tone_hz != 0.0) {
+                stream = ns::dsp::frequency_shift(stream, tone_hz, phy.bandwidth_hz);
+            }
+            const cvec filtered = ns::channel::apply_multipath(stream, taps);
+            const cvec second(filtered.begin() + static_cast<std::ptrdiff_t>(n),
+                              filtered.end());
+            const cvec expected = demod.symbol_spectrum(second);
+
+            cvec envelope;
+            cvec scratch;
+            const double tone_bins = tone_hz / phy.bin_spacing_hz();
+            // Radius near n/2: the window plus the tap spread must stay
+            // within the padded spectrum, so back off a few bins — every
+            // covered bin is exact, truncation only drops far sidelobes.
+            const std::size_t first = ns::phy::make_multipath_tone_kernel(
+                envelope, taps, shift, tone_bins, n, padding, n / 2 - 4, scratch);
+            // The stream's residual tone advanced by ω·N samples at the
+            // second symbol.
+            const cplx rotation = std::polar(
+                1.0, 2.0 * std::numbers::pi * tone_hz *
+                         static_cast<double>(n) / phy.bandwidth_hz);
+            // Exactness holds on the intersection of every tap's window
+            // (envelope indices [spread, window)): outside it some tap
+            // contributes only its dropped far sidelobe — the documented
+            // truncation error, not an envelope defect.
+            const std::size_t spread = (taps.size() - 1) * padding;
+            const std::size_t window = envelope.size() - spread;
+            double max_error = 0.0;
+            for (std::size_t w = spread; w < window; ++w) {
+                const std::size_t m = (first + w) % m_total;
+                max_error = std::max(
+                    max_error, std::abs(rotation * envelope[w] - expected[m]));
+            }
+            EXPECT_LT(max_error, 1e-6 * static_cast<double>(n))
+                << "shift " << shift << " tone " << tone_hz;
+        }
+    }
+}
+
+TEST(tone_kernel, oversized_radius_clamps_instead_of_aborting) {
+    // The bare kernel silently clamps radius >= num_bins/2; the enveloped
+    // kernel must do the same (minus the tap spread), not abort mid-run.
+    const ns::phy::css_params phy = ns::phy::deployed_params();
+    const std::size_t n = phy.num_bins();
+    const cvec taps{cplx{0.8, 0.0}, cplx{0.3, 0.0}, cplx{0.2, 0.0}};
+    cvec envelope;
+    cvec scratch;
+    ns::phy::make_multipath_tone_kernel(envelope, taps, 10, 0.25, n, 8,
+                                        /*radius_bins=*/n, scratch);
+    EXPECT_LE(envelope.size(), n * 8);
+    EXPECT_GT(envelope.size(), 0u);
+}
+
+TEST(tone_kernel, single_unit_tap_envelope_reduces_to_bare_kernel) {
+    const ns::phy::css_params phy = ns::phy::deployed_params();
+    const std::size_t n = phy.num_bins();
+    const cvec taps{cplx{1.0, 0.0}};
+    cvec envelope;
+    cvec scratch;
+    const std::size_t first_env = ns::phy::make_multipath_tone_kernel(
+        envelope, taps, 42, 0.37, n, 8, 16, scratch);
+    cvec kernel;
+    const std::size_t first_kernel = ns::phy::make_dechirped_tone_kernel(
+        kernel, 42.37, n, 8, 16);
+    ASSERT_EQ(first_env, first_kernel);
+    ASSERT_EQ(envelope.size(), kernel.size());
+    for (std::size_t w = 0; w < kernel.size(); ++w) {
+        EXPECT_NEAR(std::abs(envelope[w] - kernel[w]), 0.0, 1e-12);
+    }
+}
+
 // ----------------------------------- dechirp-to-tone fractional bins --
 
 TEST(dechirp_identity, offsets_land_on_predicted_fractional_bin) {
@@ -161,13 +257,15 @@ struct fidelity_outcome {
 };
 
 fidelity_outcome run_sim(std::size_t devices, std::uint64_t seed,
-                         ns::sim::phy_fidelity fidelity, std::size_t rounds) {
+                         ns::sim::phy_fidelity fidelity, std::size_t rounds,
+                         bool multipath = false) {
     const ns::sim::deployment dep(ns::sim::deployment_params{}, devices, seed);
     ns::sim::sim_config config;
     config.rounds = rounds;
     config.seed = seed + 1;
     config.zero_padding = 4;
     config.fidelity = fidelity;
+    config.model_multipath = multipath;
     ns::sim::network_simulator sim(dep, config);
     const ns::sim::sim_result result = sim.run();
     return {result.delivery_rate(), result.ber(), result.fast_path_rounds,
@@ -189,6 +287,38 @@ TEST(fidelity_equivalence, symbol_matches_sample_across_awgn_matrix) {
             << devices << " devices";
         EXPECT_NEAR(symbol.ber, sample.ber, 0.02) << devices << " devices";
     }
+}
+
+TEST(fidelity_equivalence, symbol_matches_sample_under_multipath) {
+    // Frequency-selective multipath is representable on both paths: the
+    // sample path convolves the tap lines, the fast path folds them into
+    // spectral envelopes. The two are different noise realizations of
+    // the same channel, so BER/delivery must agree statistically — and
+    // the multipath rounds must actually run symbol-domain.
+    for (const std::size_t devices : {32ul, 128ul}) {
+        const fidelity_outcome sample =
+            run_sim(devices, 11, ns::sim::phy_fidelity::sample, 6, true);
+        const fidelity_outcome symbol =
+            run_sim(devices, 11, ns::sim::phy_fidelity::symbol, 6, true);
+        EXPECT_EQ(sample.fast_rounds, 0u);
+        EXPECT_EQ(symbol.fast_rounds, symbol.rounds);
+        EXPECT_NEAR(symbol.delivery, sample.delivery, 0.08)
+            << devices << " devices";
+        EXPECT_NEAR(symbol.ber, sample.ber, 0.02) << devices << " devices";
+    }
+}
+
+TEST(fidelity_equivalence, multipath_costs_delivery_but_keeps_fast_path) {
+    // The frequency-selective channel must actually bite (scattered-tap
+    // leakage into neighbouring slots) without knocking rounds off the
+    // symbol-domain path.
+    const fidelity_outcome flat =
+        run_sim(160, 13, ns::sim::phy_fidelity::automatic, 6, false);
+    const fidelity_outcome faded =
+        run_sim(160, 13, ns::sim::phy_fidelity::automatic, 6, true);
+    EXPECT_EQ(faded.fast_rounds, faded.rounds);
+    EXPECT_LT(faded.delivery, flat.delivery);
+    EXPECT_GT(faded.delivery, 0.4);  // Rician K=9 dB: degraded, not dead
 }
 
 TEST(fidelity_equivalence, automatic_takes_fast_path_without_interference) {
@@ -253,13 +383,15 @@ TEST(fidelity_equivalence, banded_noise_matches_exact_noise_statistics) {
 
 // ------------------------------------------- zero-allocation contract --
 
-std::size_t allocations_for_rounds(std::size_t devices, std::size_t rounds) {
+std::size_t allocations_for_rounds(std::size_t devices, std::size_t rounds,
+                                   bool multipath = false) {
     const ns::sim::deployment dep(ns::sim::deployment_params{}, devices, 9);
     ns::sim::sim_config config;
     config.rounds = rounds;
     config.seed = 4;
     config.zero_padding = 4;
     config.fidelity = ns::sim::phy_fidelity::symbol;
+    config.model_multipath = multipath;
     ns::sim::network_simulator sim(dep, config);
     const std::size_t before = g_allocations.load(std::memory_order_relaxed);
     const ns::sim::sim_result result = sim.run();
@@ -288,6 +420,15 @@ TEST(fast_path_allocations, steady_state_rounds_allocate_nothing_per_device) {
     const std::size_t per_round_big = (long_big - short_big) / 4;
     EXPECT_LE(per_round_big, 2u)
         << "short " << short_big << " long " << long_big;
+}
+
+TEST(fast_path_allocations, multipath_rounds_stay_allocation_free) {
+    // The enveloped-kernel path (tap_delay_line advance + envelope
+    // window) must not reintroduce per-device steady-state allocations.
+    const std::size_t short_run = allocations_for_rounds(64, 4, true);
+    const std::size_t long_run = allocations_for_rounds(64, 8, true);
+    const std::size_t per_round = (long_run - short_run) / 4;
+    EXPECT_LE(per_round, 2u) << "short " << short_run << " long " << long_run;
 }
 
 }  // namespace
