@@ -22,19 +22,53 @@
 //   --serial          run the serial reference order (same results)
 //   --json PATH       output path (single scenario only; default
 //                     SCENARIO_<name>.json in the working directory)
+//   --metrics PATH    full metrics-registry JSON (single scenario only)
+//   --trace PATH      Chrome/Perfetto trace JSON (single scenario only)
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <new>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench/bench_report.hpp"
+#include "netscatter/engine/fft_plan.hpp"
+#include "netscatter/engine/thread_pool.hpp"
+#include "netscatter/obs/metrics.hpp"
+#include "netscatter/obs/trace.hpp"
 #include "netscatter/scenario/scenario_registry.hpp"
 #include "netscatter/scenario/scenario_runner.hpp"
 #include "netscatter/sim/timeline.hpp"
 #include "netscatter/util/table.hpp"
 #include "netscatter/util/units.hpp"
+
+// Global allocation hook: every operator new in this binary is tallied
+// into the thread-local obs counters, which is what gives --metrics its
+// alloc.* values. Replacement is binary-local by design — the library
+// never forces the hook on other consumers.
+//
+// GCC cannot prove that the replaced malloc-backed operator new pairs
+// with the free() in the replaced delete when only one side of the pair
+// is inlined at a call site, so -Wmismatched-new-delete is a false
+// positive here and is silenced for the hook definitions.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+    ns::obs::record_allocation(size);
+    if (void* ptr = std::malloc(size == 0 ? 1 : size)) return ptr;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -50,6 +84,8 @@ struct cli_options {
     bool parallel = true;
     bool strip_wallclock = false;
     std::string json_path;
+    std::string metrics_path;
+    std::string trace_path;
 };
 
 void print_usage() {
@@ -62,8 +98,16 @@ void print_usage() {
            "  --serial       serial reference execution (identical results)\n"
            "  --fidelity F   PHY channel fidelity: sample | symbol | auto\n"
            "  --json PATH    JSON output path (single scenario only)\n"
-           "  --strip-wallclock  omit host timing from the JSON so reports\n"
-           "                     from different thread counts diff clean\n";
+           "  --metrics PATH write the full metrics registry (counters,\n"
+           "                 gauges, per-phase histograms, process stats)\n"
+           "                 as JSON (single scenario only)\n"
+           "  --trace PATH   record per-round phase spans and write them\n"
+           "                 as Chrome/Perfetto trace JSON (single\n"
+           "                 scenario only; load at ui.perfetto.dev)\n"
+           "  --strip-wallclock  omit every timing field from the JSON\n"
+           "                     (shared is_timing_name predicate) so\n"
+           "                     reports from different thread counts\n"
+           "                     diff clean\n";
 }
 
 std::optional<cli_options> parse(int argc, char** argv) {
@@ -120,6 +164,14 @@ std::optional<cli_options> parse(int argc, char** argv) {
             const auto path = value();
             if (!path) return std::nullopt;
             options.json_path = *path;
+        } else if (arg == "--metrics") {
+            const auto path = value();
+            if (!path) return std::nullopt;
+            options.metrics_path = *path;
+        } else if (arg == "--trace") {
+            const auto path = value();
+            if (!path) return std::nullopt;
+            options.trace_path = *path;
         } else if (arg == "--help" || arg == "-h") {
             print_usage();
             std::exit(0);
@@ -155,6 +207,12 @@ const char* fidelity_name(ns::sim::phy_fidelity fidelity) {
 void write_json(const ns::scenario::scenario_result& result,
                 const std::string& path, bool strip_wallclock) {
     bench::bench_report report("scenario_" + result.spec.name);
+    // One shared predicate (ns::obs::is_timing_name) decides what
+    // "timing" means: the report writer drops every timing-named scalar
+    // and point field at write() time, so synth_wall_s, decode_wall_s
+    // and the per-round query_time_s all strip together — a new timer
+    // anywhere in the stack can never regress a determinism diff.
+    report.set_strip_timing(strip_wallclock);
     report.set_scalar("scenario", result.spec.name);
     report.set_scalar("description", result.spec.description);
     report.set_scalar("num_devices",
@@ -210,13 +268,12 @@ void write_json(const ns::scenario::scenario_result& result,
     report.set_scalar("fidelity", fidelity_name(result.spec.sim.fidelity));
     report.set_scalar("fast_path_rounds",
                       static_cast<double>(result.sim.fast_path_rounds));
-    if (!strip_wallclock) {
-        report.set_scalar("wall_clock_s", result.wall_clock_s);
-        // Host-time split of the round loop (transmit-side synthesis vs
-        // receiver decode), summed over all replica rounds.
-        report.set_scalar("synth_wall_s", result.sim.synth_wall_s);
-        report.set_scalar("decode_wall_s", result.sim.decode_wall_s);
-    }
+    report.set_scalar("wall_clock_s", result.wall_clock_s);
+    // Host-time split of the round loop (transmit-side synthesis vs
+    // receiver decode), summed over all replica rounds — registry-backed
+    // (sums of the round.*_s phase histograms).
+    report.set_scalar("synth_wall_s", result.sim.synth_wall_s);
+    report.set_scalar("decode_wall_s", result.sim.decode_wall_s);
 
     const double payload_bits =
         static_cast<double>(result.spec.sim.frame.payload_bits);
@@ -287,6 +344,86 @@ void write_json(const ns::scenario::scenario_result& result,
              {"max_power_dbm", group.max_power_dbm},
              {"dynamic_range_db", group.max_power_dbm - group.min_power_dbm}});
     }
+    // Deterministic slice of the metrics registry: counters and gauges
+    // are pure functions of (spec, seed), so they diff clean across
+    // thread counts. The timing histograms and process-wide stats stay
+    // out of the scenario report (use --metrics for the full registry).
+    for (const auto& counter : result.sim.metrics.counters) {
+        report.add_section_point("metrics",
+                                 {{"name", counter.name},
+                                  {"value", static_cast<double>(counter.value)}});
+    }
+    for (const auto& gauge : result.sim.metrics.gauges) {
+        report.add_section_point(
+            "metrics_gauges",
+            {{"name", gauge.name}, {"last", gauge.last}, {"max", gauge.max}});
+    }
+    report.write(path);
+}
+
+/// Writes the merged metrics registry as JSON. Counters go into the
+/// top-level "points" array as {name, value} rows — the exact shape
+/// scripts/check_bench_regression.py gates on (--key name --metric
+/// value). Gauges, histograms (with log2-bucket percentiles) and the
+/// process-wide engine stats follow as sections. With `strip`, the
+/// shared predicate drops the timing histograms and the host-execution
+/// process section so two metrics files from different thread counts
+/// diff clean.
+void write_metrics_json(const ns::scenario::scenario_result& result,
+                        const std::string& path, bool strip) {
+    bench::bench_report report("metrics_" + result.spec.name);
+    report.set_strip_timing(strip);
+    report.set_scalar("scenario", result.spec.name);
+    report.set_scalar("replicas", static_cast<double>(result.replicas));
+    report.set_scalar("seed", static_cast<double>(result.spec.sim.seed));
+    report.set_scalar("wall_clock_s", result.wall_clock_s);
+
+    const ns::obs::metrics_snapshot& metrics = result.sim.metrics;
+    for (const auto& counter : metrics.counters) {
+        report.add_point({{"name", counter.name},
+                          {"value", static_cast<double>(counter.value)}});
+    }
+    for (const auto& gauge : metrics.gauges) {
+        report.add_section_point(
+            "gauges",
+            {{"name", gauge.name}, {"last", gauge.last}, {"max", gauge.max}});
+    }
+    for (const auto& hist : metrics.histograms) {
+        if (strip && ns::obs::is_timing_name(hist.name)) continue;
+        // Unsuffixed field names: units follow the histogram (seconds
+        // for the *_s phase probes, plain counts for round.allocs).
+        report.add_section_point(
+            "histograms",
+            {{"name", hist.name},
+             {"count", static_cast<double>(hist.count)},
+             {"sum", hist.sum},
+             {"min", hist.min},
+             {"max", hist.max},
+             {"mean", hist.mean()},
+             {"p50", hist.percentile(50.0)},
+             {"p95", hist.percentile(95.0)},
+             {"p99", hist.percentile(99.0)}});
+    }
+    if (!strip) {
+        // Host-execution stats (process-wide, thread-count dependent by
+        // nature — never part of determinism comparisons).
+        const auto fft = ns::engine::fft_plan_cache::stats();
+        const auto pool = ns::engine::thread_pool::stats();
+        const std::vector<std::pair<const char*, std::uint64_t>> process = {
+            {"fft_cache.hits", fft.hits},
+            {"fft_cache.misses", fft.misses},
+            {"fft_cache.memo_hits", fft.memo_hits},
+            {"fft_cache.scratch_requests", fft.scratch_requests},
+            {"thread_pool.tasks_submitted", pool.tasks_submitted},
+            {"thread_pool.tasks_executed", pool.tasks_executed},
+            {"thread_pool.queue_peak", pool.queue_peak},
+        };
+        for (const auto& [name, value] : process) {
+            report.add_section_point(
+                "process",
+                {{"name", name}, {"value", static_cast<double>(value)}});
+        }
+    }
     report.write(path);
 }
 
@@ -314,6 +451,11 @@ int run(const cli_options& options) {
                      "multi-scenario runs write SCENARIO_<name>.json each\n";
         return 1;
     }
+    if ((!options.metrics_path.empty() || !options.trace_path.empty()) &&
+        specs.size() > 1) {
+        std::cerr << "--metrics/--trace apply to a single scenario\n";
+        return 1;
+    }
 
     ns::util::text_table table(
         "netscatter_sim",
@@ -325,6 +467,7 @@ int run(const cli_options& options) {
         if (options.replicas) spec.replicas = *options.replicas;
         if (options.seed) spec.sim.seed = *options.seed;
         if (options.fidelity) spec.sim.fidelity = *options.fidelity;
+        spec.sim.obs.trace = !options.trace_path.empty();
 
         const auto result = ns::scenario::run_scenario(
             spec, {.num_threads = options.threads, .parallel = options.parallel});
@@ -345,6 +488,24 @@ int run(const cli_options& options) {
                                      ? "SCENARIO_" + spec.name + ".json"
                                      : options.json_path;
         write_json(result, path, options.strip_wallclock);
+        if (!options.metrics_path.empty()) {
+            write_metrics_json(result, options.metrics_path,
+                               options.strip_wallclock);
+        }
+        if (!options.trace_path.empty()) {
+            if (ns::obs::write_chrome_trace(result.sim.trace,
+                                            options.trace_path)) {
+                std::cout << "wrote " << options.trace_path << " ("
+                          << result.sim.trace.size() << " spans";
+                if (result.sim.trace_dropped > 0) {
+                    std::cout << ", " << result.sim.trace_dropped << " dropped";
+                }
+                std::cout << ")\n";
+            } else {
+                std::cerr << "could not write " << options.trace_path << "\n";
+                return 1;
+            }
+        }
     }
     table.print(std::cout);
     return 0;

@@ -10,11 +10,35 @@
 // speedup of the symbol-domain fast path.
 #include <cstdlib>
 #include <iostream>
+#include <new>
 
 #include "bench_report.hpp"
+#include "netscatter/obs/metrics.hpp"
 #include "netscatter/scenario/scenario_registry.hpp"
 #include "netscatter/scenario/scenario_runner.hpp"
 #include "netscatter/util/table.hpp"
+
+// Allocation hook feeding the thread-local obs counters, so the matrix
+// can report steady-state allocations per round for every workload.
+// -Wmismatched-new-delete false-positives when GCC inlines only one side
+// of the replaced malloc/free pair (see apps/netscatter_sim.cpp).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+    ns::obs::record_allocation(size);
+    if (void* ptr = std::malloc(size == 0 ? 1 : size)) return ptr;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -24,6 +48,17 @@ double rounds_per_second(const ns::scenario::scenario_result& result) {
     const double loop_s = result.sim.synth_wall_s + result.sim.decode_wall_s;
     if (loop_s <= 0.0) return 0.0;
     return static_cast<double>(result.sim.rounds.size()) / loop_s;
+}
+
+/// Mean heap allocations per post-warmup round (alloc.* counters of the
+/// merged metrics snapshot; 0 when no steady rounds ran).
+double steady_allocs_per_round(const ns::scenario::scenario_result& result) {
+    const std::uint64_t steady_rounds =
+        result.sim.metrics.counter_value("alloc.steady_rounds");
+    if (steady_rounds == 0) return 0.0;
+    return static_cast<double>(
+               result.sim.metrics.counter_value("alloc.steady_count")) /
+           static_cast<double>(steady_rounds);
 }
 
 }  // namespace
@@ -77,6 +112,7 @@ int main() {
              {"cross_collisions",
               static_cast<double>(result.sim.total_cross_collisions)},
              {"fast_path_rounds", static_cast<double>(result.sim.fast_path_rounds)},
+             {"steady_allocs_per_round", steady_allocs_per_round(result)},
              {"synth_ms_per_round", result.sim.synth_wall_s * 1e3 / n_rounds},
              {"decode_ms_per_round", result.sim.decode_wall_s * 1e3 / n_rounds},
              {"wall_clock_s", result.wall_clock_s}});

@@ -65,21 +65,20 @@ def main() -> int:
             continue
         compared += 1
         status = "ok"
+        # One-sided allowed band: [lo, hi] with the unconstrained side
+        # open (improvements never fail).
         if args.direction == "higher":
-            bound = base * (1.0 - args.tolerance)
-            regressed = now < bound
-            relation = "<"
+            lo, hi = base * (1.0 - args.tolerance), float("inf")
         else:
-            bound = base * (1.0 + args.tolerance)
-            regressed = now > bound
-            relation = ">"
-        if regressed:
+            lo, hi = float("-inf"), base * (1.0 + args.tolerance)
+        if not lo <= now <= hi:
             status = "REGRESSION"
             failures.append(
-                f"{args.key}={key}: {args.metric} {now:.3f} {relation} "
-                f"{bound:.3f} (baseline {base:.3f} ± {args.tolerance:.0%})")
-        print(f"  {args.key}={key}: {args.metric} {now:.3f} vs baseline "
-              f"{base:.3f}  [{status}]")
+                f"{args.key}={key}: {args.metric} observed {now:.6g} vs "
+                f"baseline {base:.6g}; allowed band [{lo:.6g}, {hi:.6g}] "
+                f"(direction={args.direction}, tolerance={args.tolerance:.0%})")
+        print(f"  {args.key}={key}: {args.metric} {now:.6g} vs baseline "
+              f"{base:.6g}, allowed [{lo:.6g}, {hi:.6g}]  [{status}]")
 
     if compared == 0:
         print("error: no comparable points", file=sys.stderr)

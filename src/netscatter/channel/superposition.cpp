@@ -68,6 +68,10 @@ const cvec& combine(std::span<const tx_contribution> contributions, std::size_t 
     }
 
     add_noise(received, config.noise_power, rng);
+    if (workspace.metrics != nullptr) {
+        workspace.metrics->get_counter("phy.sample_waveforms")
+            ->add(contributions.size());
+    }
     return received;
 }
 
@@ -200,6 +204,7 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
     }
 
     // --- Devices: one Dirichlet kernel each, re-phased per ON symbol ----
+    std::uint64_t kernels_summed = 0;
     for (const auto& packet : packets) {
         const double power = config.noise_power * ns::util::db_to_linear(packet.snr_db);
         const double amplitude = std::sqrt(power);
@@ -245,6 +250,7 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
             add_kernel_at(workspace.symbol_spectra[k], *window, first,
                           symbol_scalar(k));
         }
+        kernels_summed += sd.preamble_upchirps;
         const std::size_t on_bits =
             std::min(packet.frame_bits.size(), sd.payload_symbols);
         for (std::size_t i = 0; i < on_bits; ++i) {
@@ -252,7 +258,14 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
             add_kernel_at(workspace.symbol_spectra[sd.preamble_upchirps + i],
                           *window, first,
                           symbol_scalar(sd.preamble_symbols + i));
+            ++kernels_summed;
         }
+    }
+
+    if (workspace.metrics != nullptr) {
+        workspace.metrics->get_counter("phy.fast_packets")->add(packets.size());
+        workspace.metrics->get_counter("phy.kernels_summed")->add(kernels_summed);
+        workspace.metrics->get_counter("phy.noise_symbols")->add(total_spectra);
     }
 }
 

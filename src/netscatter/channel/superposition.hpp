@@ -29,6 +29,7 @@
 #include "netscatter/channel/impairments.hpp"
 #include "netscatter/dsp/fft.hpp"
 #include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/obs/metrics.hpp"
 #include "netscatter/phy/css_params.hpp"
 #include "netscatter/util/rng.hpp"
 
@@ -139,6 +140,11 @@ struct channel_workspace {
     /// Sample-path per-device packet buffers (span-stable handout; see
     /// cvec_pool). Release at the start of each round.
     ns::dsp::cvec_pool packet_pool;
+    /// Optional per-replica metrics registry (non-owning). When set, the
+    /// combiners count phy.kernels_summed / phy.fast_packets /
+    /// phy.noise_symbols (fast path) and phy.sample_waveforms (sample
+    /// path). Same confinement rule as the workspace itself.
+    ns::obs::metrics_registry* metrics = nullptr;
 };
 
 /// Combines all contributions into the AP's received baseband of length

@@ -58,6 +58,19 @@ private:
 /// Thread-safe cache of shared fft_plan instances keyed by size.
 class fft_plan_cache {
 public:
+    /// Process-wide cache usage counters (relaxed atomics, summed across
+    /// all threads — these describe host execution, not the simulation,
+    /// so they live in the metrics report's "process" section and are
+    /// never part of determinism comparisons). All zero under NS_OBS=OFF.
+    struct cache_stats {
+        std::uint64_t hits = 0;      ///< get() served from the map
+        std::uint64_t misses = 0;    ///< get() that built a plan
+        std::uint64_t memo_hits = 0; ///< lock-free per-thread memo hits
+        std::uint64_t scratch_requests = 0;  ///< thread_scratch() calls
+    };
+    static cache_stats stats();
+    static void reset_stats();
+
     /// The process-wide cache used by ns::dsp::fft_inplace.
     static fft_plan_cache& instance();
 

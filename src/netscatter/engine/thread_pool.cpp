@@ -1,10 +1,36 @@
 #include "netscatter/engine/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
+#include "netscatter/obs/metrics.hpp"
 #include "netscatter/util/error.hpp"
 
 namespace ns::engine {
+
+namespace {
+std::atomic<std::uint64_t> g_tasks_submitted{0};
+std::atomic<std::uint64_t> g_tasks_executed{0};
+std::atomic<std::uint64_t> g_queue_peak{0};
+}  // namespace
+
+thread_pool::pool_stats thread_pool::stats() {
+#if NS_OBS_ENABLED
+    return {g_tasks_submitted.load(std::memory_order_relaxed),
+            g_tasks_executed.load(std::memory_order_relaxed),
+            g_queue_peak.load(std::memory_order_relaxed)};
+#else
+    return {};
+#endif
+}
+
+void thread_pool::reset_stats() {
+#if NS_OBS_ENABLED
+    g_tasks_submitted.store(0, std::memory_order_relaxed);
+    g_tasks_executed.store(0, std::memory_order_relaxed);
+    g_queue_peak.store(0, std::memory_order_relaxed);
+#endif
+}
 
 std::size_t thread_pool::default_thread_count() {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -30,6 +56,16 @@ void thread_pool::enqueue(std::function<void()> task) {
             throw ns::util::invalid_state("thread_pool: submit after shutdown");
         }
         tasks_.push_back(std::move(task));
+#if NS_OBS_ENABLED
+        g_tasks_submitted.fetch_add(1, std::memory_order_relaxed);
+        // Racy max update is fine for a diagnostic peak: a lost update
+        // can only under-report by a concurrent enqueue.
+        const auto depth = static_cast<std::uint64_t>(tasks_.size());
+        std::uint64_t peak = g_queue_peak.load(std::memory_order_relaxed);
+        while (depth > peak && !g_queue_peak.compare_exchange_weak(
+                                   peak, depth, std::memory_order_relaxed)) {
+        }
+#endif
     }
     cv_.notify_one();
 }
@@ -45,6 +81,9 @@ void thread_pool::worker_loop() {
             tasks_.pop_front();
         }
         task();  // packaged_task: exceptions land in the future
+#if NS_OBS_ENABLED
+        g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
+#endif
     }
 }
 

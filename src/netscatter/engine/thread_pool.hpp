@@ -13,6 +13,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -26,6 +27,19 @@ namespace ns::engine {
 
 class thread_pool {
 public:
+    /// Process-wide queue counters across all pools (relaxed atomics —
+    /// host-execution data for the metrics report's "process" section,
+    /// never part of determinism comparisons). `queue_peak` is the
+    /// largest queue depth observed at enqueue time. All zero under
+    /// NS_OBS=OFF.
+    struct pool_stats {
+        std::uint64_t tasks_submitted = 0;
+        std::uint64_t tasks_executed = 0;
+        std::uint64_t queue_peak = 0;
+    };
+    static pool_stats stats();
+    static void reset_stats();
+
     /// Spawns `num_threads` workers; 0 means hardware_concurrency()
     /// (at least 1).
     explicit thread_pool(std::size_t num_threads = 0);

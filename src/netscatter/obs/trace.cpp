@@ -1,0 +1,46 @@
+#include "netscatter/obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace ns::obs {
+
+std::uint64_t trace_origin_ns() {
+    // Latched on first use; thread-safe per the C++ static-local rule.
+    static const std::uint64_t origin = now_ns();
+    return origin;
+}
+
+void write_chrome_trace(std::span<const trace_event> events, std::ostream& out) {
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    char buf[64];
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const trace_event& e = events[i];
+        out << (i == 0 ? "\n" : ",\n");
+        // ts/dur are microseconds; print as <us>.<ns fraction> to keep
+        // full nanosecond resolution without floating-point round trips.
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", e.ts_ns / 1000,
+                      static_cast<unsigned>(e.ts_ns % 1000));
+        out << "{\"name\":\"" << e.name
+            << "\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.track
+            << ",\"ts\":" << buf;
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", e.dur_ns / 1000,
+                      static_cast<unsigned>(e.dur_ns % 1000));
+        out << ",\"dur\":" << buf;
+        if (e.arg >= 0) out << ",\"args\":{\"round\":" << e.arg << "}";
+        out << "}";
+    }
+    out << "\n]}\n";
+}
+
+bool write_chrome_trace(std::span<const trace_event> events,
+                        const std::string& path) {
+    std::ofstream file(path);
+    if (!file) return false;
+    write_chrome_trace(events, file);
+    return static_cast<bool>(file);
+}
+
+}  // namespace ns::obs

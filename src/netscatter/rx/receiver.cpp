@@ -334,6 +334,28 @@ void receiver::decode_core(SpectrumAt&& spectrum_at, decode_result& out,
                                   bits.end() - static_cast<std::ptrdiff_t>(8));
         }
     }
+
+    if (ctr_decode_calls_ != nullptr) {
+        ctr_decode_calls_->add(1);
+        ctr_symbols_->add(up_symbols + payload_symbols);
+        std::uint64_t detected = 0;
+        std::uint64_t crc_ok = 0;
+        for (const auto& report : out.reports) {
+            detected += report.detected ? 1 : 0;
+            crc_ok += report.crc_ok ? 1 : 0;
+        }
+        ctr_detected_->add(detected);
+        ctr_crc_ok_->add(crc_ok);
+    }
+}
+
+void receiver::set_metrics(ns::obs::metrics_registry* registry) {
+    ctr_decode_calls_ =
+        registry ? registry->get_counter("rx.decode_calls") : nullptr;
+    ctr_symbols_ =
+        registry ? registry->get_counter("rx.symbols_processed") : nullptr;
+    ctr_detected_ = registry ? registry->get_counter("rx.detected") : nullptr;
+    ctr_crc_ok_ = registry ? registry->get_counter("rx.crc_ok") : nullptr;
 }
 
 void receiver::decode_into(const cvec& stream, std::size_t packet_start,

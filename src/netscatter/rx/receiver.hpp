@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "netscatter/obs/metrics.hpp"
 #include "netscatter/phy/css_params.hpp"
 #include "netscatter/phy/demodulator.hpp"
 #include "netscatter/phy/frame.hpp"
@@ -151,6 +152,12 @@ public:
     /// fails.
     std::optional<decode_result> receive(const cvec& stream) const;
 
+    /// Attaches this receiver's decode counters (rx.decode_calls,
+    /// rx.symbols_processed, rx.detected, rx.crc_ok) to `registry`
+    /// (non-owning, must outlive the receiver; nullptr detaches). The
+    /// registry is thread-confined, so attach the owning replica's.
+    void set_metrics(ns::obs::metrics_registry* registry);
+
     const receiver_params& params() const { return params_; }
     const ns::phy::demodulator& demod() const { return demod_; }
 
@@ -179,6 +186,13 @@ private:
     ns::phy::demodulator demod_;
     cvec upchirp_ref_;    // dechirp reference for downchirp symbols
     std::vector<std::uint32_t> shifts_;
+    // Decode-path counters (null until set_metrics; the pointees live in
+    // the attached registry, so incrementing through them from the const
+    // decode path mutates no receiver state).
+    ns::obs::counter* ctr_decode_calls_ = nullptr;
+    ns::obs::counter* ctr_symbols_ = nullptr;
+    ns::obs::counter* ctr_detected_ = nullptr;
+    ns::obs::counter* ctr_crc_ok_ = nullptr;
 };
 
 }  // namespace ns::rx

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "netscatter/obs/metrics.hpp"
 #include "netscatter/sim/timeline.hpp"
 #include "netscatter/util/error.hpp"
 
@@ -57,8 +58,22 @@ scenario_result run_scenario(const scenario_spec& spec, run_options options) {
                 spec, dep, ns::engine::split_seed(spec.sim.seed, 0xd21f, r));
             ns::sim::sim_config config = spec.sim;
             config.seed = ns::engine::split_seed(spec.sim.seed, 0x51a1, r);
+            // Each replica's spans land on their own Perfetto track, so a
+            // parallel run renders as stacked per-replica timelines.
+            config.obs.trace_track = static_cast<std::uint32_t>(r);
             ns::sim::network_simulator sim(dep, config, &driver);
-            return replica_outcome{sim.run(), driver.stats()};
+            const std::uint64_t replica_start_ns = ns::obs::now_ns();
+            replica_outcome out{sim.run(), driver.stats()};
+            if (config.obs.metrics) {
+                // Per-replica wall clock as a histogram observation: the
+                // merged snapshot then reports replica-wall min/max/mean
+                // across the whole run (timing-named -> determinism-exempt).
+                out.sim.metrics.record_value(
+                    "replica.wall_s",
+                    static_cast<double>(ns::obs::now_ns() - replica_start_ns) *
+                        1e-9);
+            }
+            return out;
         });
 
     scenario_result result;

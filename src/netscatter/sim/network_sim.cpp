@@ -1,8 +1,8 @@
 #include "netscatter/sim/network_sim.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <optional>
 #include <span>
 
 #include "netscatter/channel/superposition.hpp"
@@ -73,6 +73,9 @@ void sim_result::merge(const sim_result& other) {
     fast_path_rounds += other.fast_path_rounds;
     synth_wall_s += other.synth_wall_s;
     decode_wall_s += other.decode_wall_s;
+    metrics.merge(other.metrics);
+    trace.insert(trace.end(), other.trace.begin(), other.trace.end());
+    trace_dropped += other.trace_dropped;
     if (groups.size() < other.groups.size()) groups.resize(other.groups.size());
     for (std::size_t g = 0; g < other.groups.size(); ++g) {
         group_metrics& mine = groups[g];
@@ -244,6 +247,39 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
         slots_.push_back(std::move(slot));
     }
     register_active_shifts();
+
+    // --- Observability --------------------------------------------------
+    // Handles fetched once; the round loop only dereferences them. With
+    // runtime metrics off they stay null, which also keeps every probe
+    // from reading the clock.
+    if (config_.obs.metrics && ns::obs::compiled_in()) {
+        probes_.round_total = metrics_.get_histogram("round.total_s");
+        probes_.plan = metrics_.get_histogram("round.plan_s");
+        probes_.grouping = metrics_.get_histogram("round.grouping_s");
+        probes_.synth = metrics_.get_histogram("round.synth_s");
+        probes_.superpose = metrics_.get_histogram("round.superpose_s");
+        probes_.decode = metrics_.get_histogram("round.decode_s");
+        probes_.round_allocs = metrics_.get_histogram("round.allocs");
+        probes_.rounds = metrics_.get_counter("sim.rounds");
+        probes_.fast_rounds = metrics_.get_counter("sim.fast_path_rounds");
+        probes_.sample_rounds = metrics_.get_counter("sim.sample_path_rounds");
+        probes_.tx_packets = metrics_.get_counter("sim.tx_packets");
+        probes_.detected = metrics_.get_counter("sim.detected");
+        probes_.delivered = metrics_.get_counter("sim.delivered");
+        probes_.cross_tx = metrics_.get_counter("sim.cross_tx");
+        probes_.cross_collisions = metrics_.get_counter("sim.cross_collisions");
+        probes_.alloc_warmup_count = metrics_.get_counter("alloc.warmup_count");
+        probes_.alloc_steady_count = metrics_.get_counter("alloc.steady_count");
+        probes_.alloc_steady_bytes = metrics_.get_counter("alloc.steady_bytes");
+        probes_.alloc_steady_rounds = metrics_.get_counter("alloc.steady_rounds");
+        probes_.active_devices = metrics_.get_gauge("sim.active_devices");
+        probes_.num_groups = metrics_.get_gauge("sim.num_groups");
+        chan_ws_.metrics = &metrics_;
+        receiver_.set_metrics(&metrics_);
+    }
+    if (config_.obs.trace) {
+        trace_.arm(config_.obs.trace_max_events, config_.obs.trace_track);
+    }
 }
 
 void network_simulator::register_active_shifts(std::optional<std::size_t> group) {
@@ -507,7 +543,6 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
 }
 
 sim_result network_simulator::run() {
-    using clock = std::chrono::steady_clock;
     sim_result result;
     result.rounds.reserve(config_.rounds);
     const double noise_floor =
@@ -519,10 +554,20 @@ sim_result network_simulator::run() {
     sent_row_of_shift_.assign(config_.phy.num_bins(), -1);
 
     for (std::size_t round = 0; round < config_.rounds; ++round) {
+        const auto round_arg = static_cast<std::int64_t>(round);
+        const ns::obs::alloc_counters allocs_before = ns::obs::thread_allocations();
+        // Outermost probe: constructed first, destroyed last, so its span
+        // covers every phase below (and the round's bookkeeping).
+        ns::obs::trace_span round_span("round", &trace_, probes_.round_total,
+                                       round_arg);
+
         round_outcome outcome;
         round_plan plan;
-        if (hooks_) plan = hooks_->plan_round(round);
-        apply_round_plan(plan, outcome);
+        {
+            ns::obs::trace_span span("plan", &trace_, probes_.plan, round_arg);
+            if (hooks_) plan = hooks_->plan_round(round);
+            apply_round_plan(plan, outcome);
+        }
 
         // Pick this round's synthesis domain (§3.2 fast path). Multipath
         // rides the fast path as a spectral envelope on the kernel and
@@ -546,40 +591,47 @@ sim_result network_simulator::run() {
                 break;
         }
 
-        // §3.3.3 adaptive control: recompute the partition when the
-        // policy says the current one has drifted from the population.
-        if (grouped()) {
-            const auto& grouping = config_.grouping;
-            const bool periodic_due =
-                grouping.policy == regroup_policy::periodic && round > 0 &&
-                round % grouping.regroup_period_rounds == 0;
-            const bool load_due =
-                grouping.policy == regroup_policy::load_triggered &&
-                misfits_since_regroup_ >= grouping.load_trigger_misfits;
-            if (periodic_due || load_due) regroup(outcome);
-        }
-
-        // One group transmits per query, round-robin (§3.3.3); the
-        // receiver only watches the scheduled group's shifts. (Full-width
-        // modulo — the 8-bit group_for_round is safe only because group
-        // creation is capped at max_groups, but don't rely on it here.)
         std::size_t scheduled_group = 0;
-        if (grouped() && !group_spans_.empty()) {
-            scheduled_group = round % group_spans_.size();
-            outcome.scheduled_group = static_cast<int>(scheduled_group);
-            register_active_shifts(scheduled_group);
-            if (scheduled_group < group_acc_.size()) {
-                ++group_acc_[scheduled_group].scheduled_rounds;
+        {
+            ns::obs::trace_span span("grouping", &trace_, probes_.grouping,
+                                     round_arg);
+            // §3.3.3 adaptive control: recompute the partition when the
+            // policy says the current one has drifted from the population.
+            if (grouped()) {
+                const auto& grouping = config_.grouping;
+                const bool periodic_due =
+                    grouping.policy == regroup_policy::periodic && round > 0 &&
+                    round % grouping.regroup_period_rounds == 0;
+                const bool load_due =
+                    grouping.policy == regroup_policy::load_triggered &&
+                    misfits_since_regroup_ >= grouping.load_trigger_misfits;
+                if (periodic_due || load_due) regroup(outcome);
             }
-        } else if (membership_dirty_) {
-            register_active_shifts();
+
+            // One group transmits per query, round-robin (§3.3.3); the
+            // receiver only watches the scheduled group's shifts. (Full-width
+            // modulo — the 8-bit group_for_round is safe only because group
+            // creation is capped at max_groups, but don't rely on it here.)
+            if (grouped() && !group_spans_.empty()) {
+                scheduled_group = round % group_spans_.size();
+                outcome.scheduled_group = static_cast<int>(scheduled_group);
+                register_active_shifts(scheduled_group);
+                if (scheduled_group < group_acc_.size()) {
+                    ++group_acc_[scheduled_group].scheduled_rounds;
+                }
+            } else if (membership_dirty_) {
+                register_active_shifts();
+            }
         }
         outcome.active = active_count_;
 
         // Reset the round workspaces (buffers keep their capacity — the
         // steady-state loop performs zero per-device heap allocations on
-        // the fast path).
-        const clock::time_point synth_start = clock::now();
+        // the fast path). One optional probe walks the synth -> superpose
+        // -> decode phases (emplace ends the previous span, then opens
+        // the next) so the device loop needn't move into a nested block.
+        std::optional<ns::obs::trace_span> phase_span;
+        phase_span.emplace("synth", &trace_, probes_.synth, round_arg);
         chan_ws_.packet_pool.release_all();
         contributions_.clear();
         packet_contribs_.clear();
@@ -714,6 +766,7 @@ sim_result network_simulator::run() {
                                        ? std::optional<std::size_t>(scheduled_group)
                                        : std::nullopt);
         }
+        phase_span.emplace("superpose", &trace_, probes_.superpose, round_arg);
 
         // Cross-network accounting: a foreign packet's dechirped peak
         // lands at its shift plus the displacement of the inter-AP
@@ -749,7 +802,6 @@ sim_result network_simulator::run() {
         // Superpose and decode.
         ns::channel::channel_config chan;
         chan.noise_power = 1.0;
-        clock::time_point decode_start;
         if (fast_path) {
             // Attach the frame-bit spans now that the flat store is
             // final, then synthesize post-dechirp spectra directly. The
@@ -770,7 +822,7 @@ sim_result network_simulator::run() {
             sd.kernel_radius_bins = config_.symbol_kernel_radius_bins;
             ns::channel::combine_symbol_domain(packet_contribs_, config_.phy, chan,
                                                sd, rng_, chan_ws_);
-            decode_start = clock::now();
+            phase_span.emplace("decode", &trace_, probes_.decode, round_arg);
             receiver_.decode_spectra_into(chan_ws_.symbol_spectra, decoded_,
                                           decode_ws_);
             ++result.fast_path_rounds;
@@ -807,11 +859,9 @@ sim_result network_simulator::run() {
             const ns::dsp::cvec& received = ns::channel::combine(
                 std::span<const ns::channel::tx_contribution>(contributions_),
                 packet_samples, config_.phy, chan, rng_, chan_ws_);
-            decode_start = clock::now();
+            phase_span.emplace("decode", &trace_, probes_.decode, round_arg);
             receiver_.decode_into(received, 0, decoded_, decode_ws_);
         }
-        result.synth_wall_s +=
-            std::chrono::duration<double>(decode_start - synth_start).count();
 
         for (const auto& report : decoded_.reports) {
             const std::int32_t row = sent_row_of_shift_[report.cyclic_shift];
@@ -837,8 +887,7 @@ sim_result network_simulator::run() {
                 outcome.bit_errors += ns::util::count_ones(sent);
             }
         }
-        result.decode_wall_s +=
-            std::chrono::duration<double>(clock::now() - decode_start).count();
+        phase_span.reset();  // close the decode span (scoring included)
 
         if (grouped() && scheduled_group < group_acc_.size()) {
             group_metrics& acc = group_acc_[scheduled_group];
@@ -867,6 +916,33 @@ sim_result network_simulator::run() {
         result.total_cross_tx += outcome.cross_tx;
         result.total_cross_collisions += outcome.cross_collisions;
         result.total_cross_collided_delivered += outcome.cross_collided_delivered;
+
+        if (probes_.rounds != nullptr) {
+            probes_.rounds->add(1);
+            (fast_path ? probes_.fast_rounds : probes_.sample_rounds)->add(1);
+            probes_.tx_packets->add(outcome.transmitting);
+            probes_.detected->add(outcome.detected);
+            probes_.delivered->add(outcome.delivered);
+            probes_.cross_tx->add(outcome.cross_tx);
+            probes_.cross_collisions->add(outcome.cross_collisions);
+            probes_.active_devices->set(static_cast<double>(active_count_));
+            probes_.num_groups->set(static_cast<double>(group_spans_.size()));
+            // Per-round allocation delta (thread-local, so the numbers
+            // are this replica's own regardless of pool concurrency).
+            // Rounds inside the warmup window grow workspace capacity by
+            // design; the steady-state counters start after it and are
+            // what the zero-alloc test and the CI metrics gate assert on.
+            const ns::obs::alloc_counters allocs_now = ns::obs::thread_allocations();
+            const std::uint64_t alloc_delta = allocs_now.count - allocs_before.count;
+            probes_.round_allocs->record(static_cast<double>(alloc_delta));
+            if (round < config_.obs.alloc_warmup_rounds) {
+                probes_.alloc_warmup_count->add(alloc_delta);
+            } else {
+                probes_.alloc_steady_count->add(alloc_delta);
+                probes_.alloc_steady_bytes->add(allocs_now.bytes - allocs_before.bytes);
+                probes_.alloc_steady_rounds->add(1);
+            }
+        }
     }
 
     if (grouped()) {
@@ -877,6 +953,20 @@ sim_result network_simulator::run() {
         }
         result.groups = group_acc_;
         result.num_groups = group_spans_.size();
+    }
+
+    if (config_.obs.metrics) {
+        result.metrics = metrics_.snapshot();
+        // Registry-backed fill of the historic wall-clock split: the old
+        // synth window spanned device synthesis through superposition,
+        // the old decode window spanned decode through report scoring.
+        result.synth_wall_s = result.metrics.histogram_sum("round.synth_s") +
+                              result.metrics.histogram_sum("round.superpose_s");
+        result.decode_wall_s = result.metrics.histogram_sum("round.decode_s");
+    }
+    if (trace_.armed()) {
+        result.trace_dropped = trace_.dropped();
+        result.trace = trace_.take();
     }
     return result;
 }

@@ -20,6 +20,8 @@
 #include "netscatter/device/backscatter_device.hpp"
 #include "netscatter/mac/allocator.hpp"
 #include "netscatter/mac/scheduler.hpp"
+#include "netscatter/obs/metrics.hpp"
+#include "netscatter/obs/trace.hpp"
 #include "netscatter/phy/css_params.hpp"
 #include "netscatter/phy/frame.hpp"
 #include "netscatter/phy/modulator.hpp"
@@ -123,6 +125,12 @@ struct sim_config {
     std::size_t rounds = 10;
     std::uint64_t seed = 1;
 
+    /// Observability (metrics registry + trace ring). Metrics are on by
+    /// default and deterministic apart from the *_s timing histograms,
+    /// which the shared ns::obs::is_timing_name predicate excludes from
+    /// determinism comparisons; tracing is opt-in (--trace).
+    ns::obs::options obs{};
+
     ns::channel::hardware_delay_model delay_model{};
     ns::channel::crystal_model crystal{};
 
@@ -214,10 +222,25 @@ struct sim_result {
     std::size_t fast_path_rounds = 0;
     /// Host wall-clock split of the round loop: transmit-side work
     /// (device MAC decisions + packet/spectrum synthesis + channel
-    /// superposition) vs receiver decode. Excluded from determinism
-    /// comparisons; merge() sums.
+    /// superposition) vs receiver decode. Registry-backed (the sums of
+    /// the round.synth_s/round.superpose_s and round.decode_s
+    /// histograms), kept as plain scalars for API compatibility.
+    /// Excluded from determinism comparisons; merge() sums.
     double synth_wall_s = 0.0;
     double decode_wall_s = 0.0;
+
+    /// Full metrics snapshot of this replica's registry (counters,
+    /// gauges, per-phase histograms — see README "Observability" for the
+    /// catalogue). merge() folds name-wise in task order, preserving the
+    /// Monte-Carlo runner's determinism contract: every non-timing entry
+    /// is bit-identical across thread counts.
+    ns::obs::metrics_snapshot metrics;
+    /// Trace spans recorded when config.obs.trace is set; replicas
+    /// concatenate in task order. Host timestamps — never written into
+    /// scenario reports, only via --trace.
+    std::vector<ns::obs::trace_event> trace;
+    /// Spans dropped because the bounded trace ring filled up.
+    std::uint64_t trace_dropped = 0;
 
     /// Per-group accumulators, indexed by group id; empty when grouping
     /// is off. merge() sums entries index-wise, so after a replica merge
@@ -365,6 +388,39 @@ private:
     std::vector<group_metrics> group_acc_;  ///< per-group accumulators
     std::size_t misfits_since_regroup_ = 0;
     ns::rx::receiver receiver_;
+
+    // --- Observability (obs/) ------------------------------------------
+    // One registry per simulator instance; a replica owns its simulator,
+    // so the registry is thread-confined and its snapshot merges at the
+    // replica boundary. Handles are fetched once in the constructor; the
+    // round loop touches only these pointers (null when runtime-disabled,
+    // which also keeps the probes from reading the clock).
+    struct obs_probes {
+        ns::obs::histogram* round_total = nullptr;  ///< round.total_s
+        ns::obs::histogram* plan = nullptr;         ///< round.plan_s
+        ns::obs::histogram* grouping = nullptr;     ///< round.grouping_s
+        ns::obs::histogram* synth = nullptr;        ///< round.synth_s
+        ns::obs::histogram* superpose = nullptr;    ///< round.superpose_s
+        ns::obs::histogram* decode = nullptr;       ///< round.decode_s
+        ns::obs::histogram* round_allocs = nullptr; ///< round.allocs
+        ns::obs::counter* rounds = nullptr;
+        ns::obs::counter* fast_rounds = nullptr;
+        ns::obs::counter* sample_rounds = nullptr;
+        ns::obs::counter* tx_packets = nullptr;
+        ns::obs::counter* detected = nullptr;
+        ns::obs::counter* delivered = nullptr;
+        ns::obs::counter* cross_tx = nullptr;
+        ns::obs::counter* cross_collisions = nullptr;
+        ns::obs::counter* alloc_warmup_count = nullptr;
+        ns::obs::counter* alloc_steady_count = nullptr;
+        ns::obs::counter* alloc_steady_bytes = nullptr;
+        ns::obs::counter* alloc_steady_rounds = nullptr;
+        ns::obs::gauge* active_devices = nullptr;
+        ns::obs::gauge* num_groups = nullptr;
+    };
+    ns::obs::metrics_registry metrics_;
+    ns::obs::trace_buffer trace_;
+    obs_probes probes_{};
 
     // --- Per-round workspaces (reused across rounds; the steady-state
     // loop allocates nothing per device once the buffers are warm) ------

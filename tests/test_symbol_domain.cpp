@@ -16,6 +16,7 @@
 #include "netscatter/dsp/fft.hpp"
 #include "netscatter/dsp/peak.hpp"
 #include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/obs/metrics.hpp"
 #include "netscatter/phy/chirp.hpp"
 #include "netscatter/phy/demodulator.hpp"
 #include "netscatter/phy/modulator.hpp"
@@ -31,13 +32,16 @@ using ns::dsp::cvec;
 // ------------------------------------------------ allocation counting --
 // Global operator new/delete instrumentation for the zero-allocation
 // contract. Only the deltas measured inside a single-threaded test body
-// are meaningful.
+// are meaningful. The hook also feeds ns::obs::record_allocation, so the
+// simulator's alloc.* metrics counters are live in this binary and the
+// registry-based contract below observes the same events.
 std::atomic<std::size_t> g_allocations{0};
 
 }  // namespace
 
 void* operator new(std::size_t size) {
     g_allocations.fetch_add(1, std::memory_order_relaxed);
+    ns::obs::record_allocation(size);
     if (void* p = std::malloc(size)) return p;
     throw std::bad_alloc();
 }
@@ -429,6 +433,28 @@ TEST(fast_path_allocations, multipath_rounds_stay_allocation_free) {
     const std::size_t long_run = allocations_for_rounds(64, 8, true);
     const std::size_t per_round = (long_run - short_run) / 4;
     EXPECT_LE(per_round, 2u) << "short " << short_run << " long " << long_run;
+}
+
+TEST(fast_path_allocations, metrics_report_zero_steady_state_allocations) {
+    // Same contract, observed through the metrics registry instead of a
+    // test-local diff: the simulator's own per-round allocation metering
+    // (operator new above feeds ns::obs::record_allocation) must report
+    // zero heap allocations for every round past the warm-up window.
+    if (!ns::obs::compiled_in()) GTEST_SKIP() << "built with NS_OBS=OFF";
+    const ns::sim::deployment dep(ns::sim::deployment_params{}, 64, 9);
+    ns::sim::sim_config config;
+    config.rounds = 12;
+    config.seed = 4;
+    config.zero_padding = 4;
+    config.fidelity = ns::sim::phy_fidelity::symbol;
+    ns::sim::network_simulator sim(dep, config);
+    const ns::sim::sim_result result = sim.run();
+    EXPECT_EQ(result.fast_path_rounds, config.rounds);
+    EXPECT_EQ(result.metrics.counter_value("alloc.steady_rounds"),
+              config.rounds - config.obs.alloc_warmup_rounds);
+    EXPECT_EQ(result.metrics.counter_value("alloc.steady_count"), 0u)
+        << "steady-state rounds allocated "
+        << result.metrics.counter_value("alloc.steady_bytes") << " bytes";
 }
 
 }  // namespace
