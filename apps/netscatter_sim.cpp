@@ -36,6 +36,8 @@
 #include "netscatter/engine/fft_plan.hpp"
 #include "netscatter/engine/thread_pool.hpp"
 #include "netscatter/obs/metrics.hpp"
+#include "netscatter/obs/perf_counters.hpp"
+#include "netscatter/obs/roofline.hpp"
 #include "netscatter/obs/trace.hpp"
 #include "netscatter/scenario/scenario_registry.hpp"
 #include "netscatter/scenario/scenario_runner.hpp"
@@ -83,6 +85,7 @@ struct cli_options {
     std::size_t threads = 0;
     bool parallel = true;
     bool strip_wallclock = false;
+    bool perf = false;
     std::string json_path;
     std::string metrics_path;
     std::string trace_path;
@@ -104,6 +107,11 @@ void print_usage() {
            "  --trace PATH   record per-round phase spans and write them\n"
            "                 as Chrome/Perfetto trace JSON (single\n"
            "                 scenario only; load at ui.perfetto.dev)\n"
+           "  --perf         open hardware perf counters per replica and\n"
+           "                 print per-phase cycles/instructions/IPC\n"
+           "                 (degrades to available=false where\n"
+           "                 perf_event_open is denied; never changes\n"
+           "                 simulation results)\n"
            "  --strip-wallclock  omit every timing field from the JSON\n"
            "                     (shared is_timing_name predicate) so\n"
            "                     reports from different thread counts\n"
@@ -158,6 +166,8 @@ std::optional<cli_options> parse(int argc, char** argv) {
             }
         } else if (arg == "--serial") {
             options.parallel = false;
+        } else if (arg == "--perf") {
+            options.perf = true;
         } else if (arg == "--strip-wallclock") {
             options.strip_wallclock = true;
         } else if (arg == "--json") {
@@ -346,19 +356,79 @@ void write_json(const ns::scenario::scenario_result& result,
     }
     // Deterministic slice of the metrics registry: counters and gauges
     // are pure functions of (spec, seed), so they diff clean across
-    // thread counts. The timing histograms and process-wide stats stay
-    // out of the scenario report (use --metrics for the full registry).
+    // thread counts. Host-execution metrics (the timing histograms, the
+    // perf.* hardware counters, process-wide stats) stay out of the
+    // scenario report unconditionally — the shared is_host_metric_name
+    // predicate is what keeps this JSON bit-identical with and without
+    // --perf (use --metrics for the full registry).
     for (const auto& counter : result.sim.metrics.counters) {
+        if (ns::obs::is_host_metric_name(counter.name)) continue;
         report.add_section_point("metrics",
                                  {{"name", counter.name},
                                   {"value", static_cast<double>(counter.value)}});
     }
     for (const auto& gauge : result.sim.metrics.gauges) {
+        if (ns::obs::is_host_metric_name(gauge.name)) continue;
         report.add_section_point(
             "metrics_gauges",
             {{"name", gauge.name}, {"last", gauge.last}, {"max", gauge.max}});
     }
     report.write(path);
+}
+
+/// Round-loop phases carrying perf.<phase>.* attribution (the five
+/// simulator phases plus the kernel-sum batch inside synth/superpose).
+constexpr const char* perf_phases[] = {"plan",      "grouping",   "synth",
+                                       "superpose", "decode",     "kernel_sum"};
+
+/// True when the merged snapshot says at least one replica opened its
+/// hardware counter group.
+bool perf_available(const ns::obs::metrics_snapshot& metrics) {
+    const ns::obs::gauge_sample* available = metrics.find_gauge("perf.available");
+    return available != nullptr && available->max > 0.0;
+}
+
+/// Prints the per-phase hardware-counter table for --perf, or the clean
+/// degradation message when no replica could open perf events.
+void print_perf_table(const ns::scenario::scenario_result& result) {
+    const ns::obs::metrics_snapshot& metrics = result.sim.metrics;
+    if (!perf_available(metrics)) {
+        std::cout << "perf counters (" << result.spec.name
+                  << "): available=false — perf_event_open denied "
+                     "(kernel.perf_event_paranoid, seccomp, NS_PERF_DISABLE "
+                     "or NS_OBS=OFF); simulation results are unaffected\n";
+        return;
+    }
+    ns::util::text_table table(
+        "hardware counters: " + result.spec.name,
+        {"phase", "cycles [M]", "instr [M]", "IPC", "LLC miss", "br miss/kI"});
+    for (const char* phase : perf_phases) {
+        const std::string prefix = std::string("perf.") + phase;
+        const std::uint64_t cycles = metrics.counter_value(prefix + ".cycles");
+        const std::uint64_t instructions =
+            metrics.counter_value(prefix + ".instructions");
+        if (cycles == 0 && instructions == 0) continue;
+        const std::uint64_t llc_loads =
+            metrics.counter_value(prefix + ".llc_loads");
+        const std::uint64_t llc_misses =
+            metrics.counter_value(prefix + ".llc_misses");
+        const std::uint64_t branch_misses =
+            metrics.counter_value(prefix + ".branch_misses");
+        table.add_row(
+            {phase, ns::util::format_double(static_cast<double>(cycles) / 1e6, 1),
+             ns::util::format_double(static_cast<double>(instructions) / 1e6, 1),
+             ns::util::format_double(ns::obs::perf_ipc(instructions, cycles), 2),
+             ns::util::format_double(
+                 100.0 * ns::obs::perf_miss_rate(llc_misses, llc_loads), 1) +
+                 " %",
+             ns::util::format_double(
+                 instructions == 0
+                     ? 0.0
+                     : 1e3 * static_cast<double>(branch_misses) /
+                           static_cast<double>(instructions),
+                 2)});
+    }
+    table.print(std::cout);
 }
 
 /// Writes the merged metrics registry as JSON. Counters go into the
@@ -380,16 +450,18 @@ void write_metrics_json(const ns::scenario::scenario_result& result,
 
     const ns::obs::metrics_snapshot& metrics = result.sim.metrics;
     for (const auto& counter : metrics.counters) {
+        if (strip && ns::obs::is_host_metric_name(counter.name)) continue;
         report.add_point({{"name", counter.name},
                           {"value", static_cast<double>(counter.value)}});
     }
     for (const auto& gauge : metrics.gauges) {
+        if (strip && ns::obs::is_host_metric_name(gauge.name)) continue;
         report.add_section_point(
             "gauges",
             {{"name", gauge.name}, {"last", gauge.last}, {"max", gauge.max}});
     }
     for (const auto& hist : metrics.histograms) {
-        if (strip && ns::obs::is_timing_name(hist.name)) continue;
+        if (strip && ns::obs::is_host_metric_name(hist.name)) continue;
         // Unsuffixed field names: units follow the histogram (seconds
         // for the *_s phase probes, plain counts for round.allocs).
         report.add_section_point(
@@ -404,11 +476,67 @@ void write_metrics_json(const ns::scenario::scenario_result& result,
              {"p95", hist.percentile(95.0)},
              {"p99", hist.percentile(99.0)}});
     }
+    // Roofline attribution of the kernel-accumulation loop. The model
+    // itself (elements, bytes, flops, intensity) is deterministic —
+    // derived from the phy.kernel_window_elems counter — and is emitted
+    // even under strip; the time-derived achieved rates are host facts
+    // and only appear in unstripped output.
+    const ns::obs::kernel_loop_model model =
+        ns::obs::kernel_loop_model_from(metrics);
+    if (model.window_elems > 0) {
+        std::vector<std::pair<std::string, bench::json_value>> roofline = {
+            {"window_elems", static_cast<double>(model.window_elems)},
+            {"bytes", model.bytes()},
+            {"flops", model.flops()},
+            {"arithmetic_intensity", model.arithmetic_intensity()},
+        };
+        if (!strip) {
+            const double seconds = metrics.histogram_sum("phy.kernel_sum_s");
+            roofline.push_back({"kernel_sum_wall_s", seconds});
+            roofline.push_back({"achieved_gbps", model.achieved_gbps(seconds)});
+            roofline.push_back(
+                {"achieved_gflops", model.achieved_gflops(seconds)});
+        }
+        report.add_section_point("roofline", roofline);
+    }
     if (!strip) {
+        // Per-phase hardware counters (--perf). Same availability
+        // contract as the stdout table: a denied perf_event_open leaves
+        // the section empty apart from the available flag.
+        if (metrics.find_gauge("perf.available") != nullptr) {
+            report.set_scalar("perf_available",
+                              perf_available(metrics) ? 1.0 : 0.0);
+        }
+        for (const char* phase : perf_phases) {
+            const std::string prefix = std::string("perf.") + phase;
+            const std::uint64_t cycles =
+                metrics.counter_value(prefix + ".cycles");
+            const std::uint64_t instructions =
+                metrics.counter_value(prefix + ".instructions");
+            if (cycles == 0 && instructions == 0) continue;
+            const std::uint64_t llc_loads =
+                metrics.counter_value(prefix + ".llc_loads");
+            const std::uint64_t llc_misses =
+                metrics.counter_value(prefix + ".llc_misses");
+            report.add_section_point(
+                "perf",
+                {{"phase", phase},
+                 {"cycles", static_cast<double>(cycles)},
+                 {"instructions", static_cast<double>(instructions)},
+                 {"ipc", ns::obs::perf_ipc(instructions, cycles)},
+                 {"llc_loads", static_cast<double>(llc_loads)},
+                 {"llc_misses", static_cast<double>(llc_misses)},
+                 {"llc_miss_rate",
+                  ns::obs::perf_miss_rate(llc_misses, llc_loads)},
+                 {"branch_misses",
+                  static_cast<double>(
+                      metrics.counter_value(prefix + ".branch_misses"))}});
+        }
         // Host-execution stats (process-wide, thread-count dependent by
         // nature — never part of determinism comparisons).
         const auto fft = ns::engine::fft_plan_cache::stats();
         const auto pool = ns::engine::thread_pool::stats();
+        const ns::obs::process_usage usage = ns::obs::current_process_usage();
         const std::vector<std::pair<const char*, std::uint64_t>> process = {
             {"fft_cache.hits", fft.hits},
             {"fft_cache.misses", fft.misses},
@@ -417,6 +545,11 @@ void write_metrics_json(const ns::scenario::scenario_result& result,
             {"thread_pool.tasks_submitted", pool.tasks_submitted},
             {"thread_pool.tasks_executed", pool.tasks_executed},
             {"thread_pool.queue_peak", pool.queue_peak},
+            {"peak_rss_bytes", usage.peak_rss_bytes},
+            {"minor_page_faults", usage.minor_page_faults},
+            {"major_page_faults", usage.major_page_faults},
+            {"voluntary_ctx_switches", usage.voluntary_ctx_switches},
+            {"involuntary_ctx_switches", usage.involuntary_ctx_switches},
         };
         for (const auto& [name, value] : process) {
             report.add_section_point(
@@ -468,6 +601,7 @@ int run(const cli_options& options) {
         if (options.seed) spec.sim.seed = *options.seed;
         if (options.fidelity) spec.sim.fidelity = *options.fidelity;
         spec.sim.obs.trace = !options.trace_path.empty();
+        spec.sim.obs.perf = options.perf;
 
         const auto result = ns::scenario::run_scenario(
             spec, {.num_threads = options.threads, .parallel = options.parallel});
@@ -483,6 +617,8 @@ int run(const cli_options& options) {
                  std::to_string(result.sim.total_leaves),
              std::to_string(result.sim.total_realloc_events),
              ns::util::format_double(result.stats.mean_join_latency_rounds(), 2)});
+
+        if (options.perf) print_perf_table(result);
 
         const std::string path = options.json_path.empty()
                                      ? "SCENARIO_" + spec.name + ".json"

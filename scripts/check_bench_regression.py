@@ -16,6 +16,19 @@ direction-aware:
   --direction lower: the metric is a cost (latency); a rise above
       baseline*(1 + tolerance) fails and improvements pass.
 
+Every gated point is printed as one row of a markdown summary table
+(key, observed, baseline, allowed band, status) so the CI log reads as
+a report, not a scroll of prose.
+
+Exit codes distinguish the failure modes:
+  0  every baseline point matched and sits inside its band
+  1  at least one point is OUT OF BAND (a real perf/metric regression)
+  2  data is MISSING — a baseline point or metric absent from the
+     current run, an unreadable/point-free input file, or nothing
+     comparable at all. Missing data wins over out-of-band when both
+     occur: a sweep that silently dropped points must never read as a
+     mere regression.
+
 Usage:
   check_bench_regression.py CURRENT.json BASELINE.json \
       [--key num_devices] [--metric phy_rate_kbps] [--tolerance 0.15] \
@@ -26,14 +39,29 @@ import argparse
 import json
 import sys
 
+EXIT_OK = 0
+EXIT_OUT_OF_BAND = 1
+EXIT_MISSING = 2
+
 
 def load_points(path: str) -> list:
-    with open(path) as fh:
-        doc = json.load(fh)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(EXIT_MISSING)
     points = doc.get("points", [])
     if not points:
-        sys.exit(f"error: {path} has no points")
+        print(f"error: {path} has no points", file=sys.stderr)
+        sys.exit(EXIT_MISSING)
     return points
+
+
+def fmt(value) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:.6g}"
+    return str(value)
 
 
 def main() -> int:
@@ -52,45 +80,64 @@ def main() -> int:
     current = {p[args.key]: p for p in load_points(args.current) if args.key in p}
     baseline = {p[args.key]: p for p in load_points(args.baseline) if args.key in p}
 
-    failures = []
+    rows = []
+    out_of_band = []
+    missing = []
     compared = 0
     for key, base_point in sorted(baseline.items()):
         if key not in current:
-            failures.append(f"{args.key}={key}: point missing from current run")
+            missing.append(f"{args.key}={key}: point missing from current run")
+            rows.append((key, "-", fmt(base_point.get(args.metric)), "-",
+                         "MISSING"))
             continue
         base = base_point.get(args.metric)
         now = current[key].get(args.metric)
         if base is None or now is None:
-            failures.append(f"{args.key}={key}: metric {args.metric} missing")
+            missing.append(f"{args.key}={key}: metric {args.metric} missing")
+            rows.append((key, fmt(now) if now is not None else "-",
+                         fmt(base) if base is not None else "-", "-",
+                         "MISSING"))
             continue
         compared += 1
-        status = "ok"
         # One-sided allowed band: [lo, hi] with the unconstrained side
         # open (improvements never fail).
         if args.direction == "higher":
             lo, hi = base * (1.0 - args.tolerance), float("inf")
         else:
             lo, hi = float("-inf"), base * (1.0 + args.tolerance)
+        status = "ok"
         if not lo <= now <= hi:
-            status = "REGRESSION"
-            failures.append(
+            status = "OUT OF BAND"
+            out_of_band.append(
                 f"{args.key}={key}: {args.metric} observed {now:.6g} vs "
                 f"baseline {base:.6g}; allowed band [{lo:.6g}, {hi:.6g}] "
                 f"(direction={args.direction}, tolerance={args.tolerance:.0%})")
-        print(f"  {args.key}={key}: {args.metric} {now:.6g} vs baseline "
-              f"{base:.6g}, allowed [{lo:.6g}, {hi:.6g}]  [{status}]")
+        rows.append((key, fmt(now), fmt(base), f"[{lo:.6g}, {hi:.6g}]",
+                     status))
 
-    if compared == 0:
+    # Markdown summary of every gated point.
+    print(f"| {args.key} | observed {args.metric} | baseline | "
+          f"allowed band | status |")
+    print("| --- | --- | --- | --- | --- |")
+    for key, now, base, band, status in rows:
+        print(f"| {fmt(key)} | {now} | {base} | {band} | {status} |")
+
+    if compared == 0 and not missing:
         print("error: no comparable points", file=sys.stderr)
-        return 1
-    if failures:
-        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
-        for failure in failures:
-            print(f"  {failure}", file=sys.stderr)
-        return 1
+        return EXIT_MISSING
+    for label, failures in (("missing data point(s)", missing),
+                            ("out-of-band point(s)", out_of_band)):
+        if failures:
+            print(f"\n{len(failures)} {label}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+    if missing:
+        return EXIT_MISSING
+    if out_of_band:
+        return EXIT_OUT_OF_BAND
     print(f"\nall {compared} points within {args.tolerance:.0%} of baseline "
           f"({args.direction} is better)")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Merge METRICS_*/BENCH_*.json artifacts into one perf report.
+
+Reads the JSON files the benches and `netscatter_sim --metrics` emit
+(the bench_report flat schema: top-level scalars, a "points" array,
+named section arrays) and writes:
+
+  * a markdown report (--output, default PERF_REPORT.md): per-file
+    scalar tables, the hardware-counter phase attribution ("perf"
+    sections), the roofline attribution ("roofline" sections and the
+    bench_roofline sweep), and every other point series as a generic
+    table;
+  * a tidy long-format CSV (--csv): one row per (file, section, point,
+    field) — trivially joinable across PRs;
+  * an append-only history file (--history): one row per top-level
+    numeric scalar, labelled with --label (CI passes the commit SHA),
+    giving every future SIMD PR a one-command before/after trajectory.
+
+No dependencies beyond the standard library; exits non-zero only on
+unreadable input.
+
+Usage:
+  perf_report.py [files...] [--output PERF_REPORT.md]
+                 [--csv PERF_REPORT.csv] [--history bench_history.csv]
+                 [--label REF]
+
+With no files, globs METRICS_*.json and BENCH_*.json in the working
+directory.
+"""
+
+import argparse
+import csv
+import glob
+import json
+import sys
+
+
+def load_reports(paths):
+    reports = []
+    for path in sorted(paths):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"perf_report: cannot read {path}: {error}", file=sys.stderr)
+            return None
+        if not isinstance(data, dict):
+            print(f"perf_report: {path}: not a JSON object", file=sys.stderr)
+            return None
+        reports.append((path, data))
+    return reports
+
+
+def split_report(data):
+    """Returns (scalars, sections) where sections maps name -> point list."""
+    scalars = {}
+    sections = {}
+    for key, value in data.items():
+        if isinstance(value, list):
+            sections[key] = [p for p in value if isinstance(p, dict)]
+        else:
+            scalars[key] = value
+    return scalars, sections
+
+
+def fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def markdown_table(rows, columns):
+    lines = ["| " + " | ".join(columns) + " |",
+             "|" + "|".join(" --- " for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row.get(c)) for c in columns) + " |")
+    return lines
+
+
+def point_columns(points):
+    """Union of keys in first-appearance order."""
+    columns = []
+    for point in points:
+        for key in point:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def render_markdown(reports, label):
+    lines = ["# Performance report", ""]
+    if label:
+        lines += [f"Label: `{label}`", ""]
+    for path, data in reports:
+        scalars, sections = split_report(data)
+        bench = scalars.get("bench", path)
+        lines += [f"## {bench}", "", f"Source: `{path}`", ""]
+
+        numeric = {k: v for k, v in scalars.items()
+                   if isinstance(v, (int, float)) and k != "bench"}
+        if numeric:
+            lines += markdown_table(
+                [{"scalar": k, "value": v} for k, v in numeric.items()],
+                ["scalar", "value"])
+            lines.append("")
+
+        # Named sections first, in a stable didactic order; everything
+        # else (including "points") follows generically.
+        preferred = ["perf", "roofline"]
+        ordered = [s for s in preferred if s in sections]
+        ordered += [s for s in sections if s not in preferred]
+        for section in ordered:
+            points = sections[section]
+            if not points:
+                continue
+            title = {"perf": "Hardware counters by phase",
+                     "roofline": "Roofline attribution",
+                     "points": "Points"}.get(section, section)
+            lines += [f"### {title}", ""]
+            lines += markdown_table(points, point_columns(points))
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(reports, path):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source", "bench", "section", "point", "field",
+                         "value"])
+        for source, data in reports:
+            scalars, sections = split_report(data)
+            bench = scalars.get("bench", source)
+            for key, value in scalars.items():
+                if key == "bench":
+                    continue
+                writer.writerow([source, bench, "", "", key, value])
+            for section, points in sections.items():
+                for index, point in enumerate(points):
+                    for field, value in point.items():
+                        writer.writerow(
+                            [source, bench, section, index, field, value])
+
+
+def append_history(reports, path, label):
+    """One row per top-level numeric scalar, appended — the trajectory
+    file CI accumulates across commits."""
+    rows = []
+    for source, data in reports:
+        scalars, _ = split_report(data)
+        bench = scalars.get("bench", source)
+        for key, value in scalars.items():
+            if isinstance(value, (int, float)):
+                rows.append([label, bench, key, value])
+    try:
+        with open(path) as handle:
+            needs_header = not handle.readline().startswith("label,")
+    except OSError:
+        needs_header = True
+    with open(path, "a", newline="") as handle:
+        writer = csv.writer(handle)
+        if needs_header:
+            writer.writerow(["label", "bench", "scalar", "value"])
+        writer.writerows(rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="merge METRICS_*/BENCH_*.json into a perf report")
+    parser.add_argument("files", nargs="*",
+                        help="input JSON files (default: METRICS_*.json + "
+                             "BENCH_*.json in the working directory)")
+    parser.add_argument("--output", default="PERF_REPORT.md",
+                        help="markdown report path")
+    parser.add_argument("--csv", default=None,
+                        help="tidy long-format CSV path")
+    parser.add_argument("--history", default=None,
+                        help="append-only scalar trajectory CSV")
+    parser.add_argument("--label", default="",
+                        help="row label for --history (e.g. the commit SHA)")
+    args = parser.parse_args()
+
+    paths = args.files or (glob.glob("METRICS_*.json") +
+                           glob.glob("BENCH_*.json"))
+    if not paths:
+        print("perf_report: no input files", file=sys.stderr)
+        return 1
+    reports = load_reports(paths)
+    if reports is None:
+        return 1
+
+    with open(args.output, "w") as handle:
+        handle.write(render_markdown(reports, args.label))
+    print(f"wrote {args.output} ({len(reports)} input files)")
+    if args.csv:
+        write_csv(reports, args.csv)
+        print(f"wrote {args.csv}")
+    if args.history:
+        append_history(reports, args.history, args.label)
+        print(f"appended {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

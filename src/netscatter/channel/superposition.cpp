@@ -204,7 +204,18 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
     }
 
     // --- Devices: one Dirichlet kernel each, re-phased per ON symbol ----
+    // The batch is bracketed by a wall-clock probe (phy.kernel_sum_s)
+    // and a hardware-counter probe (perf.kernel_sum.*); together with
+    // the deterministic element count below they parameterize the
+    // roofline model (obs/roofline.hpp). Both probes are inert when
+    // their handles are unset and record nothing into simulation state.
+    ns::obs::scoped_timer batch_timer(
+        workspace.metrics != nullptr
+            ? workspace.metrics->get_histogram("phy.kernel_sum_s")
+            : nullptr);
+    ns::obs::perf_scope batch_perf(workspace.perf, &workspace.perf_kernel_sum);
     std::uint64_t kernels_summed = 0;
+    std::uint64_t window_elems = 0;
     for (const auto& packet : packets) {
         const double power = config.noise_power * ns::util::db_to_linear(packet.snr_db);
         const double amplitude = std::sqrt(power);
@@ -246,11 +257,11 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
                                            static_cast<double>(global_symbol));
         };
 
+        std::uint64_t packet_kernels = sd.preamble_upchirps;
         for (std::size_t k = 0; k < sd.preamble_upchirps; ++k) {
             add_kernel_at(workspace.symbol_spectra[k], *window, first,
                           symbol_scalar(k));
         }
-        kernels_summed += sd.preamble_upchirps;
         const std::size_t on_bits =
             std::min(packet.frame_bits.size(), sd.payload_symbols);
         for (std::size_t i = 0; i < on_bits; ++i) {
@@ -258,14 +269,23 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
             add_kernel_at(workspace.symbol_spectra[sd.preamble_upchirps + i],
                           *window, first,
                           symbol_scalar(sd.preamble_symbols + i));
-            ++kernels_summed;
+            ++packet_kernels;
         }
+        kernels_summed += packet_kernels;
+        // Accumulated window elements — the deterministic input of the
+        // roofline traffic model (48 B and 8 flops per element, see
+        // obs/roofline.hpp). Counts the actual window size so multipath
+        // envelopes (wider than the bare Dirichlet window) are charged
+        // at their real cost.
+        window_elems += packet_kernels * window->size();
     }
 
     if (workspace.metrics != nullptr) {
         workspace.metrics->get_counter("phy.fast_packets")->add(packets.size());
         workspace.metrics->get_counter("phy.kernels_summed")->add(kernels_summed);
         workspace.metrics->get_counter("phy.noise_symbols")->add(total_spectra);
+        workspace.metrics->get_counter("phy.kernel_window_elems")
+            ->add(window_elems);
     }
 }
 

@@ -30,6 +30,7 @@
 #include "netscatter/dsp/fft.hpp"
 #include "netscatter/dsp/vector_ops.hpp"
 #include "netscatter/obs/metrics.hpp"
+#include "netscatter/obs/perf_counters.hpp"
 #include "netscatter/phy/css_params.hpp"
 #include "netscatter/util/rng.hpp"
 
@@ -145,6 +146,15 @@ struct channel_workspace {
     /// phy.noise_symbols (fast path) and phy.sample_waveforms (sample
     /// path). Same confinement rule as the workspace itself.
     ns::obs::metrics_registry* metrics = nullptr;
+    /// Optional hardware counter group (non-owning, confined to the
+    /// simulator's thread like everything else here). When set together
+    /// with wired perf_kernel_sum handles, combine_symbol_domain
+    /// attributes its device-kernel batch (perf.kernel_sum.*) — the
+    /// denominator of the roofline model. Null = zero syscalls.
+    ns::obs::perf_counter_group* perf = nullptr;
+    /// Pre-fetched perf.kernel_sum.* counter handles (fetched once by
+    /// the simulator so the per-round probe never allocates).
+    ns::obs::perf_phase_counters perf_kernel_sum;
 };
 
 /// Combines all contributions into the AP's received baseband of length

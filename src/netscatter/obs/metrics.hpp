@@ -60,6 +60,16 @@ inline bool is_timing_name(std::string_view name) {
            name.find("wall") != std::string_view::npos;
 }
 
+/// Broader host-execution predicate: timing names plus hardware
+/// perf-counter metrics ("perf.*"), whose values depend on the host CPU
+/// and scheduler rather than on (spec, seed). Scenario JSON reports
+/// exclude these names unconditionally — that is what keeps
+/// `netscatter_sim --json` bit-identical with and without --perf — and
+/// --strip-wallclock strips them from --metrics output too.
+inline bool is_host_metric_name(std::string_view name) {
+    return is_timing_name(name) || name.substr(0, 5) == "perf.";
+}
+
 /// Monotonic clock in nanoseconds (steady_clock). Implemented out of
 /// line so this header stays <chrono>-free for hot-path includers.
 std::uint64_t now_ns();
@@ -370,6 +380,11 @@ struct options {
     bool metrics = true;
     /// Record per-round trace spans into the bounded event ring.
     bool trace = false;
+    /// Open a hardware perf-counter group per replica and attribute
+    /// cycles/instructions/cache traffic to round-loop phases
+    /// (perf.<phase>.* counters). Requires metrics; degrades to an
+    /// unavailable no-op where perf_event_open is denied.
+    bool perf = false;
     /// Event capacity of the per-replica trace ring; further spans are
     /// dropped (and counted) rather than grown without bound.
     std::size_t trace_max_events = 1 << 20;

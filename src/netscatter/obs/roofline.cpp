@@ -1,0 +1,23 @@
+#include "netscatter/obs/roofline.hpp"
+
+namespace ns::obs {
+
+kernel_loop_model kernel_loop_model_from(const metrics_snapshot& snapshot) {
+    kernel_loop_model model;
+    model.window_elems = snapshot.counter_value("phy.kernel_window_elems");
+    return model;
+}
+
+std::uint64_t kernel_window_size(std::size_t num_bins, std::size_t padding,
+                                 std::size_t radius_bins) {
+    const std::uint64_t m_total =
+        static_cast<std::uint64_t>(num_bins) * padding;
+    std::uint64_t half = static_cast<std::uint64_t>(radius_bins) * padding;
+    if (half > m_total / 2) {
+        half = m_total / 2;
+    }
+    const std::uint64_t window = 2 * half + 1;
+    return window < m_total ? window : m_total;
+}
+
+}  // namespace ns::obs

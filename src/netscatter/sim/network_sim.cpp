@@ -276,6 +276,33 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
         probes_.num_groups = metrics_.get_gauge("sim.num_groups");
         chan_ws_.metrics = &metrics_;
         receiver_.set_metrics(&metrics_);
+        if (config_.obs.perf) {
+            // Hardware counters for phase attribution. Opened here, on
+            // the replica's thread (the Monte-Carlo runner constructs
+            // each simulator inside its task). The availability gauge is
+            // a perf.* name — a host fact, excluded from scenario JSON
+            // and determinism diffs like every other perf metric — so a
+            // denied perf_event_open shows up as available=0 instead of
+            // silently-zero counters.
+            const bool opened = perf_group_.open();
+            metrics_.get_gauge("perf.available")->set(opened ? 1.0 : 0.0);
+            if (opened) {
+                using ns::obs::perf_phase_counters;
+                probes_.perf_plan =
+                    perf_phase_counters::from_registry(metrics_, "plan");
+                probes_.perf_grouping =
+                    perf_phase_counters::from_registry(metrics_, "grouping");
+                probes_.perf_synth =
+                    perf_phase_counters::from_registry(metrics_, "synth");
+                probes_.perf_superpose =
+                    perf_phase_counters::from_registry(metrics_, "superpose");
+                probes_.perf_decode =
+                    perf_phase_counters::from_registry(metrics_, "decode");
+                chan_ws_.perf = &perf_group_;
+                chan_ws_.perf_kernel_sum =
+                    perf_phase_counters::from_registry(metrics_, "kernel_sum");
+            }
+        }
     }
     if (config_.obs.trace) {
         trace_.arm(config_.obs.trace_max_events, config_.obs.trace_track);
@@ -565,6 +592,7 @@ sim_result network_simulator::run() {
         round_plan plan;
         {
             ns::obs::trace_span span("plan", &trace_, probes_.plan, round_arg);
+            ns::obs::perf_scope perf(&perf_group_, &probes_.perf_plan);
             if (hooks_) plan = hooks_->plan_round(round);
             apply_round_plan(plan, outcome);
         }
@@ -595,6 +623,7 @@ sim_result network_simulator::run() {
         {
             ns::obs::trace_span span("grouping", &trace_, probes_.grouping,
                                      round_arg);
+            ns::obs::perf_scope perf(&perf_group_, &probes_.perf_grouping);
             // §3.3.3 adaptive control: recompute the partition when the
             // policy says the current one has drifted from the population.
             if (grouped()) {
@@ -631,7 +660,12 @@ sim_result network_simulator::run() {
         // -> decode phases (emplace ends the previous span, then opens
         // the next) so the device loop needn't move into a nested block.
         std::optional<ns::obs::trace_span> phase_span;
+        // A second optional walks the same transitions for hardware
+        // counters (perf.synth.* / perf.superpose.* / perf.decode.*);
+        // inert — no syscalls — unless obs.perf opened the group.
+        std::optional<ns::obs::perf_scope> phase_perf;
         phase_span.emplace("synth", &trace_, probes_.synth, round_arg);
+        phase_perf.emplace(&perf_group_, &probes_.perf_synth);
         chan_ws_.packet_pool.release_all();
         contributions_.clear();
         packet_contribs_.clear();
@@ -767,6 +801,7 @@ sim_result network_simulator::run() {
                                        : std::nullopt);
         }
         phase_span.emplace("superpose", &trace_, probes_.superpose, round_arg);
+        phase_perf.emplace(&perf_group_, &probes_.perf_superpose);
 
         // Cross-network accounting: a foreign packet's dechirped peak
         // lands at its shift plus the displacement of the inter-AP
@@ -823,6 +858,7 @@ sim_result network_simulator::run() {
             ns::channel::combine_symbol_domain(packet_contribs_, config_.phy, chan,
                                                sd, rng_, chan_ws_);
             phase_span.emplace("decode", &trace_, probes_.decode, round_arg);
+            phase_perf.emplace(&perf_group_, &probes_.perf_decode);
             receiver_.decode_spectra_into(chan_ws_.symbol_spectra, decoded_,
                                           decode_ws_);
             ++result.fast_path_rounds;
@@ -860,6 +896,7 @@ sim_result network_simulator::run() {
                 std::span<const ns::channel::tx_contribution>(contributions_),
                 packet_samples, config_.phy, chan, rng_, chan_ws_);
             phase_span.emplace("decode", &trace_, probes_.decode, round_arg);
+            phase_perf.emplace(&perf_group_, &probes_.perf_decode);
             receiver_.decode_into(received, 0, decoded_, decode_ws_);
         }
 
@@ -887,6 +924,7 @@ sim_result network_simulator::run() {
                 outcome.bit_errors += ns::util::count_ones(sent);
             }
         }
+        phase_perf.reset();
         phase_span.reset();  // close the decode span (scoring included)
 
         if (grouped() && scheduled_group < group_acc_.size()) {

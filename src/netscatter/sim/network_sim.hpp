@@ -21,6 +21,7 @@
 #include "netscatter/mac/allocator.hpp"
 #include "netscatter/mac/scheduler.hpp"
 #include "netscatter/obs/metrics.hpp"
+#include "netscatter/obs/perf_counters.hpp"
 #include "netscatter/obs/trace.hpp"
 #include "netscatter/phy/css_params.hpp"
 #include "netscatter/phy/frame.hpp"
@@ -417,10 +418,25 @@ private:
         ns::obs::counter* alloc_steady_rounds = nullptr;
         ns::obs::gauge* active_devices = nullptr;
         ns::obs::gauge* num_groups = nullptr;
+        // Hardware-counter attribution destinations, one per round-loop
+        // phase (perf.<phase>.cycles / .instructions / ...). Unwired
+        // (null) unless obs.perf is set AND the group opened, so the
+        // default round loop performs zero perf syscalls.
+        ns::obs::perf_phase_counters perf_plan{};
+        ns::obs::perf_phase_counters perf_grouping{};
+        ns::obs::perf_phase_counters perf_synth{};
+        ns::obs::perf_phase_counters perf_superpose{};
+        ns::obs::perf_phase_counters perf_decode{};
     };
     ns::obs::metrics_registry metrics_;
     ns::obs::trace_buffer trace_;
     obs_probes probes_{};
+    /// Per-replica hardware counter group (obs.perf). Opened in the
+    /// constructor on the replica's thread — the scenario runner builds
+    /// each simulator inside its Monte-Carlo task, so the fds attach to
+    /// the thread that runs the rounds. Counter values flow one way,
+    /// registry-outward: nothing in the simulation reads them back.
+    ns::obs::perf_counter_group perf_group_;
 
     // --- Per-round workspaces (reused across rounds; the steady-state
     // loop allocates nothing per device once the buffers are warm) ------

@@ -9,12 +9,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "netscatter/engine/mc_runner.hpp"
 #include "netscatter/obs/metrics.hpp"
+#include "netscatter/obs/perf_counters.hpp"
 #include "netscatter/obs/trace.hpp"
 
 namespace {
@@ -338,6 +340,124 @@ TEST(obs_disabled, instruments_are_inert_when_compiled_out) {
         ns::obs::trace_span span("x", nullptr);
         EXPECT_EQ(h.count(), 0u);
     }
+}
+
+// ------------------------------------------- perf counter fallback --
+
+TEST(perf_counters, host_metric_predicate_covers_timing_and_perf) {
+    EXPECT_TRUE(ns::obs::is_host_metric_name("perf.plan.cycles"));
+    EXPECT_TRUE(ns::obs::is_host_metric_name("perf.available"));
+    EXPECT_TRUE(ns::obs::is_host_metric_name("round.synth_s"));  // timing
+    EXPECT_FALSE(ns::obs::is_host_metric_name("phy.kernels_summed"));
+    EXPECT_FALSE(ns::obs::is_host_metric_name("phy.kernel_window_elems"));
+    EXPECT_FALSE(ns::obs::is_host_metric_name("perfx"));  // prefix, not "perf."
+}
+
+TEST(perf_counters, derived_ratios_guard_division_by_zero) {
+    EXPECT_DOUBLE_EQ(ns::obs::perf_ipc(100, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ns::obs::perf_ipc(300, 100), 3.0);
+    EXPECT_DOUBLE_EQ(ns::obs::perf_miss_rate(10, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ns::obs::perf_miss_rate(25, 100), 0.25);
+}
+
+TEST(perf_counters, default_group_is_unavailable_and_reads_zero) {
+    // The degradation contract: an unopened group is inert. read() and
+    // close() never throw, and every reading is zero.
+    ns::obs::perf_counter_group group;
+    EXPECT_FALSE(group.available());
+    const ns::obs::perf_readings r = group.read();
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_EQ(r.llc_loads, 0u);
+    EXPECT_EQ(r.llc_misses, 0u);
+    EXPECT_EQ(r.branch_misses, 0u);
+    group.close();  // double-close of a never-opened group is safe
+    EXPECT_FALSE(group.available());
+}
+
+TEST(perf_counters, ns_perf_disable_forces_the_fallback_path) {
+    // NS_PERF_DISABLE makes the "perf_event_open denied" path testable
+    // on hosts where the syscall would succeed.
+    ASSERT_EQ(setenv("NS_PERF_DISABLE", "1", 1), 0);
+    ns::obs::perf_counter_group group;
+    EXPECT_FALSE(group.open());
+    EXPECT_FALSE(group.available());
+    const ns::obs::perf_readings r = group.read();
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.instructions, 0u);
+    group.close();
+    unsetenv("NS_PERF_DISABLE");
+}
+
+TEST(perf_counters, open_contract_matches_availability) {
+    // open() may succeed or fail depending on the host
+    // (perf_event_paranoid, seccomp, non-Linux); both outcomes must be
+    // internally consistent and throw-free.
+    ns::obs::perf_counter_group group;
+    const bool opened = group.open();
+    EXPECT_EQ(opened, group.available());
+    if (!compiled_in()) {
+        EXPECT_FALSE(opened);  // NS_OBS=OFF: empty inline, always false
+    }
+    if (opened) {
+        // Burn some user-space cycles; the leader must observe them.
+        volatile double sink = 1.0;
+        for (int i = 0; i < 200000; ++i) sink = sink * 1.000001 + 1e-9;
+        const ns::obs::perf_readings r = group.read();
+        EXPECT_GT(r.cycles, 0u);
+        EXPECT_GT(r.instructions, 0u);
+    } else {
+        const ns::obs::perf_readings r = group.read();
+        EXPECT_EQ(r.cycles, 0u);
+    }
+    group.close();
+    EXPECT_FALSE(group.available());
+}
+
+TEST(perf_counters, scope_is_inert_without_group_or_destination) {
+    metrics_registry reg;
+    const auto dest =
+        ns::obs::perf_phase_counters::from_registry(reg, "test_phase");
+    {
+        // Null group: the scope arms nothing.
+        ns::obs::perf_scope scope(nullptr, &dest);
+    }
+    {
+        // Unavailable group: same.
+        ns::obs::perf_counter_group group;
+        ns::obs::perf_scope scope(&group, &dest);
+    }
+    {
+        // Unwired destination: constructible, no stores.
+        ns::obs::perf_phase_counters unwired;
+        ns::obs::perf_scope scope(nullptr, &unwired);
+        ns::obs::perf_scope null_dest(nullptr, nullptr);
+    }
+    const metrics_snapshot snap = reg.snapshot();
+    if (compiled_in()) {
+        // from_registry pre-creates the counters; they must all read 0.
+        EXPECT_TRUE(dest.wired());
+        EXPECT_EQ(snap.counter_value("perf.test_phase.cycles"), 0u);
+        EXPECT_EQ(snap.counter_value("perf.test_phase.instructions"), 0u);
+    } else {
+        // NS_OBS=OFF: from_registry is an empty inline — nothing named,
+        // nothing stored.
+        EXPECT_FALSE(dest.wired());
+        EXPECT_TRUE(snap.empty());
+    }
+}
+
+TEST(perf_counters, process_usage_reads_rusage_in_both_build_modes) {
+    // getrusage is host data, available even under NS_OBS=OFF (it feeds
+    // the --metrics process section only). On Linux a live process has
+    // a nonzero peak RSS; elsewhere the struct is all zeros.
+    const ns::obs::process_usage usage = ns::obs::current_process_usage();
+#if defined(__linux__)
+    EXPECT_GT(usage.peak_rss_bytes, 0u);
+    EXPECT_GT(usage.minor_page_faults, 0u);
+#else
+    (void)usage;
+#endif
 }
 
 TEST(obs_disabled, snapshot_record_value_roundtrips) {
