@@ -19,6 +19,7 @@
 //   --replicas N      override the spec's replica count
 //   --seed S          override the spec's base seed
 //   --threads N       worker threads (0 = all cores)
+//   --round-threads N intra-round symbol-sweep threads (determinism-safe)
 //   --serial          run the serial reference order (same results)
 //   --json PATH       output path (single scenario only; default
 //                     SCENARIO_<name>.json in the working directory)
@@ -83,6 +84,7 @@ struct cli_options {
     std::optional<std::uint64_t> seed;
     std::optional<ns::sim::phy_fidelity> fidelity;
     std::size_t threads = 0;
+    std::optional<std::size_t> round_threads;
     bool parallel = true;
     bool strip_wallclock = false;
     bool perf = false;
@@ -98,6 +100,8 @@ void print_usage() {
            "  --replicas N   override replica count\n"
            "  --seed S       override base seed\n"
            "  --threads N    worker threads (0 = all cores)\n"
+           "  --round-threads N  intra-round symbol-sweep threads per\n"
+           "                 replica (default 1; results identical at any N)\n"
            "  --serial       serial reference execution (identical results)\n"
            "  --fidelity F   PHY channel fidelity: sample | symbol | auto\n"
            "  --json PATH    JSON output path (single scenario only)\n"
@@ -150,6 +154,11 @@ std::optional<cli_options> parse(int argc, char** argv) {
             const auto text = value();
             if (!text) return std::nullopt;
             options.threads = static_cast<std::size_t>(std::atoll(text->c_str()));
+        } else if (arg == "--round-threads") {
+            const auto text = value();
+            if (!text) return std::nullopt;
+            options.round_threads =
+                static_cast<std::size_t>(std::atoll(text->c_str()));
         } else if (arg == "--fidelity") {
             const auto text = value();
             if (!text) return std::nullopt;
@@ -600,6 +609,9 @@ int run(const cli_options& options) {
         if (options.replicas) spec.replicas = *options.replicas;
         if (options.seed) spec.sim.seed = *options.seed;
         if (options.fidelity) spec.sim.fidelity = *options.fidelity;
+        if (options.round_threads) {
+            spec.sim.intra_round_threads = *options.round_threads;
+        }
         spec.sim.obs.trace = !options.trace_path.empty();
         spec.sim.obs.perf = options.perf;
 

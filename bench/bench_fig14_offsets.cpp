@@ -8,6 +8,7 @@
 //     measurement that justifies SKIP = 2.
 #include <cmath>
 #include <iostream>
+#include <span>
 #include <vector>
 
 #include "netscatter/channel/impairments.hpp"
@@ -56,7 +57,7 @@ int main() {
             ns::channel::tx_contribution tx;
             waveforms.push_back(mod.modulate_packet(ns::phy::build_frame_bits(
                 rxp.frame, rng.bits(rxp.frame.payload_bits))));
-            tx.waveform = waveforms.back();
+            tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
             tx.snr_db = 5.0;
             tx.frequency_offset_hz = true_offsets[static_cast<std::size_t>(d)] +
                                      crystal.sample_drift_hz(rng);
@@ -66,7 +67,10 @@ int main() {
         const std::size_t samples =
             (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
             phy_a.samples_per_symbol();
-        const auto stream = ns::channel::combine(txs, samples, phy_a, config, rng);
+        ns::channel::channel_workspace chan_ws;
+        const ns::dsp::cvec stream = ns::channel::combine(
+            std::span<const ns::channel::tx_contribution>(txs), samples, phy_a,
+            config, rng, chan_ws);
         const auto result = receiver.decode(stream, 0);
         for (const auto& report : result.reports) {
             if (report.detected) offsets.push_back(report.estimated_tone_offset_hz);

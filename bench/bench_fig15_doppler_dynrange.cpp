@@ -7,6 +7,7 @@
 // 2 bins to a ~35 dB plateau mid-band, symmetric around bin 256.
 #include <cmath>
 #include <iostream>
+#include <span>
 #include <vector>
 
 #include "netscatter/channel/awgn.hpp"
@@ -49,7 +50,7 @@ bool weak_device_survives(std::uint32_t separation, double strong_snr_db,
             ns::phy::distributed_modulator mod(rxp.phy, device == 0 ? 0 : weak_shift);
             ns::channel::tx_contribution tx;
             waveforms.push_back(mod.modulate_packet(bits));
-            tx.waveform = waveforms.back();
+            tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
             tx.snr_db = device == 0 ? strong_snr_db : strong_snr_db - difference_db;
             tx.timing_offset_s = rng.uniform(-0.5e-6, 0.5e-6);
             txs.push_back(std::move(tx));
@@ -58,7 +59,10 @@ bool weak_device_survives(std::uint32_t separation, double strong_snr_db,
             (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
             rxp.phy.samples_per_symbol();
         ns::channel::channel_config config;
-        const auto stream = ns::channel::combine(txs, samples, rxp.phy, config, rng);
+        ns::channel::channel_workspace chan_ws;
+        const ns::dsp::cvec stream = ns::channel::combine(
+            std::span<const ns::channel::tx_contribution>(txs), samples, rxp.phy,
+            config, rng, chan_ws);
         const auto result = rx.decode(stream, 0);
         if (result.reports[1].crc_ok && result.reports[1].bits == weak_bits) ++delivered;
     }

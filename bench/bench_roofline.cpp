@@ -111,11 +111,10 @@ kernel_point run_kernel_point(std::size_t devices, std::size_t radius_bins,
 
     ns::obs::metrics_registry registry;
     ns::channel::channel_workspace workspace;
-    workspace.metrics = &registry;
     if (perf != nullptr && perf->available()) {
-        workspace.perf = perf;
-        workspace.perf_kernel_sum =
-            ns::obs::perf_phase_counters::from_registry(registry, "kernel_sum");
+        workspace.obs = ns::obs::obs_sink::wire(&registry, perf);
+    } else {
+        workspace.obs.metrics = &registry;
     }
 
     // Warm the workspace (spectra/kernel capacity growth) off the clock.

@@ -145,6 +145,33 @@ int main() {
         report.set_scalar("warehouse_1k_symbol_delivery", symbol.sim.delivery_rate());
     }
 
+    // --- field-100k: full single replica, intra-round fan-out ----------
+    // The flagship scale point at its real spec (not the reduced matrix
+    // round count): one replica of 100k devices at SF12, symbol blocks
+    // fanned across 8 intra-round threads. replica_wall_s is the
+    // CI-gated wall-clock budget of ROADMAP item 1 ("a full field-100k
+    // replica well under 100 ms").
+    {
+        auto spec = *ns::scenario::find_scenario("field-100k");
+        spec.sim.intra_round_threads = 8;
+        const auto result = ns::scenario::run_scenario(spec);
+        const double replica_wall_s =
+            result.sim.metrics.histogram_sum("replica.wall_s");
+        std::cout << "\nfield-100k full replica (" << spec.sim.rounds
+                  << " rounds, 8 intra-round threads): "
+                  << ns::util::format_double(replica_wall_s * 1e3, 1)
+                  << " ms\n";
+        report.add_point(
+            {{"scenario", "field-100k-full-replica"},
+             {"num_devices", static_cast<double>(spec.geometry.num_devices)},
+             {"delivery_rate", result.sim.delivery_rate()},
+             {"fast_path_rounds",
+              static_cast<double>(result.sim.fast_path_rounds)},
+             {"steady_allocs_per_round", steady_allocs_per_round(result)},
+             {"replica_wall_s", replica_wall_s}});
+        report.set_scalar("field_100k_replica_wall_s", replica_wall_s);
+    }
+
     report.set_scalar("rounds_per_replica", static_cast<double>(rounds));
     report.set_scalar("wall_clock_s", clock.seconds());
     report.write();

@@ -9,6 +9,7 @@
 // Usage: ./build/examples/near_far_playground [strong_snr_db] [trials]
 #include <cstdlib>
 #include <iostream>
+#include <span>
 
 #include "netscatter/netscatter.hpp"
 
@@ -33,7 +34,7 @@ double weak_delivery_rate(std::uint32_t shift_b, double snr_a_db, double snr_b_d
             ns::phy::distributed_modulator mod(phy, device == 0 ? 0 : shift_b);
             ns::channel::tx_contribution tx;
             waveforms.push_back(mod.modulate_packet(ns::phy::build_frame_bits(frame, payload)));
-            tx.waveform = waveforms.back();
+            tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
             tx.snr_db = device == 0 ? snr_a_db : snr_b_db;
             // Residual jitter keeps the scenario honest.
             tx.timing_offset_s = rng.uniform(-0.5e-6, 0.5e-6);
@@ -43,7 +44,10 @@ double weak_delivery_rate(std::uint32_t shift_b, double snr_a_db, double snr_b_d
             (frame.preamble_symbols + frame.payload_plus_crc_bits()) *
             phy.samples_per_symbol();
         ns::channel::channel_config channel;
-        const auto received = ns::channel::combine(txs, samples, phy, channel, rng);
+        ns::channel::channel_workspace chan_ws;
+        const ns::dsp::cvec received = ns::channel::combine(
+            std::span<const ns::channel::tx_contribution>(txs), samples, phy,
+            channel, rng, chan_ws);
         const auto result = receiver.decode(received, 0);
         if (result.reports[1].crc_ok && result.reports[1].payload == payload_b) {
             ++delivered;

@@ -8,6 +8,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdint>
 #include <iostream>
+#include <span>
 
 #include "netscatter/netscatter.hpp"
 
@@ -37,7 +38,7 @@ int main() {
         ns::phy::distributed_modulator modulator(phy, shift);
         ns::channel::tx_contribution tx;
         waveforms.push_back(modulator.modulate_packet(bits));
-        tx.waveform = waveforms.back();
+        tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
         tx.snr_db = -5.0;  // each device 5 dB below the noise floor
         over_the_air.push_back(std::move(tx));
     }
@@ -47,8 +48,10 @@ int main() {
         (frame.preamble_symbols + frame.payload_plus_crc_bits()) *
         phy.samples_per_symbol();
     ns::channel::channel_config channel;
-    const ns::dsp::cvec received =
-        ns::channel::combine(over_the_air, samples, phy, channel, rng);
+    ns::channel::channel_workspace chan_ws;
+    const ns::dsp::cvec received = ns::channel::combine(
+        std::span<const ns::channel::tx_contribution>(over_the_air), samples, phy,
+        channel, rng, chan_ws);
 
     // 4. One receiver decodes everyone.
     ns::rx::receiver receiver({.phy = phy, .frame = frame});

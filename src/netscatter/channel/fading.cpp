@@ -22,6 +22,13 @@ double gauss_markov_fading::next_db() {
     return current_db_;
 }
 
+void gauss_markov_fading::skip(std::uint64_t steps) {
+    if (steps == 0) return;
+    const double decay = std::pow(rho_, static_cast<double>(steps));
+    const double innovation = std::sqrt(1.0 - decay * decay) * sigma_db_;
+    current_db_ = decay * current_db_ + rng_.gaussian(0.0, innovation);
+}
+
 tap_delay_line::tap_delay_line(const multipath_model& model, double sample_rate_hz,
                                double correlation, ns::util::rng rng)
     : rho_(correlation), powers_(model.tap_powers(sample_rate_hz)), rng_(rng) {
@@ -46,6 +53,17 @@ std::span<const cplx> tap_delay_line::next() {
                    cplx{rng_.gaussian(0.0, sigma), rng_.gaussian(0.0, sigma)};
     }
     return taps_;
+}
+
+void tap_delay_line::skip(std::uint64_t rounds) {
+    if (rounds == 0) return;
+    const double decay = std::pow(rho_, static_cast<double>(rounds));
+    const double innovation_scale = std::sqrt(1.0 - decay * decay);
+    for (std::size_t i = 1; i < taps_.size(); ++i) {
+        const double sigma = innovation_scale * std::sqrt(powers_[i] / 2.0);
+        taps_[i] = decay * taps_[i] +
+                   cplx{rng_.gaussian(0.0, sigma), rng_.gaussian(0.0, sigma)};
+    }
 }
 
 }  // namespace ns::channel

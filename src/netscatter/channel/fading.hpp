@@ -27,6 +27,13 @@ public:
     /// (zero-mean; add to the static received power).
     double next_db();
 
+    /// Advances `steps` steps in a single draw via the exact k-step
+    /// AR(1) transition g[k+s] | g[k] ~ N(rho^s g[k], sigma^2(1-rho^2s)).
+    /// Statistically identical to `steps` next_db() calls but costs one
+    /// Gaussian — how a device whose gain went unobserved (inactive or
+    /// unscheduled rounds) catches up without paying per-round draws.
+    void skip(std::uint64_t steps);
+
     /// Current gain deviation without advancing.
     double current_db() const { return current_db_; }
 
@@ -56,6 +63,11 @@ public:
     /// internal storage and stays valid until the line is destroyed
     /// (values change on the next call).
     std::span<const cplx> next();
+
+    /// Advances `rounds` rounds in a single draw per scattered tap (the
+    /// exact k-step transition of each complex AR(1) process); the same
+    /// catch-up contract as gauss_markov_fading::skip.
+    void skip(std::uint64_t rounds);
 
     /// Current taps without advancing.
     std::span<const cplx> current() const { return taps_; }

@@ -1,0 +1,336 @@
+#include "netscatter/channel/kernel_batch.hpp"
+
+#include <algorithm>
+
+#include "netscatter/util/error.hpp"
+
+// Bit-identity across backends requires that no path contracts the
+// complex multiply-accumulate into FMA: the scalar reference compiles to
+// separate mul/add (baseline x86-64 has no FMA instruction, and this
+// translation unit is built with -ffp-contract=off for other targets),
+// and the vector backends below use explicit mul/add/addsub intrinsics
+// only. The product (wr·sr − wi·si, wi·sr + wr·si) is evaluated in the
+// same operation order everywhere.
+
+#ifndef NS_SIMD_ENABLED
+#define NS_SIMD_ENABLED 1
+#endif
+
+#if NS_SIMD_ENABLED && defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define NS_SIMD_AVX2 1
+#include <immintrin.h>
+#elif NS_SIMD_ENABLED && defined(__aarch64__)
+#define NS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace ns::channel {
+
+void kernel_batch::begin(std::size_t num_symbols) {
+    window_values.clear();
+    window_offset.clear();
+    window_length.clear();
+    stage_symbol.clear();
+    stage_first.clear();
+    stage_window.clear();
+    stage_scale.clear();
+    counts.assign(num_symbols, 0);
+    symbol_begin.assign(num_symbols + 1, 0);
+}
+
+std::uint32_t kernel_batch::add_window(std::span<const cplx> values) {
+    const std::uint32_t id = static_cast<std::uint32_t>(window_offset.size());
+    window_offset.push_back(static_cast<std::uint32_t>(window_values.size()));
+    window_length.push_back(static_cast<std::uint32_t>(values.size()));
+    window_values.insert(window_values.end(), values.begin(), values.end());
+    return id;
+}
+
+void kernel_batch::place(std::uint32_t symbol, std::uint32_t id,
+                         std::uint32_t first, cplx amplitude) {
+    stage_symbol.push_back(symbol);
+    stage_first.push_back(first);
+    stage_window.push_back(id);
+    stage_scale.push_back(amplitude);
+    ++counts[symbol];
+}
+
+void kernel_batch::seal() {
+    // Stable counting sort of the staged placements into per-symbol
+    // buckets: exclusive prefix sum, then a forward scatter pass (which
+    // preserves packet order within each symbol — the accumulation order
+    // the bit-identity contract pins).
+    const std::size_t num_symbols = counts.size();
+    std::uint32_t running = 0;
+    for (std::size_t k = 0; k < num_symbols; ++k) {
+        symbol_begin[k] = running;
+        running += counts[k];
+        counts[k] = symbol_begin[k];  // becomes the scatter cursor
+    }
+    symbol_begin[num_symbols] = running;
+
+    const std::size_t total = stage_symbol.size();
+    first_bin.resize(total);
+    window_id.resize(total);
+    scale.resize(total);
+    for (std::size_t p = 0; p < total; ++p) {
+        const std::uint32_t slot = counts[stage_symbol[p]]++;
+        first_bin[slot] = stage_first[p];
+        window_id[slot] = stage_window[p];
+        scale[slot] = stage_scale[p];
+    }
+}
+
+std::uint64_t kernel_batch::symbol_window_elems(std::size_t symbol) const {
+    std::uint64_t elems = 0;
+    for (std::uint32_t p = symbol_begin[symbol]; p < symbol_begin[symbol + 1];
+         ++p) {
+        elems += window_length[window_id[p]];
+    }
+    return elems;
+}
+
+void accumulate_run_scalar(cplx* dst, const cplx* window, std::size_t count,
+                           cplx scale) {
+    const double sr = scale.real();
+    const double si = scale.imag();
+    for (std::size_t i = 0; i < count; ++i) {
+        const double wr = window[i].real();
+        const double wi = window[i].imag();
+        dst[i] += cplx{wr * sr - wi * si, wi * sr + wr * si};
+    }
+}
+
+void interpolate_bands_scalar(cplx* dst, std::size_t pad, const cplx* grid,
+                              std::size_t radius, const cplx* coeffs,
+                              std::size_t count) {
+    const std::size_t taps = 2 * radius + 1;
+    for (std::size_t q = 0; q < count; ++q) {
+        const cplx* window = grid + q;
+        dst[pad * q] = window[radius];
+        for (std::size_t r = 1; r < pad; ++r) {
+            const cplx* w = coeffs + (r - 1) * taps;
+            double acc_re = 0.0;
+            double acc_im = 0.0;
+            for (std::size_t t = 0; t < taps; ++t) {
+                const double cr = w[t].real();
+                const double ci = w[t].imag();
+                const double wr = window[t].real();
+                const double wi = window[t].imag();
+                acc_re += wr * cr - wi * ci;
+                acc_im += wi * cr + wr * ci;
+            }
+            dst[pad * q + r] = cplx{acc_re, acc_im};
+        }
+    }
+}
+
+namespace {
+
+/// Fused residue accumulators live in a fixed register/stack array; a
+/// zero-padding factor beyond this (never seen in practice — factors
+/// are small powers of two) falls back to the scalar reference.
+constexpr std::size_t max_fused_residues = 15;
+
+#if defined(NS_SIMD_AVX2)
+
+__attribute__((target("avx2"))) void accumulate_run_avx2(cplx* dst,
+                                                         const cplx* window,
+                                                         std::size_t count,
+                                                         cplx scale) {
+    double* d = reinterpret_cast<double*>(dst);
+    const double* w = reinterpret_cast<const double*>(window);
+    const __m256d sr = _mm256_set1_pd(scale.real());
+    const __m256d si = _mm256_set1_pd(scale.imag());
+    std::size_t i = 0;
+    const std::size_t paired = count & ~std::size_t{1};
+    for (; i < paired; i += 2) {
+        const __m256d wv = _mm256_loadu_pd(w + 2 * i);      // wr0 wi0 wr1 wi1
+        const __m256d t1 = _mm256_mul_pd(wv, sr);           // wr·sr  wi·sr
+        const __m256d ws = _mm256_permute_pd(wv, 0x5);      // wi0 wr0 wi1 wr1
+        const __m256d t2 = _mm256_mul_pd(ws, si);           // wi·si  wr·si
+        // addsub: even lanes t1−t2, odd lanes t1+t2 —
+        // (wr·sr − wi·si, wi·sr + wr·si), the scalar reference's order.
+        const __m256d prod = _mm256_addsub_pd(t1, t2);
+        _mm256_storeu_pd(d + 2 * i,
+                         _mm256_add_pd(_mm256_loadu_pd(d + 2 * i), prod));
+    }
+    if (i < count) {
+        accumulate_run_scalar(dst + i, window + i, count - i, scale);
+    }
+}
+
+__attribute__((target("avx2"))) void interpolate_bands_avx2(
+    cplx* dst, std::size_t pad, const cplx* grid, std::size_t radius,
+    const cplx* coeffs, std::size_t count) {
+    const std::size_t taps = 2 * radius + 1;
+    const std::size_t residues = pad - 1;
+    if (residues > max_fused_residues) {
+        interpolate_bands_scalar(dst, pad, grid, radius, coeffs, count);
+        return;
+    }
+    // Two q-lanes per vector: grid[q+t] and grid[q+1+t] are adjacent in
+    // memory, so one unaligned load per tap feeds every residue's FIR
+    // accumulator pair. The per-lane add order matches the scalar
+    // reference exactly (products summed in t order from a zero
+    // accumulator).
+    const double* g = reinterpret_cast<const double*>(grid);
+    std::size_t q = 0;
+    const std::size_t paired = count & ~std::size_t{1};
+    for (; q < paired; q += 2) {
+        __m256d acc[max_fused_residues];
+        for (std::size_t r = 0; r < residues; ++r) acc[r] = _mm256_setzero_pd();
+        const double* w = g + 2 * q;
+        for (std::size_t t = 0; t < taps; ++t) {
+            const __m256d wv = _mm256_loadu_pd(w + 2 * t);
+            const __m256d ws = _mm256_permute_pd(wv, 0x5);
+            for (std::size_t r = 0; r < residues; ++r) {
+                const cplx c = coeffs[r * taps + t];
+                const __m256d t1 = _mm256_mul_pd(wv, _mm256_set1_pd(c.real()));
+                const __m256d t2 = _mm256_mul_pd(ws, _mm256_set1_pd(c.imag()));
+                acc[r] = _mm256_add_pd(acc[r], _mm256_addsub_pd(t1, t2));
+            }
+        }
+        dst[pad * q] = grid[radius + q];
+        dst[pad * (q + 1)] = grid[radius + q + 1];
+        for (std::size_t r = 0; r < residues; ++r) {
+            double lane[4];
+            _mm256_storeu_pd(lane, acc[r]);
+            dst[pad * q + r + 1] = cplx{lane[0], lane[1]};
+            dst[pad * (q + 1) + r + 1] = cplx{lane[2], lane[3]};
+        }
+    }
+    if (q < count) {
+        interpolate_bands_scalar(dst + pad * q, pad, grid + q, radius, coeffs,
+                                 count - q);
+    }
+}
+
+#elif defined(NS_SIMD_NEON)
+
+void accumulate_run_neon(cplx* dst, const cplx* window, std::size_t count,
+                         cplx scale) {
+    double* d = reinterpret_cast<double*>(dst);
+    const double* w = reinterpret_cast<const double*>(window);
+    const float64x2_t sr = vdupq_n_f64(scale.real());
+    const float64x2_t si = vdupq_n_f64(scale.imag());
+    const float64x2_t negpos = {-1.0, 1.0};
+    for (std::size_t i = 0; i < count; ++i) {
+        const float64x2_t wv = vld1q_f64(w + 2 * i);   // wr wi
+        const float64x2_t t1 = vmulq_f64(wv, sr);      // wr·sr  wi·sr
+        const float64x2_t ws = vextq_f64(wv, wv, 1);   // wi wr
+        // Sign-flip the real lane of (wi·si, wr·si) so a single add
+        // yields (wr·sr − wi·si, wi·sr + wr·si); x + (−y) is bit-equal
+        // to x − y, keeping identity with the scalar reference.
+        const float64x2_t t2 = vmulq_f64(vmulq_f64(ws, si), negpos);
+        const float64x2_t prod = vaddq_f64(t1, t2);
+        vst1q_f64(d + 2 * i, vaddq_f64(vld1q_f64(d + 2 * i), prod));
+    }
+}
+
+void interpolate_bands_neon(cplx* dst, std::size_t pad, const cplx* grid,
+                            std::size_t radius, const cplx* coeffs,
+                            std::size_t count) {
+    const std::size_t taps = 2 * radius + 1;
+    const std::size_t residues = pad - 1;
+    if (residues > max_fused_residues) {
+        interpolate_bands_scalar(dst, pad, grid, radius, coeffs, count);
+        return;
+    }
+    const double* g = reinterpret_cast<const double*>(grid);
+    const float64x2_t negpos = {-1.0, 1.0};
+    for (std::size_t q = 0; q < count; ++q) {
+        float64x2_t acc[max_fused_residues];
+        for (std::size_t r = 0; r < residues; ++r) acc[r] = vdupq_n_f64(0.0);
+        const double* w = g + 2 * q;
+        for (std::size_t t = 0; t < taps; ++t) {
+            const float64x2_t wv = vld1q_f64(w + 2 * t);
+            const float64x2_t ws = vextq_f64(wv, wv, 1);
+            for (std::size_t r = 0; r < residues; ++r) {
+                const cplx c = coeffs[r * taps + t];
+                const float64x2_t t1 = vmulq_f64(wv, vdupq_n_f64(c.real()));
+                const float64x2_t t2 =
+                    vmulq_f64(vmulq_f64(ws, vdupq_n_f64(c.imag())), negpos);
+                acc[r] = vaddq_f64(acc[r], vaddq_f64(t1, t2));
+            }
+        }
+        dst[pad * q] = grid[radius + q];
+        for (std::size_t r = 0; r < residues; ++r) {
+            vst1q_f64(reinterpret_cast<double*>(dst + pad * q + r + 1), acc[r]);
+        }
+    }
+}
+
+#endif
+
+using accumulate_fn = void (*)(cplx*, const cplx*, std::size_t, cplx);
+using interpolate_fn = void (*)(cplx*, std::size_t, const cplx*, std::size_t,
+                                const cplx*, std::size_t);
+
+bool g_force_scalar = false;
+
+accumulate_fn dispatch() {
+    if (g_force_scalar) return accumulate_run_scalar;
+#if defined(NS_SIMD_AVX2)
+    static const bool has_avx2 = __builtin_cpu_supports("avx2");
+    if (has_avx2) return accumulate_run_avx2;
+#elif defined(NS_SIMD_NEON)
+    return accumulate_run_neon;
+#endif
+    return accumulate_run_scalar;
+}
+
+interpolate_fn dispatch_interpolate() {
+    if (g_force_scalar) return interpolate_bands_scalar;
+#if defined(NS_SIMD_AVX2)
+    static const bool has_avx2 = __builtin_cpu_supports("avx2");
+    if (has_avx2) return interpolate_bands_avx2;
+#elif defined(NS_SIMD_NEON)
+    return interpolate_bands_neon;
+#endif
+    return interpolate_bands_scalar;
+}
+
+}  // namespace
+
+void interpolate_bands(cplx* dst, std::size_t pad, const cplx* grid,
+                       std::size_t radius, const cplx* coeffs,
+                       std::size_t count) {
+    dispatch_interpolate()(dst, pad, grid, radius, coeffs, count);
+}
+
+void force_scalar_accumulation(bool force_scalar) {
+    g_force_scalar = force_scalar;
+}
+
+const char* kernel_accumulate_backend() {
+    if (g_force_scalar) return "scalar";
+#if defined(NS_SIMD_AVX2)
+    if (__builtin_cpu_supports("avx2")) return "avx2";
+#elif defined(NS_SIMD_NEON)
+    return "neon";
+#endif
+    return "scalar";
+}
+
+void accumulate_symbol(const kernel_batch& batch, std::size_t symbol,
+                       cvec& spectrum) {
+    const accumulate_fn accumulate = dispatch();
+    const std::size_t m_total = spectrum.size();
+    const cplx* values = batch.window_values.data();
+    for (std::uint32_t p = batch.symbol_begin[symbol];
+         p < batch.symbol_begin[symbol + 1]; ++p) {
+        const std::uint32_t id = batch.window_id[p];
+        const cplx* window = values + batch.window_offset[id];
+        const std::size_t length = batch.window_length[id];
+        const std::size_t first = batch.first_bin[p];
+        const cplx amplitude = batch.scale[p];
+        // spectrum[(first + w) mod M] += window[w] · amplitude, split
+        // into the two contiguous runs of the cyclic window.
+        const std::size_t run = std::min(length, m_total - first);
+        accumulate(spectrum.data() + first, window, run, amplitude);
+        accumulate(spectrum.data(), window + run, length - run, amplitude);
+    }
+}
+
+}  // namespace ns::channel

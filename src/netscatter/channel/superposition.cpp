@@ -6,6 +6,7 @@
 
 #include "netscatter/channel/awgn.hpp"
 #include "netscatter/dsp/vector_ops.hpp"
+#include "netscatter/engine/thread_pool.hpp"
 #include "netscatter/phy/chirp.hpp"
 #include "netscatter/util/error.hpp"
 #include "netscatter/util/units.hpp"
@@ -68,35 +69,101 @@ const cvec& combine(std::span<const tx_contribution> contributions, std::size_t 
     }
 
     add_noise(received, config.noise_power, rng);
-    if (workspace.metrics != nullptr) {
-        workspace.metrics->get_counter("phy.sample_waveforms")
+    if (workspace.obs.metrics != nullptr) {
+        workspace.obs.metrics->get_counter("phy.sample_waveforms")
             ->add(contributions.size());
     }
     return received;
 }
 
-cvec combine(const std::vector<tx_contribution>& contributions, std::size_t length,
-             const ns::phy::css_params& params, const channel_config& config,
-             ns::util::rng& rng) {
-    channel_workspace workspace;
-    combine(std::span<const tx_contribution>(contributions), length, params, config,
-            rng, workspace);
-    return std::move(workspace.received);
-}
-
 namespace {
 
-/// spectrum[(first + w) mod M] += kernel[w] * scalar, split into the two
-/// contiguous runs of the cyclic window.
-void add_kernel_at(cvec& spectrum, const cvec& kernel, std::size_t first, cplx scalar) {
-    const std::size_t m_total = spectrum.size();
-    const std::size_t run = std::min(kernel.size(), m_total - first);
-    for (std::size_t w = 0; w < run; ++w) {
-        spectrum[first + w] += kernel[w] * scalar;
+/// Independent noise seed for one symbol of one round — the same
+/// splitmix chaining as engine::split_seed (not included here to keep
+/// channel below engine in the layering). Deriving noise from (round
+/// seed, symbol index) instead of a shared stream is what makes the
+/// symbol sweep order-free: any partition of symbols over threads draws
+/// the identical noise.
+std::uint64_t symbol_noise_seed(std::uint64_t round_seed, std::uint64_t symbol) {
+    std::uint64_t state = round_seed;
+    const std::uint64_t out = ns::util::splitmix64_next(state);
+    state ^= out ^ (symbol * 0x94d049bb133111ebULL);
+    return ns::util::splitmix64_next(state);
+}
+
+/// Everything a symbol-block sweep needs, shared read-only across
+/// blocks (mutable state — spectra, grids, per-block timing slots — is
+/// indexed by symbol or block, never shared).
+struct sweep_context {
+    channel_workspace* ws = nullptr;
+    std::uint64_t round_seed = 0;
+    std::size_t n = 0;
+    std::size_t pad = 0;
+    std::size_t total_spectra = 0;
+    std::size_t num_blocks = 0;
+    std::size_t interp_radius = 0;
+    double sigma = 0.0;
+    double sigma_grid = 0.0;
+    bool banded = false;
+    bool time_sweep = false;
+};
+
+/// Fills `spectrum` with one symbol's thermal noise (overwrites every
+/// padded bin). Identical math to the pre-batch serial path; only the
+/// generator is per-symbol now.
+void synthesize_noise(const sweep_context& c, cvec& spectrum, cvec& grid,
+                      ns::util::rng& srng) {
+    const std::size_t n = c.n;
+    const std::size_t pad = c.pad;
+    if (!c.banded) {
+        // Exact path: zero-padded FFT of time-domain white noise.
+        for (std::size_t i = 0; i < n; ++i) {
+            spectrum[i] =
+                cplx{srng.gaussian(0.0, c.sigma), srng.gaussian(0.0, c.sigma)};
+        }
+        std::fill(spectrum.begin() + static_cast<std::ptrdiff_t>(n),
+                  spectrum.end(), cplx{0.0, 0.0});
+        ns::dsp::fft_inplace(spectrum);
+        return;
     }
-    for (std::size_t w = run; w < kernel.size(); ++w) {
-        spectrum[w - run] += kernel[w] * scalar;
+    // On-grid draws with ±R wrap margins so the banded interpolation
+    // never takes a modulo in its inner loop.
+    const std::size_t interp_radius = c.interp_radius;
+    for (std::size_t q = 0; q < n; ++q) {
+        grid[interp_radius + q] = cplx{srng.gaussian(0.0, c.sigma_grid),
+                                       srng.gaussian(0.0, c.sigma_grid)};
     }
+    for (std::size_t t = 0; t < interp_radius; ++t) {
+        grid[t] = grid[n + t];                                  // wrap low side
+        grid[n + interp_radius + t] = grid[interp_radius + t];  // wrap high side
+    }
+    // One fused pass over the padded spectrum: the on-grid scatter plus
+    // every fractional-offset residue's FIR over the wrapped grid,
+    // swept by the dispatched vector backend (bit-identical to the
+    // scalar loop) — each grid element is loaded once and the spectrum
+    // is written front to back.
+    interpolate_bands(spectrum.data(), pad, grid.data(), interp_radius,
+                      c.ws->noise_taps.data(), n);
+}
+
+/// One block of the accumulation stage: noise + kernel sweep for a
+/// contiguous symbol range. Runs on block_runner workers or inline;
+/// per-symbol seeding makes the result independent of the partition.
+void sweep_block(void* context, std::size_t block) {
+    const auto& c = *static_cast<const sweep_context*>(context);
+    const std::size_t begin = block * c.total_spectra / c.num_blocks;
+    const std::size_t end = (block + 1) * c.total_spectra / c.num_blocks;
+    cvec& grid = c.ws->noise_grids[block];
+    std::uint64_t sweep_ns = 0;
+    for (std::size_t k = begin; k < end; ++k) {
+        cvec& spectrum = c.ws->symbol_spectra[k];
+        ns::util::rng srng(symbol_noise_seed(c.round_seed, k));
+        synthesize_noise(c, spectrum, grid, srng);
+        const std::uint64_t t0 = c.time_sweep ? ns::obs::now_ns() : 0;
+        accumulate_symbol(c.ws->batch, k, spectrum);
+        if (c.time_sweep) sweep_ns += ns::obs::now_ns() - t0;
+    }
+    c.ws->block_kernel_ns[block] = sweep_ns;
 }
 
 }  // namespace
@@ -120,20 +187,30 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
     const std::size_t padded = n * sd.zero_padding;
     const std::size_t total_spectra = sd.preamble_upchirps + sd.payload_symbols;
 
-    // --- Thermal noise, drawn in the frequency domain -------------------
-    // The receiver's spectrum of a pure-noise symbol is FFT(noise ·
-    // downchirp) zero-padded; the unit-modulus dechirp leaves circular
-    // Gaussian noise circular, so a spectrum with the identical
-    // distribution can be drawn directly: its N on-grid samples are
-    // i.i.d. CN(0, N·noise_power) (the unnormalized DFT of white noise)
-    // and the off-grid padded bins are their Dirichlet interpolation —
-    // either exact (one FFT per symbol) or banded to ±R chip bins.
+    // =====================================================================
+    // Planning stage — serial, on the caller's thread. Grows every buffer
+    // the sweep will touch (so worker threads never allocate and the
+    // alloc.* counters are identical at any thread count), derives the
+    // round's noise seed, and flattens all kernel placements into the SoA
+    // batch.
+    // =====================================================================
     workspace.symbol_spectra.resize(total_spectra);
+    for (auto& spectrum : workspace.symbol_spectra) {
+        spectrum.resize(padded);
+    }
     const double sigma = std::sqrt(config.noise_power / 2.0);
     const std::size_t pad = sd.zero_padding;
     const std::size_t interp_radius = sd.noise_interp_radius_bins;
     const bool banded = pad > 1 && interp_radius > 0 && interp_radius < n / 2;
 
+    // Thermal noise is drawn in the frequency domain: the receiver's
+    // spectrum of a pure-noise symbol is FFT(noise · downchirp)
+    // zero-padded; the unit-modulus dechirp leaves circular Gaussian
+    // noise circular, so a spectrum with the identical distribution can
+    // be drawn directly — its N on-grid samples are i.i.d.
+    // CN(0, N·noise_power) (the unnormalized DFT of white noise) and the
+    // off-grid padded bins are their Dirichlet interpolation, either
+    // exact (one FFT per symbol) or banded to ±R chip bins.
     if (banded) {
         // C[(r-1)·(2R+1) + t] interpolates offset r in (0, pad) from the
         // on-grid neighbour t - R chip bins away: the device kernel
@@ -159,63 +236,25 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
         }
     }
 
-    const double sigma_grid =
-        std::sqrt(static_cast<double>(n)) * sigma;  // on-grid DFT sample std dev
-    for (std::size_t k = 0; k < total_spectra; ++k) {
-        cvec& spectrum = workspace.symbol_spectra[k];
-        spectrum.resize(padded);
-        if (!banded) {
-            // Exact path: zero-padded FFT of time-domain white noise.
-            for (std::size_t i = 0; i < n; ++i) {
-                spectrum[i] = cplx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
-            }
-            std::fill(spectrum.begin() + static_cast<std::ptrdiff_t>(n),
-                      spectrum.end(), cplx{0.0, 0.0});
-            ns::dsp::fft_inplace(spectrum);
-            continue;
-        }
-        // On-grid draws with ±R wrap margins so the banded interpolation
-        // never takes a modulo in its inner loop.
-        const std::size_t taps = 2 * interp_radius + 1;
-        cvec& grid = workspace.noise_bins;
-        grid.resize(n + 2 * interp_radius);
-        for (std::size_t q = 0; q < n; ++q) {
-            grid[interp_radius + q] =
-                cplx{rng.gaussian(0.0, sigma_grid), rng.gaussian(0.0, sigma_grid)};
-        }
-        for (std::size_t t = 0; t < interp_radius; ++t) {
-            grid[t] = grid[n + t];                                // wrap low side
-            grid[n + interp_radius + t] = grid[interp_radius + t];  // wrap high side
-        }
-        for (std::size_t q = 0; q < n; ++q) {
-            spectrum[pad * q] = grid[interp_radius + q];
-        }
-        for (std::size_t r = 1; r < pad; ++r) {
-            const cplx* coeffs = workspace.noise_taps.data() + (r - 1) * taps;
-            for (std::size_t q = 0; q < n; ++q) {
-                const cplx* window = grid.data() + q;
-                cplx acc{0.0, 0.0};
-                for (std::size_t t = 0; t < taps; ++t) {
-                    acc += coeffs[t] * window[t];
-                }
-                spectrum[pad * q + r] = acc;
-            }
-        }
-    }
+    // One raw draw seeds every symbol's noise generator; consuming it
+    // before the per-packet phase draws keeps the caller's stream layout
+    // fixed regardless of the packet count.
+    const std::uint64_t round_seed = rng();
 
-    // --- Devices: one Dirichlet kernel each, re-phased per ON symbol ----
-    // The batch is bracketed by a wall-clock probe (phy.kernel_sum_s)
-    // and a hardware-counter probe (perf.kernel_sum.*); together with
-    // the deterministic element count below they parameterize the
-    // roofline model (obs/roofline.hpp). Both probes are inert when
-    // their handles are unset and record nothing into simulation state.
-    ns::obs::scoped_timer batch_timer(
-        workspace.metrics != nullptr
-            ? workspace.metrics->get_histogram("phy.kernel_sum_s")
-            : nullptr);
-    ns::obs::perf_scope batch_perf(workspace.perf, &workspace.perf_kernel_sum);
+    // --- Plan the device kernels into the SoA batch ---------------------
+    // One window per packet (its complex values are identical for every
+    // ON symbol; only the leading scalar A·e^{jφ_g} rotates with the
+    // global symbol index g — the tone's phase advances across the whole
+    // packet, downchirps included), one placement per ON symbol. A
+    // multipath device uses the tap-enveloped window instead of the bare
+    // Dirichlet one — the taps' per-symbol effect is identical too (each
+    // tap is a fixed-bin cyclic shift), so the same scalar applies.
+    kernel_batch& batch = workspace.batch;
+    batch.begin(total_spectra);
     std::uint64_t kernels_summed = 0;
     std::uint64_t window_elems = 0;
+    const bool timed = workspace.obs.metrics != nullptr;
+    const std::uint64_t plan_t0 = timed ? ns::obs::now_ns() : 0;
     for (const auto& packet : packets) {
         const double power = config.noise_power * ns::util::db_to_linear(packet.snr_db);
         const double amplitude = std::sqrt(power);
@@ -228,13 +267,6 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
         const double position_bins =
             static_cast<double>(packet.cyclic_shift) + tone_bins;
 
-        // The kernel's complex values are identical for every ON symbol
-        // of the device; only the leading scalar A·e^{jφ_g} rotates with
-        // the global symbol index g (the tone's phase advances across
-        // the whole packet, downchirps included). A multipath device uses
-        // the tap-enveloped window instead of the bare Dirichlet one —
-        // the taps' per-symbol effect is identical too (each tap is a
-        // fixed-bin cyclic shift), so the same scalar applies.
         std::size_t first;
         const cvec* window;
         if (packet.taps.empty()) {
@@ -248,6 +280,7 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
                 sd.zero_padding, sd.kernel_radius_bins, workspace.kernel);
             window = &workspace.envelope;
         }
+        const std::uint32_t window_id = batch.add_window(*window);
         const double symbol_phase_step =
             2.0 * std::numbers::pi * tone_hz * static_cast<double>(n) /
             params.bandwidth_hz;
@@ -259,16 +292,16 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
 
         std::uint64_t packet_kernels = sd.preamble_upchirps;
         for (std::size_t k = 0; k < sd.preamble_upchirps; ++k) {
-            add_kernel_at(workspace.symbol_spectra[k], *window, first,
-                          symbol_scalar(k));
+            batch.place(static_cast<std::uint32_t>(k), window_id,
+                        static_cast<std::uint32_t>(first), symbol_scalar(k));
         }
         const std::size_t on_bits =
             std::min(packet.frame_bits.size(), sd.payload_symbols);
         for (std::size_t i = 0; i < on_bits; ++i) {
             if (packet.frame_bits[i] == 0) continue;
-            add_kernel_at(workspace.symbol_spectra[sd.preamble_upchirps + i],
-                          *window, first,
-                          symbol_scalar(sd.preamble_symbols + i));
+            batch.place(static_cast<std::uint32_t>(sd.preamble_upchirps + i),
+                        window_id, static_cast<std::uint32_t>(first),
+                        symbol_scalar(sd.preamble_symbols + i));
             ++packet_kernels;
         }
         kernels_summed += packet_kernels;
@@ -279,13 +312,81 @@ void combine_symbol_domain(std::span<const packet_contribution> packets,
         // at their real cost.
         window_elems += packet_kernels * window->size();
     }
+    batch.seal();
+    if (timed) {
+        workspace.obs.metrics->get_histogram("phy.kernel_plan_s")
+            ->record_ns(ns::obs::now_ns() - plan_t0);
+    }
 
-    if (workspace.metrics != nullptr) {
-        workspace.metrics->get_counter("phy.fast_packets")->add(packets.size());
-        workspace.metrics->get_counter("phy.kernels_summed")->add(kernels_summed);
-        workspace.metrics->get_counter("phy.noise_symbols")->add(total_spectra);
-        workspace.metrics->get_counter("phy.kernel_window_elems")
-            ->add(window_elems);
+    // =====================================================================
+    // Accumulation stage — symbols are self-contained (own noise
+    // generator, own placement bucket, own spectrum), so contiguous
+    // symbol blocks fan out across the workspace's block_runner when one
+    // is attached. Any thread count — including the inline serial sweep —
+    // produces bit-identical spectra.
+    // =====================================================================
+    ns::engine::block_runner* pool = workspace.block_pool;
+    const std::size_t pool_threads = pool != nullptr ? pool->size() : 1;
+    std::size_t num_blocks = 1;
+    if (pool_threads > 1 && total_spectra > 1) {
+        // More blocks than threads smooths the load (payload symbols
+        // carry different kernel counts); the partition never changes
+        // results, only scheduling.
+        num_blocks = std::min(total_spectra, pool_threads * 2);
+    }
+    workspace.noise_grids.resize(num_blocks);
+    if (banded) {
+        for (auto& grid : workspace.noise_grids) {
+            grid.resize(n + 2 * interp_radius);
+        }
+    }
+    workspace.block_kernel_ns.assign(num_blocks, 0);
+
+    sweep_context ctx;
+    ctx.ws = &workspace;
+    ctx.round_seed = round_seed;
+    ctx.n = n;
+    ctx.pad = pad;
+    ctx.total_spectra = total_spectra;
+    ctx.num_blocks = num_blocks;
+    ctx.interp_radius = interp_radius;
+    ctx.sigma = sigma;
+    ctx.sigma_grid = std::sqrt(static_cast<double>(n)) * sigma;
+    ctx.banded = banded;
+    ctx.time_sweep = workspace.obs.metrics != nullptr;
+
+    {
+        // The hardware-counter probe wraps the whole stage from the
+        // calling thread (perf counters are thread-pinned, so with a
+        // pool attached it attributes the caller's share of the sweep);
+        // the wall-clock probe below sums each block's sweep time
+        // instead, so phy.kernel_sum_s stays the roofline denominator —
+        // busy time of the accumulation loops, noise excluded — at any
+        // thread count.
+        ns::obs::perf_scope batch_perf(workspace.obs.perf,
+                                       &workspace.obs.perf_kernel_sum);
+        if (pool != nullptr && num_blocks > 1) {
+            pool->run(num_blocks, &sweep_block, &ctx);
+        } else {
+            for (std::size_t block = 0; block < num_blocks; ++block) {
+                sweep_block(&ctx, block);
+            }
+        }
+    }
+
+    if (workspace.obs.metrics != nullptr) {
+        ns::obs::metrics_registry& metrics = *workspace.obs.metrics;
+        ns::obs::histogram* sweep_hist =
+            metrics.get_histogram("phy.kernel_sum_s");
+        // Per-block sweep times merge deterministically: recorded by the
+        // calling thread, in block order, after the join.
+        for (std::size_t block = 0; block < num_blocks; ++block) {
+            sweep_hist->record_ns(workspace.block_kernel_ns[block]);
+        }
+        metrics.get_counter("phy.fast_packets")->add(packets.size());
+        metrics.get_counter("phy.kernels_summed")->add(kernels_summed);
+        metrics.get_counter("phy.noise_symbols")->add(total_spectra);
+        metrics.get_counter("phy.kernel_window_elems")->add(window_elems);
     }
 }
 

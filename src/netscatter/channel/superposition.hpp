@@ -27,24 +27,29 @@
 #include <vector>
 
 #include "netscatter/channel/impairments.hpp"
+#include "netscatter/channel/kernel_batch.hpp"
 #include "netscatter/dsp/fft.hpp"
 #include "netscatter/dsp/vector_ops.hpp"
-#include "netscatter/obs/metrics.hpp"
-#include "netscatter/obs/perf_counters.hpp"
+#include "netscatter/obs/sink.hpp"
 #include "netscatter/phy/css_params.hpp"
 #include "netscatter/util/rng.hpp"
 
+namespace ns::engine {
+class block_runner;
+}  // namespace ns::engine
+
 namespace ns::channel {
 
-/// Non-owning view of a contribution's baseband samples. Constructible
-/// from an lvalue cvec or an explicit span; construction from a
-/// temporary cvec is deleted so the pre-refactor idiom
-/// `tx.waveform = mod.modulate_packet(bits)` is a compile error instead
-/// of a dangling view — the storage must outlive combine().
+/// Non-owning view of a contribution's baseband samples. Constructed
+/// from an explicit span (`std::span<const cplx>(storage)`); the
+/// deleted rvalue overload keeps the pre-refactor idiom
+/// `tx.waveform = mod.modulate_packet(bits)` a compile error instead
+/// of a dangling view — the storage must outlive combine(). The old
+/// `const cvec&` converting constructor is gone: one conversion surface,
+/// and the span spelling makes the borrow visible at the call site.
 class waveform_view {
 public:
     waveform_view() = default;
-    waveform_view(const cvec& samples) : span_(samples) {}
     waveform_view(cvec&& samples) = delete;
     waveform_view(std::span<const cplx> samples) : span_(samples) {}
 
@@ -136,25 +141,33 @@ struct channel_workspace {
                                        ///< preamble upchirps then payload symbols
     cvec kernel;                    ///< per-device Dirichlet window
     cvec envelope;                  ///< multipath-enveloped kernel window
-    cvec noise_bins;                ///< on-grid noise draws + wrap margins
     cvec noise_taps;                ///< banded interpolation coefficients
+    /// SoA kernel placements: planned serially, swept per symbol.
+    kernel_batch batch;
+    /// Per-block on-grid noise draws + wrap margins (one grid per
+    /// symbol block so blocks never share mutable scratch).
+    std::vector<cvec> noise_grids;
+    /// Per-block accumulation-sweep nanoseconds, recorded into
+    /// phy.kernel_sum_s in block order after the join.
+    std::vector<std::uint64_t> block_kernel_ns;
     /// Sample-path per-device packet buffers (span-stable handout; see
     /// cvec_pool). Release at the start of each round.
     ns::dsp::cvec_pool packet_pool;
-    /// Optional per-replica metrics registry (non-owning). When set, the
-    /// combiners count phy.kernels_summed / phy.fast_packets /
-    /// phy.noise_symbols (fast path) and phy.sample_waveforms (sample
-    /// path). Same confinement rule as the workspace itself.
-    ns::obs::metrics_registry* metrics = nullptr;
-    /// Optional hardware counter group (non-owning, confined to the
-    /// simulator's thread like everything else here). When set together
-    /// with wired perf_kernel_sum handles, combine_symbol_domain
-    /// attributes its device-kernel batch (perf.kernel_sum.*) — the
-    /// denominator of the roofline model. Null = zero syscalls.
-    ns::obs::perf_counter_group* perf = nullptr;
-    /// Pre-fetched perf.kernel_sum.* counter handles (fetched once by
-    /// the simulator so the per-round probe never allocates).
-    ns::obs::perf_phase_counters perf_kernel_sum;
+    /// Observability handles (non-owning; see obs_sink). When
+    /// obs.metrics is set, the combiners count phy.kernels_summed /
+    /// phy.fast_packets / phy.noise_symbols (fast path) and
+    /// phy.sample_waveforms (sample path); a wired obs.perf_kernel_sum
+    /// attributes the device-kernel batch (perf.kernel_sum.*) — the
+    /// denominator of the roofline model. Same thread-confinement rule
+    /// as the workspace itself.
+    ns::obs::obs_sink obs;
+    /// Optional intra-round fan-out (non-owning). When set,
+    /// combine_symbol_domain sweeps symbol blocks across the runner's
+    /// threads; spectra are bit-identical at any thread count (noise is
+    /// seeded per symbol, kernel order is fixed per symbol). Null =
+    /// fully serial. The runner must be distinct from any pool the
+    /// caller itself runs on (the simulator owns a dedicated one).
+    ns::engine::block_runner* block_pool = nullptr;
 };
 
 /// Combines all contributions into the AP's received baseband of length
@@ -165,11 +178,6 @@ struct channel_workspace {
 const cvec& combine(std::span<const tx_contribution> contributions, std::size_t length,
                     const ns::phy::css_params& params, const channel_config& config,
                     ns::util::rng& rng, channel_workspace& workspace);
-
-/// Convenience overload with internal scratch; returns an owned buffer.
-cvec combine(const std::vector<tx_contribution>& contributions, std::size_t length,
-             const ns::phy::css_params& params, const channel_config& config,
-             ns::util::rng& rng);
 
 /// Symbol-domain fast path: fills `workspace.symbol_spectra` with the
 /// post-dechirp zero-padded spectra of every decode-relevant symbol
@@ -186,6 +194,16 @@ cvec combine(const std::vector<tx_contribution>& contributions, std::size_t leng
 /// in a sample-path-specific order and stays sample-only; deterministic
 /// per-device taps flow through packet_contribution::taps instead and
 /// keep the round on the fast path.
+///
+/// Internally the round runs as a kernel_batch: a serial planning stage
+/// draws one round seed plus every per-packet phase from `rng`, builds
+/// each packet's window once and flattens all placements into SoA
+/// arrays bucketed by symbol; the accumulation stage then synthesizes
+/// each symbol's noise from a generator derived from (round seed,
+/// symbol index) and sweeps its placements with the dispatched
+/// vectorized loop. Because every symbol is self-contained, the sweep
+/// fans out across workspace.block_pool when set — with spectra
+/// bit-identical at any thread count, including fully serial.
 void combine_symbol_domain(std::span<const packet_contribution> packets,
                            const ns::phy::css_params& params,
                            const channel_config& config,

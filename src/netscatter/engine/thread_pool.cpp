@@ -116,6 +116,89 @@ void thread_pool::parallel_for(std::size_t begin, std::size_t end,
     if (first_error) std::rethrow_exception(first_error);
 }
 
+block_runner::block_runner(std::size_t num_threads) {
+    const std::size_t helpers = num_threads <= 1 ? 0 : num_threads - 1;
+    workers_.reserve(helpers);
+    for (std::size_t i = 0; i < helpers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+block_runner::~block_runner() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+}
+
+void block_runner::claim_blocks() {
+    for (;;) {
+        const std::size_t block =
+            next_block_.fetch_add(1, std::memory_order_relaxed);
+        if (block >= num_blocks_) return;
+        try {
+            body_(context_, block);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+    }
+}
+
+void block_runner::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock,
+                           [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+        }
+        claim_blocks();
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++finished_workers_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+void block_runner::run(std::size_t num_blocks, void (*body)(void*, std::size_t),
+                       void* context) {
+    if (num_blocks == 0) return;
+    if (workers_.empty() || num_blocks == 1) {
+        for (std::size_t block = 0; block < num_blocks; ++block) {
+            body(context, block);
+        }
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        body_ = body;
+        context_ = context;
+        num_blocks_ = num_blocks;
+        next_block_.store(0, std::memory_order_relaxed);
+        finished_workers_ = 0;
+        first_error_ = nullptr;
+        ++generation_;
+    }
+    start_cv_.notify_all();
+    claim_blocks();
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock,
+                      [&] { return finished_workers_ == workers_.size(); });
+        error = first_error_;
+    }
+    if (error) std::rethrow_exception(error);
+}
+
 void thread_pool::shutdown() {
     // Idempotent from one thread; concurrent shutdown() calls racing on
     // join() are the caller's bug.

@@ -11,6 +11,7 @@
 // merging by task index, never on completion order).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -90,6 +91,60 @@ private:
     std::deque<std::function<void()>> tasks_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/// Persistent fork-join helper for fine-grained intra-round fan-out.
+///
+/// thread_pool::parallel_for allocates per call (type-erased tasks,
+/// futures), which is fine for coarse Monte-Carlo tasks but would break
+/// the fast path's zero-steady-state-allocation contract if invoked
+/// every round. block_runner instead parks `num_threads - 1` workers on
+/// a condition variable; each run() hands them a plain function pointer
+/// plus context and a shared atomic block cursor, and the calling thread
+/// claims blocks alongside them. Steady-state run() calls allocate
+/// nothing, so the alloc.* determinism counters stay bit-identical with
+/// intra-round parallelism on or off.
+class block_runner {
+public:
+    /// Spawns `num_threads - 1` parked workers (the caller is the last
+    /// participant); num_threads <= 1 means run() executes inline.
+    explicit block_runner(std::size_t num_threads);
+
+    /// Joins the workers. Must not race an in-flight run().
+    ~block_runner();
+
+    block_runner(const block_runner&) = delete;
+    block_runner& operator=(const block_runner&) = delete;
+
+    /// Threads participating in run(): parked workers + the caller.
+    std::size_t size() const { return workers_.size() + 1; }
+
+    /// Runs body(context, block) for every block in [0, num_blocks),
+    /// blocking until all complete. Blocks are claimed dynamically, so
+    /// callers must make each block's result independent of claim order
+    /// (the fast path writes disjoint per-symbol spectra). One exception
+    /// thrown by a block is rethrown on the caller after the join; which
+    /// one survives is unspecified when several blocks throw. Not
+    /// reentrant.
+    void run(std::size_t num_blocks, void (*body)(void*, std::size_t),
+             void* context);
+
+private:
+    void worker_loop();
+    void claim_blocks();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    std::size_t finished_workers_ = 0;
+    std::size_t num_blocks_ = 0;
+    void (*body_)(void*, std::size_t) = nullptr;
+    void* context_ = nullptr;
+    std::atomic<std::size_t> next_block_{0};
+    std::exception_ptr first_error_;
     bool stop_ = false;
 };
 

@@ -1,0 +1,41 @@
+// Non-owning bundle of observability handles handed to subsystems.
+//
+// The superposition combiners used to grow one workspace pointer per
+// probe (metrics registry, perf group, pre-fetched perf handles, ...).
+// obs_sink collapses that into a single handle the simulator constructs
+// once and passes to both combiners; new attribution (e.g. per-symbol-
+// block kernel-sum timing) plugs into the sink instead of widening every
+// workspace struct again. All pointers are non-owning and follow the
+// same thread-confinement rule as the registries themselves: one sink
+// per simulator, used only from the simulator's thread.
+#pragma once
+
+#include "netscatter/obs/metrics.hpp"
+#include "netscatter/obs/perf_counters.hpp"
+
+namespace ns::obs {
+
+struct obs_sink {
+    /// Per-replica metrics registry; null disables all counting.
+    metrics_registry* metrics = nullptr;
+    /// Hardware counter group; null (or unopened) means zero syscalls.
+    perf_counter_group* perf = nullptr;
+    /// Pre-fetched perf.kernel_sum.* handles (fetched once so per-round
+    /// probes never touch the registry's name map).
+    perf_phase_counters perf_kernel_sum{};
+
+    /// Builds a sink whose perf.kernel_sum handles are wired when both a
+    /// registry and an available perf group are present.
+    static obs_sink wire(metrics_registry* metrics, perf_counter_group* perf) {
+        obs_sink sink;
+        sink.metrics = metrics;
+        sink.perf = perf;
+        if (metrics != nullptr && perf != nullptr) {
+            sink.perf_kernel_sum =
+                perf_phase_counters::from_registry(*metrics, "kernel_sum");
+        }
+        return sink;
+    }
+};
+
+}  // namespace ns::obs

@@ -29,7 +29,7 @@ ns::channel::tx_contribution interference_source::make_tone(double tone_hz) {
         waveform[n] = std::polar(1.0, step * static_cast<double>(n));
     }
     ns::channel::tx_contribution tx;
-    tx.waveform = waveform;
+    tx.waveform = std::span<const ns::dsp::cplx>(waveform);
     tx.snr_db = spec_.snr_db;
     tx.random_phase = true;
     return tx;
@@ -50,7 +50,7 @@ ns::channel::tx_contribution interference_source::make_lora_frame() {
     ns::dsp::cvec& waveform = waveform_pool_.acquire();
     waveform = modulator.modulate(values);
     ns::channel::tx_contribution tx;
-    tx.waveform = waveform;
+    tx.waveform = std::span<const ns::dsp::cplx>(waveform);
     tx.snr_db = spec_.snr_db;
     tx.timing_offset_s = rng_.uniform(0.0, phy_.symbol_duration_s());
     tx.sample_delay = static_cast<std::size_t>(

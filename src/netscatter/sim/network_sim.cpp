@@ -28,6 +28,8 @@ void sim_config::validate() const {
     ns::util::require(frame.payload_bits > 0, "sim_config: payload_bits must be > 0");
     ns::util::require(symbol_kernel_radius_bins >= 1,
                       "sim_config: symbol_kernel_radius_bins must be >= 1");
+    ns::util::require(intra_round_threads >= 1,
+                      "sim_config: intra_round_threads must be >= 1");
     ns::util::require(multipath_rho >= 0.0 && multipath_rho < 1.0,
                       "sim_config: multipath_rho must be in [0, 1)");
     if (model_multipath) {
@@ -203,6 +205,39 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
         association_snr_db_.push_back(uplink_dbm - noise_floor);
     }
 
+    // --- Instantiate devices -------------------------------------------
+    // Slots are built before the shift allocation so partition_into_groups
+    // can cache each device's group index directly on its slot.
+    slots_.reserve(placed.size());
+    const double ap_x = dep.ap_x_m();
+    const double ap_y = dep.ap_y_m();
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+        const bool active = initially_active[i];
+        device_slot slot{
+            .placement = placed[i],
+            .device = ns::device::backscatter_device(placed[i].id, dev_params, rng_()),
+            .modulator = std::nullopt,  // built lazily on first transmission
+            .fading = ns::channel::gauss_markov_fading(config_.fading_sigma_db,
+                                                       config_.fading_rho, rng_.fork()),
+            .tof_s = std::hypot(placed[i].x_m - ap_x, placed[i].y_m - ap_y) /
+                     ns::util::speed_of_light_mps,
+            .active = active,
+        };
+        if (config_.model_multipath) {
+            slot.taps.emplace(config_.multipath, config_.phy.bandwidth_hz,
+                              config_.multipath_rho, rng_.fork());
+        }
+        if (active) ++active_count_;
+        slot_index_[placed[i].id] = slots_.size();
+        slots_.push_back(std::move(slot));
+    }
+    // Reserved to the universe size so churn never reallocates the list
+    // inside a steady-state round.
+    active_slots_.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].active) active_slots_.push_back(i);
+    }
+
     if (grouped()) {
         // §3.3.3: partition the initially-active population into
         // signal-strength groups with per-group shift allocations.
@@ -218,33 +253,10 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
         allocation_ = allocator_.allocate(by_id).shifts;
     }
 
-    // --- Instantiate devices -------------------------------------------
-    slots_.reserve(placed.size());
-    const double ap_x = dep.ap_x_m();
-    const double ap_y = dep.ap_y_m();
     for (std::size_t i = 0; i < placed.size(); ++i) {
-        const bool active = initially_active[i];
-        const std::uint32_t shift = active ? allocation_.at(placed[i].id) : 0;
-        device_slot slot{
-            .placement = placed[i],
-            .device = ns::device::backscatter_device(placed[i].id, dev_params, rng_()),
-            .modulator = std::nullopt,  // built lazily on first transmission
-            .fading = ns::channel::gauss_markov_fading(config_.fading_sigma_db,
-                                                       config_.fading_rho, rng_.fork()),
-            .tof_s = std::hypot(placed[i].x_m - ap_x, placed[i].y_m - ap_y) /
-                     ns::util::speed_of_light_mps,
-            .active = active,
-        };
-        if (config_.model_multipath) {
-            slot.taps.emplace(config_.multipath, config_.phy.bandwidth_hz,
-                              config_.multipath_rho, rng_.fork());
-        }
-        if (active) {
-            slot.device.force_associate(shift, placed[i].query_rssi_dbm, gain_levels[i]);
-            ++active_count_;
-        }
-        slot_index_[placed[i].id] = slots_.size();
-        slots_.push_back(std::move(slot));
+        if (!initially_active[i]) continue;
+        slots_[i].device.force_associate(allocation_.at(placed[i].id),
+                                         placed[i].query_rssi_dbm, gain_levels[i]);
     }
     register_active_shifts();
 
@@ -274,7 +286,7 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
         probes_.alloc_steady_rounds = metrics_.get_counter("alloc.steady_rounds");
         probes_.active_devices = metrics_.get_gauge("sim.active_devices");
         probes_.num_groups = metrics_.get_gauge("sim.num_groups");
-        chan_ws_.metrics = &metrics_;
+        chan_ws_.obs.metrics = &metrics_;
         receiver_.set_metrics(&metrics_);
         if (config_.obs.perf) {
             // Hardware counters for phase attribution. Opened here, on
@@ -298,36 +310,49 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
                     perf_phase_counters::from_registry(metrics_, "superpose");
                 probes_.perf_decode =
                     perf_phase_counters::from_registry(metrics_, "decode");
-                chan_ws_.perf = &perf_group_;
-                chan_ws_.perf_kernel_sum =
-                    perf_phase_counters::from_registry(metrics_, "kernel_sum");
+                chan_ws_.obs = ns::obs::obs_sink::wire(&metrics_, &perf_group_);
             }
         }
     }
     if (config_.obs.trace) {
         trace_.arm(config_.obs.trace_max_events, config_.obs.trace_track);
     }
+    if (config_.intra_round_threads > 1) {
+        round_pool_.emplace(config_.intra_round_threads);
+        chan_ws_.block_pool = &*round_pool_;
+    }
 }
 
 void network_simulator::register_active_shifts(std::optional<std::size_t> group) {
     shift_scratch_.clear();
     shift_scratch_.reserve(active_count_);
-    for (const auto& slot : slots_) {
-        if (!slot.active) continue;
-        if (group) {
-            const auto it = group_of_.find(slot.placement.id);
-            if (it == group_of_.end() || it->second != *group) continue;
-        }
+    for (const std::size_t i : active_slots_) {
+        const device_slot& slot = slots_[i];
+        if (group && slot.group != *group) continue;
         shift_scratch_.push_back(slot.device.cyclic_shift());
     }
     receiver_.set_registered_shifts(std::span<const std::uint32_t>(shift_scratch_));
     membership_dirty_ = false;
 }
 
+void network_simulator::mark_active(std::size_t slot_index) {
+    const auto it =
+        std::lower_bound(active_slots_.begin(), active_slots_.end(), slot_index);
+    active_slots_.insert(it, slot_index);
+}
+
+void network_simulator::mark_inactive(std::size_t slot_index) {
+    const auto it =
+        std::lower_bound(active_slots_.begin(), active_slots_.end(), slot_index);
+    if (it != active_slots_.end() && *it == slot_index) active_slots_.erase(it);
+}
+
 std::optional<std::size_t> network_simulator::group_of(std::uint32_t device_id) const {
-    const auto it = group_of_.find(device_id);
-    if (it == group_of_.end()) return std::nullopt;
-    return it->second;
+    const auto it = slot_index_.find(device_id);
+    if (it == slot_index_.end()) return std::nullopt;
+    const std::size_t g = slots_[it->second].group;
+    if (g == device_slot::no_group) return std::nullopt;
+    return g;
 }
 
 ns::mac::group_scheduler network_simulator::make_scheduler() const {
@@ -351,7 +376,7 @@ void network_simulator::partition_into_groups(
                       "max_dynamic_range_db");
 
     allocation_.clear();
-    group_of_.clear();
+    for (auto& slot : slots_) slot.group = device_slot::no_group;
     group_spans_.clear();
     group_spans_.reserve(partition.size());
     for (std::size_t g = 0; g < partition.size(); ++g) {
@@ -364,7 +389,7 @@ void network_simulator::partition_into_groups(
         std::vector<ns::mac::device_power> members;
         members.reserve(group.size());
         for (std::uint32_t id : group.device_ids) {
-            group_of_[id] = g;
+            slots_[slot_index_.at(id)].group = g;
             members.push_back({id, power_of.at(id)});
         }
         const auto shifts = allocator_.allocate(members).shifts;
@@ -376,17 +401,16 @@ void network_simulator::partition_into_groups(
 void network_simulator::regroup(round_outcome& outcome) {
     std::vector<ns::mac::device_power> powers;
     powers.reserve(active_count_);
-    for (const auto& slot : slots_) {
-        if (!slot.active) continue;
+    for (const std::size_t i : active_slots_) {
+        const device_slot& slot = slots_[i];
         powers.push_back({slot.placement.id,
                           slot.placement.uplink_rx_dbm + slot.device.current_gain_db()});
     }
     partition_into_groups(powers);
     // Every active device takes its freshly-allocated shift.
-    for (auto& slot : slots_) {
-        if (!slot.active) continue;
-        associate_slot(slot_index_.at(slot.placement.id),
-                       allocation_.at(slot.placement.id), slot.placement.query_rssi_dbm);
+    for (const std::size_t i : active_slots_) {
+        associate_slot(i, allocation_.at(slots_[i].placement.id),
+                       slots_[i].placement.query_rssi_dbm);
     }
     misfits_since_regroup_ = 0;
     outcome.realloc_events += powers.size();
@@ -398,13 +422,10 @@ std::vector<std::pair<std::uint32_t, double>> network_simulator::occupied_powers
     std::optional<std::uint32_t> excluded_id, std::optional<std::size_t> group) const {
     std::vector<std::pair<std::uint32_t, double>> occupied;
     occupied.reserve(active_count_);
-    for (const auto& slot : slots_) {
-        if (!slot.active) continue;
+    for (const std::size_t i : active_slots_) {
+        const device_slot& slot = slots_[i];
         if (excluded_id && slot.placement.id == *excluded_id) continue;
-        if (group) {
-            const auto it = group_of_.find(slot.placement.id);
-            if (it == group_of_.end() || it->second != *group) continue;
-        }
+        if (group && slot.group != *group) continue;
         occupied.emplace_back(slot.device.cyclic_shift(),
                               slot.placement.uplink_rx_dbm + slot.device.current_gain_db());
     }
@@ -459,10 +480,9 @@ bool network_simulator::admit_grouped(std::size_t slot_index, double join_power,
         // Group-local full reassignment (§3.3.3): reallocate only the
         // target group's shifts around the newcomer.
         std::vector<ns::mac::device_power> members;
-        for (const auto& s : slots_) {
-            if (!s.active) continue;
-            const auto it = group_of_.find(s.placement.id);
-            if (it == group_of_.end() || it->second != target) continue;
+        for (const std::size_t i : active_slots_) {
+            const device_slot& s = slots_[i];
+            if (s.group != target) continue;
             members.push_back({s.placement.id,
                                s.placement.uplink_rx_dbm + s.device.current_gain_db()});
         }
@@ -482,7 +502,7 @@ bool network_simulator::admit_grouped(std::size_t slot_index, double join_power,
     span.max_power_dbm =
         span.members > 0 ? std::max(span.max_power_dbm, join_power) : join_power;
     ++span.members;
-    group_of_[slot.placement.id] = target;
+    slot.group = target;
     return true;
 }
 
@@ -501,14 +521,15 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
     for (std::uint32_t id : plan.leaves) {
         const auto it = slot_index_.find(id);
         if (it == slot_index_.end() || !slots_[it->second].active) continue;
-        slots_[it->second].active = false;
+        device_slot& left = slots_[it->second];
+        left.active = false;
+        mark_inactive(it->second);
         allocation_.erase(id);
-        const auto group_it = group_of_.find(id);
-        if (group_it != group_of_.end()) {
+        if (left.group != device_slot::no_group) {
             // The span stays stretched until the next regroup re-tightens
             // it — the AP only learns the true spread when it repartitions.
-            --group_spans_[group_it->second].members;
-            group_of_.erase(group_it);
+            --group_spans_[left.group].members;
+            left.group = device_slot::no_group;
         }
         --active_count_;
         ++outcome.leaves;
@@ -544,18 +565,17 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
                 // power-compatible neighbours: full reassignment (§3.3.3).
                 std::vector<ns::mac::device_power> powers;
                 powers.reserve(active_count_ + 1);
-                for (const auto& s : slots_) {
-                    if (!s.active) continue;
+                for (const std::size_t i : active_slots_) {
+                    const device_slot& s = slots_[i];
                     powers.push_back(
                         {s.placement.id,
                          s.placement.uplink_rx_dbm + s.device.current_gain_db()});
                 }
                 powers.push_back({id, join_power});
                 const auto shifts = allocator_.allocate(powers).shifts;
-                for (auto& s : slots_) {
-                    if (!s.active) continue;
-                    associate_slot(slot_index_.at(s.placement.id),
-                                   shifts.at(s.placement.id), s.placement.query_rssi_dbm);
+                for (const std::size_t i : active_slots_) {
+                    associate_slot(i, shifts.at(slots_[i].placement.id),
+                                   slots_[i].placement.query_rssi_dbm);
                 }
                 associate_slot(it->second, shifts.at(id), slot.placement.query_rssi_dbm);
                 outcome.realloc_events += powers.size();
@@ -563,6 +583,7 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
             }
         }
         slot.active = true;
+        mark_active(it->second);
         ++active_count_;
         ++outcome.joins;
         membership_dirty_ = true;
@@ -673,19 +694,28 @@ sim_result network_simulator::run() {
         for (std::uint32_t shift : tx_row_shift_) sent_row_of_shift_[shift] = -1;
         tx_row_shift_.clear();
 
-        for (auto& slot : slots_) {
-            // Advance every device's fading (and multipath) process —
-            // active or not — so the channel time series of a device is
-            // independent of its membership history.
+        for (const std::size_t slot_idx : active_slots_) {
+            device_slot& slot = slots_[slot_idx];
+            // Only the scheduled group hears this round's query.
+            if (grouped() && slot.group != scheduled_group) continue;
+            // Fading (and multipath) advance lazily: an unobserved
+            // device (inactive, or outside the scheduled group) is not
+            // touched at all; when it reaches this point again it
+            // catches up to the simulation clock through the exact
+            // k-step AR(1) transition — one draw instead of one per
+            // skipped round, so neither the 100k-device universe nor
+            // the unscheduled groups sit on the round loop's critical
+            // path, while the observed time series stays distributed
+            // exactly as the step-by-step process.
+            const std::uint64_t clock = static_cast<std::uint64_t>(round);
+            if (clock > slot.fading_rounds) {
+                slot.fading.skip(clock - slot.fading_rounds);
+                if (slot.taps) slot.taps->skip(clock - slot.fading_rounds);
+            }
             const double fade_db = slot.fading.next_db();
             if (slot.taps) slot.taps->next();
-            if (!slot.active) continue;
-            if (grouped()) {
-                // Only the scheduled group hears this round's query.
-                const auto it = group_of_.find(slot.placement.id);
-                if (it == group_of_.end() || it->second != scheduled_group) continue;
-                ++outcome.scheduled;
-            }
+            slot.fading_rounds = clock + 1;
+            if (grouped()) ++outcome.scheduled;
             const double query_rssi = slot.placement.query_rssi_dbm + fade_db;
 
             if (hooks_ && !hooks_->offers_traffic(round, slot.placement.id)) {
@@ -784,7 +814,7 @@ sim_result network_simulator::run() {
                 ns::dsp::cvec& packet_buffer = chan_ws_.packet_pool.acquire();
                 slot.modulator->modulate_packet_into(frame_scratch_, packet_buffer);
                 ns::channel::tx_contribution tx;
-                tx.waveform = packet_buffer;
+                tx.waveform = std::span<const ns::dsp::cplx>(packet_buffer);
                 tx.snr_db = uplink_dbm - noise_floor;
                 tx.timing_offset_s = timing_offset_s;
                 tx.frequency_offset_hz = frequency_offset_hz;
@@ -880,7 +910,7 @@ sim_result network_simulator::run() {
                 ns::dsp::cvec& packet_buffer = chan_ws_.packet_pool.acquire();
                 mod_it->second.modulate_packet_into(frame_scratch_, packet_buffer);
                 ns::channel::tx_contribution tx;
-                tx.waveform = packet_buffer;
+                tx.waveform = std::span<const ns::dsp::cplx>(packet_buffer);
                 tx.snr_db = foreign.snr_db;
                 tx.timing_offset_s = foreign.timing_offset_s;
                 tx.frequency_offset_hz = foreign.frequency_offset_hz;

@@ -18,6 +18,7 @@
 #include "netscatter/channel/impairments.hpp"
 #include "netscatter/channel/superposition.hpp"
 #include "netscatter/device/backscatter_device.hpp"
+#include "netscatter/engine/thread_pool.hpp"
 #include "netscatter/mac/allocator.hpp"
 #include "netscatter/mac/scheduler.hpp"
 #include "netscatter/obs/metrics.hpp"
@@ -125,6 +126,18 @@ struct sim_config {
 
     std::size_t rounds = 10;
     std::uint64_t seed = 1;
+
+    /// Intra-round fan-out of the symbol-domain sweep: symbol blocks of
+    /// one round run across this many threads (1 = fully serial; 0 is
+    /// invalid). Spectra are bit-identical at any value — noise is
+    /// seeded per symbol, kernel order is fixed per symbol — so this is
+    /// purely a latency knob for big rounds (e.g. field-100k's SF12
+    /// spectra). The simulator owns a dedicated block_runner, distinct
+    /// from any Monte-Carlo pool its replica runs on, so nested
+    /// parallelism cannot deadlock. Note each simulator (replica) spawns
+    /// its own workers: combining many replicas with many intra-round
+    /// threads oversubscribes the host.
+    std::size_t intra_round_threads = 1;
 
     /// Observability (metrics registry + trace ring). Metrics are on by
     /// default and deterministic apart from the *_s timing histograms,
@@ -336,6 +349,17 @@ private:
         double tof_s = 0.0;       ///< propagation time of flight
         double doppler_hz = 0.0;  ///< mobility-induced Doppler this round
         bool active = false;      ///< currently associated
+        /// AR steps the fading (and multipath) processes have taken so
+        /// far. Unobserved devices are not touched at all per round;
+        /// when next scheduled they catch up to the simulation clock
+        /// through the exact k-step AR(1) transition.
+        std::uint64_t fading_rounds = 0;
+        /// Index into group_spans_, cached on the slot so the per-round
+        /// device loop tests membership without a hash lookup; no_group
+        /// when ungrouped or inactive. Maintained at every membership
+        /// change (partition, grouped admit, leave).
+        static constexpr std::size_t no_group = static_cast<std::size_t>(-1);
+        std::size_t group = no_group;
     };
 
     /// Applies a scenario's round plan: link updates, leaves, then joins
@@ -365,12 +389,17 @@ private:
     /// Refreshes the receiver's registered shifts from the active set
     /// (restricted to `group` when set — the scheduled group's round).
     void register_active_shifts(std::optional<std::size_t> group = std::nullopt);
-    /// Partitions `powers` into signal-strength groups and fills
-    /// group_of_/group_spans_/allocation_ with per-group allocations.
+    /// Partitions `powers` into signal-strength groups and fills the
+    /// slots' cached group indices, group_spans_ and allocation_ with
+    /// per-group allocations.
     void partition_into_groups(const std::vector<ns::mac::device_power>& powers);
     /// Scheduler configured from config_.grouping (capacity clamped to
     /// the allocator's slot count).
     ns::mac::group_scheduler make_scheduler() const;
+
+    /// Inserts/removes `slot_index` into the sorted active-slot list.
+    void mark_active(std::size_t slot_index);
+    void mark_inactive(std::size_t slot_index);
 
     const deployment* deployment_;
     sim_config config_;
@@ -378,6 +407,11 @@ private:
     ns::util::rng rng_;
     std::vector<device_slot> slots_;
     std::unordered_map<std::uint32_t, std::size_t> slot_index_;  ///< id -> slot
+    /// Sorted indices of the active slots — every per-round walk runs
+    /// over this list instead of the full universe, so a 100k-device
+    /// deployment with a few hundred associated devices never streams
+    /// 100k slot structs through the cache each round.
+    std::vector<std::size_t> active_slots_;
     std::unordered_map<std::uint32_t, std::uint32_t> allocation_;
     std::vector<double> association_snr_db_;
     ns::mac::shift_allocator allocator_;
@@ -385,7 +419,6 @@ private:
     bool membership_dirty_ = false;
     // --- §3.3.3 group scheduling state (empty when grouping is off) ---
     std::vector<ns::mac::group_span> group_spans_;
-    std::unordered_map<std::uint32_t, std::size_t> group_of_;  ///< id -> group
     std::vector<group_metrics> group_acc_;  ///< per-group accumulators
     std::size_t misfits_since_regroup_ = 0;
     ns::rx::receiver receiver_;
@@ -437,6 +470,12 @@ private:
     /// the thread that runs the rounds. Counter values flow one way,
     /// registry-outward: nothing in the simulation reads them back.
     ns::obs::perf_counter_group perf_group_;
+
+    /// Intra-round symbol-block fan-out (config.intra_round_threads > 1).
+    /// Owned by the simulator — NOT the Monte-Carlo pool the replica
+    /// itself may be running on — so a replica task blocking in run()
+    /// can never starve the workers it is waiting for.
+    std::optional<ns::engine::block_runner> round_pool_;
 
     // --- Per-round workspaces (reused across rounds; the steady-state
     // loop allocates nothing per device once the buffers are warm) ------

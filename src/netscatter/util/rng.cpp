@@ -1,7 +1,6 @@
 #include "netscatter/util/rng.hpp"
 
 #include <cmath>
-#include <numbers>
 
 #include "netscatter/util/error.hpp"
 
@@ -20,6 +19,39 @@ namespace {
 std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
 }
+
+// --- Ziggurat tables for the standard normal (Marsaglia & Tsang) -----
+// 128 equal-area layers over f(x) = exp(-x^2/2). Layer i >= 1 is the
+// rectangle [0, x[i]] x [y[i], y[i+1]]; layer 0 is the base rectangle
+// [0, r] x [0, f(r)] plus the tail x > r, handled through the pseudo
+// width x[0] = v/f(r). The recurrence is the published one; r and v are
+// the canonical 128-layer constants.
+constexpr int zig_layers = 128;
+constexpr double zig_r = 3.442619855899;       // rightmost layer edge
+constexpr double zig_v = 9.91256303526217e-3;  // per-layer area
+
+struct zig_tables {
+    double x[zig_layers + 1];  // layer widths; x[zig_layers] = 0
+    double y[zig_layers + 1];  // y[i] = f(x[i]); y[zig_layers] = 1
+};
+
+zig_tables make_zig_tables() {
+    zig_tables t;
+    const double f_r = std::exp(-0.5 * zig_r * zig_r);
+    t.x[0] = zig_v / f_r;
+    t.y[0] = 0.0;
+    t.x[1] = zig_r;
+    t.y[1] = f_r;
+    for (int i = 1; i < zig_layers - 1; ++i) {
+        t.y[i + 1] = t.y[i] + zig_v / t.x[i];
+        t.x[i + 1] = std::sqrt(-2.0 * std::log(t.y[i + 1]));
+    }
+    t.x[zig_layers] = 0.0;
+    t.y[zig_layers] = 1.0;
+    return t;
+}
+
+const zig_tables g_zig = make_zig_tables();
 
 }  // namespace
 
@@ -66,18 +98,31 @@ std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 double rng::gaussian() {
-    if (has_cached_gaussian_) {
-        has_cached_gaussian_ = false;
-        return cached_gaussian_;
+    // Ziggurat: one raw draw supplies the layer (low 7 bits), the sign
+    // (bit 7) and a 53-bit magnitude uniform (bits 11..63) — disjoint
+    // bit fields, so index and magnitude are independent.
+    for (;;) {
+        const std::uint64_t bits = (*this)();
+        const int i = static_cast<int>(bits & 127);
+        const double sign = (bits & 128) ? -1.0 : 1.0;
+        const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+        const double x = u * g_zig.x[i];
+        // Strictly inside the next-narrower layer: under the curve for
+        // every y of this layer (and inside the base rectangle for i=0).
+        if (x < g_zig.x[i + 1]) return sign * x;
+        if (i == 0) {
+            // Tail beyond r (Marsaglia's exponential wrap); u1 in (0,1]
+            // so the logs stay finite.
+            for (;;) {
+                const double xt = -std::log(1.0 - uniform()) / zig_r;
+                const double yt = -std::log(1.0 - uniform());
+                if (yt + yt >= xt * xt) return sign * (zig_r + xt);
+            }
+        }
+        // Wedge between x[i+1] and x[i]: exact accept/reject against f.
+        const double y = g_zig.y[i] + uniform() * (g_zig.y[i + 1] - g_zig.y[i]);
+        if (y < std::exp(-0.5 * x * x)) return sign * x;
     }
-    // Box-Muller; u1 in (0,1] so log is finite.
-    double u1 = 1.0 - uniform();
-    double u2 = uniform();
-    double radius = std::sqrt(-2.0 * std::log(u1));
-    double angle = 2.0 * std::numbers::pi * u2;
-    cached_gaussian_ = radius * std::sin(angle);
-    has_cached_gaussian_ = true;
-    return radius * std::cos(angle);
 }
 
 double rng::gaussian(double mean, double stddev) {

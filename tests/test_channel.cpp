@@ -2,6 +2,7 @@
 // superposition.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <span>
 
@@ -260,7 +261,7 @@ TEST(superposition, explicit_unit_tap_matches_flat_channel) {
     const cvec unit_taps{cplx{1.0, 0.0}};
     for (const double tone_offset_s : {0.0, 1.3e-6}) {
         tx_contribution flat;
-        flat.waveform = waveform;
+        flat.waveform = std::span<const ns::dsp::cplx>(waveform);
         flat.snr_db = 10.0;
         flat.timing_offset_s = tone_offset_s;
         tx_contribution tapped = flat;
@@ -269,12 +270,13 @@ TEST(superposition, explicit_unit_tap_matches_flat_channel) {
         channel_config config;
         ns::util::rng rng_a(33);
         ns::util::rng rng_b(33);
+        channel_workspace ws_a, ws_b;
         const cvec flat_rx =
-            combine(std::vector<tx_contribution>{flat}, waveform.size(), phy,
-                    config, rng_a);
+            combine(std::span<const tx_contribution>(&flat, 1), waveform.size(),
+                    phy, config, rng_a, ws_a);
         const cvec tapped_rx =
-            combine(std::vector<tx_contribution>{tapped}, waveform.size(), phy,
-                    config, rng_b);
+            combine(std::span<const tx_contribution>(&tapped, 1),
+                    waveform.size(), phy, config, rng_b, ws_b);
         ASSERT_EQ(flat_rx.size(), tapped_rx.size());
         double max_error = 0.0;
         for (std::size_t i = 0; i < flat_rx.size(); ++i) {
@@ -318,6 +320,85 @@ TEST(fading, validates_parameters) {
                  ns::util::invalid_argument);
 }
 
+TEST(fading, skip_one_matches_step_exactly) {
+    // skip(1) is the k=1 special case of the exact transition and draws
+    // the same innovation as next_db, so from identical state the two
+    // must agree bit for bit. skip(0) must not touch the rng.
+    gauss_markov_fading stepped(2.0, 0.9, ns::util::rng(21));
+    gauss_markov_fading skipped(2.0, 0.9, ns::util::rng(21));
+    for (int i = 0; i < 10; ++i) {
+        const double via_step = stepped.next_db();
+        skipped.skip(0);
+        skipped.skip(1);
+        EXPECT_EQ(via_step, skipped.current_db());
+    }
+}
+
+TEST(fading, skip_matches_stepped_distribution) {
+    // The k-step transition g[k] | g[0] ~ N(rho^k g[0], sigma^2(1-rho^2k))
+    // must reproduce the distribution of k individual steps: same
+    // stationary moments and the same lag-k autocorrelation rho^k.
+    const double sigma = 2.0;
+    const double rho = 0.9;
+    const std::uint64_t k = 7;
+    const double rho_k = std::pow(rho, static_cast<double>(k));
+    ns::util::running_stats stepped_stats, skipped_stats;
+    double stepped_corr = 0.0, skipped_corr = 0.0;
+    const int trials = 50000;
+    gauss_markov_fading stepped(sigma, rho, ns::util::rng(22));
+    gauss_markov_fading skipped(sigma, rho, ns::util::rng(23));
+    for (int i = 0; i < trials; ++i) {
+        const double s0 = stepped.current_db();
+        for (std::uint64_t j = 0; j < k; ++j) stepped.next_db();
+        stepped_stats.add(stepped.current_db());
+        stepped_corr += s0 * stepped.current_db();
+
+        const double q0 = skipped.current_db();
+        skipped.skip(k);
+        skipped_stats.add(skipped.current_db());
+        skipped_corr += q0 * skipped.current_db();
+    }
+    stepped_corr /= trials * sigma * sigma;
+    skipped_corr /= trials * sigma * sigma;
+    EXPECT_NEAR(skipped_stats.mean(), stepped_stats.mean(), 0.1);
+    EXPECT_NEAR(skipped_stats.stddev(), stepped_stats.stddev(), 0.1);
+    EXPECT_NEAR(stepped_corr, rho_k, 0.05);
+    EXPECT_NEAR(skipped_corr, rho_k, 0.05);
+}
+
+TEST(fading, tap_line_skip_matches_stepped_distribution) {
+    // Same contract per scattered tap: after skip(k) each tap is still
+    // CN(0, p_i) with lag-k correlation rho^k, and the LoS tap is
+    // untouched.
+    const multipath_model model{};
+    const double rho = 0.8;
+    const std::uint64_t k = 5;
+    const double rho_k = std::pow(rho, static_cast<double>(k));
+    tap_delay_line line(model, 500e3, rho, ns::util::rng(24));
+    const std::size_t num_taps = line.current().size();
+    ASSERT_GT(num_taps, 1u);
+    const cplx los = line.current()[0];
+    std::vector<double> power(num_taps, 0.0), corr(num_taps, 0.0);
+    const int trials = 20000;
+    std::vector<cplx> before(num_taps);
+    for (int i = 0; i < trials; ++i) {
+        const auto taps0 = line.current();
+        std::copy(taps0.begin(), taps0.end(), before.begin());
+        line.skip(k);
+        const auto taps = line.current();
+        for (std::size_t t = 1; t < num_taps; ++t) {
+            power[t] += std::norm(taps[t]);
+            corr[t] += (before[t] * std::conj(taps[t])).real();
+        }
+    }
+    EXPECT_EQ(line.current()[0], los);
+    // Check the strongest scattered tap (later taps carry little power
+    // and need far more trials for tight relative bands).
+    const double p1 = model.tap_powers(500e3)[1];
+    EXPECT_NEAR(power[1] / trials, p1, 0.05 * p1 + 0.01);
+    EXPECT_NEAR(corr[1] / (trials * p1), rho_k, 0.05);
+}
+
 // ------------------------------------------------------ superposition --
 
 TEST(superposition, single_device_snr_realized) {
@@ -325,12 +406,14 @@ TEST(superposition, single_device_snr_realized) {
     ns::util::rng gen(13);
     tx_contribution tx;
     const cvec waveform = ns::phy::make_upchirp(p, 50.0);
-    tx.waveform = waveform;
+    tx.waveform = std::span<const ns::dsp::cplx>(waveform);
     tx.snr_db = 20.0;
     tx.random_phase = false;
     channel_config config;
     config.noise_power = 1.0;
-    const cvec rx = combine({tx}, tx.waveform.size(), p, config, gen);
+    channel_workspace ws;
+    const cvec rx = combine(std::span<const tx_contribution>(&tx, 1),
+                            tx.waveform.size(), p, config, gen, ws);
     // Received power ~= signal (100) + noise (1).
     EXPECT_NEAR(ns::dsp::mean_power(rx), 101.0, 5.0);
 }
@@ -342,12 +425,15 @@ TEST(superposition, two_devices_decodable_at_distinct_bins) {
     tx_contribution a, b;
     const cvec wave_a = ns::phy::make_upchirp(p, 10.0);
     const cvec wave_b = ns::phy::make_upchirp(p, 300.0);
-    a.waveform = wave_a;
+    a.waveform = std::span<const ns::dsp::cplx>(wave_a);
     a.snr_db = 10.0;
-    b.waveform = wave_b;
+    b.waveform = std::span<const ns::dsp::cplx>(wave_b);
     b.snr_db = 10.0;
     channel_config config;
-    const cvec rx = combine({a, b}, a.waveform.size(), p, config, gen);
+    const std::array<tx_contribution, 2> txs{a, b};
+    channel_workspace ws;
+    const cvec rx = combine(std::span<const tx_contribution>(txs),
+                            a.waveform.size(), p, config, gen, ws);
     const auto power = demod.symbol_power_spectrum(rx);
     const double noise_ref = power[150];
     EXPECT_GT(power[10], 50.0 * noise_ref);
@@ -360,11 +446,13 @@ TEST(superposition, timing_offset_moves_peak) {
     ns::util::rng gen(15);
     tx_contribution tx;
     const cvec waveform = ns::phy::make_upchirp(p, 100.0);
-    tx.waveform = waveform;
+    tx.waveform = std::span<const ns::dsp::cplx>(waveform);
     tx.snr_db = 30.0;
     tx.timing_offset_s = 4e-6;  // exactly 2 bins at 500 kHz
     channel_config config;
-    const cvec rx = combine({tx}, tx.waveform.size(), p, config, gen);
+    channel_workspace ws;
+    const cvec rx = combine(std::span<const tx_contribution>(&tx, 1),
+                            tx.waveform.size(), p, config, gen, ws);
     const auto power = demod.symbol_power_spectrum(rx);
     EXPECT_EQ(ns::dsp::argmax(power), 102u);
 }
@@ -374,7 +462,7 @@ TEST(superposition, sample_delay_shifts_waveform) {
     ns::util::rng gen(16);
     tx_contribution tx;
     const cvec waveform(10, cplx{1.0, 0.0});
-    tx.waveform = waveform;
+    tx.waveform = std::span<const ns::dsp::cplx>(waveform);
     // SNR is relative to the configured noise power: 120 dB over 1e-6
     // noise gives signal power 1e6 (amplitude 1000).
     tx.snr_db = 120.0;
@@ -382,7 +470,9 @@ TEST(superposition, sample_delay_shifts_waveform) {
     tx.sample_delay = 5;
     channel_config config;
     config.noise_power = 1e-6;
-    const cvec rx = combine({tx}, 20, p, config, gen);
+    channel_workspace ws;
+    const cvec rx = combine(std::span<const tx_contribution>(&tx, 1), 20, p,
+                            config, gen, ws);
     EXPECT_LT(std::abs(rx[4]), 1.0);
     EXPECT_GT(std::abs(rx[5]), 900.0);
     EXPECT_GT(std::abs(rx[14]), 900.0);
@@ -394,23 +484,25 @@ TEST(superposition, empty_contributions_is_pure_noise) {
     ns::util::rng gen(17);
     channel_config config;
     config.noise_power = 4.0;
-    const cvec rx = combine({}, 10000, p, config, gen);
+    channel_workspace ws;
+    const cvec rx = combine(std::span<const tx_contribution>{}, 10000, p,
+                            config, gen, ws);
     EXPECT_NEAR(ns::dsp::mean_power(rx), 4.0, 0.3);
 }
 
-TEST(superposition, workspace_combine_is_bit_identical_to_owned_combine) {
-    // The workspace form reuses the received buffer across rounds; its
-    // samples must be bit-identical to the allocating convenience
-    // overload given the same RNG stream — including the shifted and
-    // multipath staging paths.
+TEST(superposition, workspace_reuse_is_bit_identical_to_fresh_workspace) {
+    // The workspace form reuses the received buffer across rounds; a
+    // warm workspace's samples must be bit-identical to a fresh one
+    // given the same RNG stream — including the shifted and multipath
+    // staging paths.
     const ns::phy::css_params p = ns::phy::deployed_params();
     const cvec wave_a = ns::phy::make_upchirp(p, 40.0);
     const cvec wave_b = ns::phy::make_upchirp(p, 200.0);
     tx_contribution a, b;
-    a.waveform = wave_a;
+    a.waveform = std::span<const ns::dsp::cplx>(wave_a);
     a.snr_db = 12.0;
     a.timing_offset_s = 0.7e-6;  // exercises the fused shifted path
-    b.waveform = wave_b;
+    b.waveform = std::span<const ns::dsp::cplx>(wave_b);
     b.snr_db = 3.0;
     b.sample_delay = 11;
     const std::vector<tx_contribution> txs = {a, b};
@@ -418,8 +510,11 @@ TEST(superposition, workspace_combine_is_bit_identical_to_owned_combine) {
     for (const bool multipath : {false, true}) {
         channel_config config;
         config.enable_multipath = multipath;
-        ns::util::rng gen_owned(23);
-        const cvec owned = combine(txs, wave_a.size() + 32, p, config, gen_owned);
+        ns::util::rng gen_fresh(23);
+        channel_workspace fresh_ws;
+        const cvec fresh = combine(std::span<const tx_contribution>(txs),
+                                   wave_a.size() + 32, p, config, gen_fresh,
+                                   fresh_ws);
 
         ns::util::rng gen_ws(23);
         channel_workspace workspace;
@@ -431,9 +526,9 @@ TEST(superposition, workspace_combine_is_bit_identical_to_owned_combine) {
         const cvec& reused = combine(std::span<const tx_contribution>(txs),
                                      wave_a.size() + 32, p, config, gen_ws2,
                                      workspace);
-        ASSERT_EQ(owned.size(), reused.size());
-        for (std::size_t i = 0; i < owned.size(); ++i) {
-            ASSERT_EQ(owned[i], reused[i]) << "sample " << i
+        ASSERT_EQ(fresh.size(), reused.size());
+        for (std::size_t i = 0; i < fresh.size(); ++i) {
+            ASSERT_EQ(fresh[i], reused[i]) << "sample " << i
                                            << " multipath " << multipath;
         }
     }

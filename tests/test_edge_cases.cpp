@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <set>
+#include <span>
 
 #include "netscatter/channel/awgn.hpp"
 #include "netscatter/channel/impairments.hpp"
@@ -97,7 +98,7 @@ TEST(failure_injection, decode_survives_indoor_multipath) {
             ns::phy::distributed_modulator mod(rxp.phy, shift);
             ns::channel::tx_contribution tx;
             waveforms.push_back(mod.modulate_packet(bits));
-            tx.waveform = waveforms.back();
+            tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
             tx.snr_db = 5.0;
             txs.push_back(std::move(tx));
         }
@@ -107,7 +108,10 @@ TEST(failure_injection, decode_survives_indoor_multipath) {
         const std::size_t samples =
             (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
             rxp.phy.samples_per_symbol();
-        const cvec stream = ns::channel::combine(txs, samples, rxp.phy, config, gen);
+        ns::channel::channel_workspace chan_ws;
+        const cvec stream = ns::channel::combine(
+            std::span<const ns::channel::tx_contribution>(txs), samples, rxp.phy,
+            config, gen, chan_ws);
         const auto result = rx.decode(stream, 0);
         for (std::size_t d = 0; d < 4; ++d) {
             ++total;
@@ -132,12 +136,14 @@ TEST(failure_injection, decode_survives_walking_doppler) {
     ns::phy::distributed_modulator mod(rxp.phy, 100);
     ns::channel::tx_contribution tx;
     const cvec waveform = mod.modulate_packet(bits);
-    tx.waveform = waveform;
+    tx.waveform = std::span<const ns::dsp::cplx>(waveform);
     tx.snr_db = 0.0;
     tx.frequency_offset_hz = ns::channel::doppler_shift_hz(5.0, 900e6);
     ns::channel::channel_config config;
-    const cvec stream =
-        ns::channel::combine({tx}, tx.waveform.size(), rxp.phy, config, gen);
+    ns::channel::channel_workspace chan_ws;
+    const cvec stream = ns::channel::combine(
+        std::span<const ns::channel::tx_contribution>(&tx, 1),
+        tx.waveform.size(), rxp.phy, config, gen, chan_ws);
     const auto result = rx.decode(stream, 0);
     EXPECT_TRUE(result.reports[0].crc_ok);
     EXPECT_EQ(result.reports[0].bits, bits);
@@ -167,14 +173,17 @@ TEST(failure_injection, jitter_beyond_skip_budget_collides_with_neighbour) {
         ns::phy::distributed_modulator mod(rxp.phy, shift);
         ns::channel::tx_contribution tx;
         waveforms.push_back(mod.modulate_packet(bits));
-        tx.waveform = waveforms.back();
+        tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
         tx.snr_db = 10.0;
         tx.timing_offset_s = delay_s;
         txs.push_back(std::move(tx));
     }
     ns::channel::channel_config config;
     const std::size_t samples = txs[0].waveform.size();
-    const cvec stream = ns::channel::combine(txs, samples, rxp.phy, config, gen);
+    ns::channel::channel_workspace chan_ws;
+    const cvec stream = ns::channel::combine(
+        std::span<const ns::channel::tx_contribution>(txs), samples, rxp.phy,
+        config, gen, chan_ws);
     const auto result = rx.decode(stream, 0);
     // At minimum the on-time neighbour's payload is corrupted.
     const bool b_clean = result.reports[1].crc_ok && result.reports[1].bits == sent[1];
@@ -194,11 +203,13 @@ TEST(failure_injection, unregistered_transmitter_is_ignored) {
     ns::phy::distributed_modulator mod(rxp.phy, 300);
     ns::channel::tx_contribution tx;
     const cvec waveform = mod.modulate_packet(bits);
-    tx.waveform = waveform;
+    tx.waveform = std::span<const ns::dsp::cplx>(waveform);
     tx.snr_db = 15.0;
     ns::channel::channel_config config;
-    const cvec stream =
-        ns::channel::combine({tx}, tx.waveform.size(), rxp.phy, config, gen);
+    ns::channel::channel_workspace chan_ws;
+    const cvec stream = ns::channel::combine(
+        std::span<const ns::channel::tx_contribution>(&tx, 1),
+        tx.waveform.size(), rxp.phy, config, gen, chan_ws);
     const auto result = rx.decode(stream, 0);
     ASSERT_EQ(result.reports.size(), 1u);
     EXPECT_FALSE(result.reports[0].detected);

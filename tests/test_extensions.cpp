@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <set>
+#include <span>
 
 #include "netscatter/channel/awgn.hpp"
 #include "netscatter/channel/superposition.hpp"
@@ -50,7 +51,7 @@ cvec make_round(const ns::rx::receiver_params& rxp,
         ns::phy::distributed_modulator mod(rxp.phy, shift);
         ns::channel::tx_contribution tx;
         waveforms.push_back(mod.modulate_packet(bits));
-        tx.waveform = waveforms.back();
+        tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
         tx.snr_db = 6.0;
         txs.push_back(std::move(tx));
     }
@@ -58,7 +59,10 @@ cvec make_round(const ns::rx::receiver_params& rxp,
         (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
         rxp.phy.samples_per_symbol();
     ns::channel::channel_config config;
-    return ns::channel::combine(txs, samples, rxp.phy, config, gen);
+    ns::channel::channel_workspace chan_ws;
+    return ns::channel::combine(
+        std::span<const ns::channel::tx_contribution>(txs), samples, rxp.phy,
+        config, gen, chan_ws);
 }
 
 TEST(stream_receiver, decodes_two_rounds_with_idle_gaps) {

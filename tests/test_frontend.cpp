@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <span>
 
 #include "netscatter/channel/superposition.hpp"
 #include "netscatter/dsp/fir.hpp"
@@ -142,12 +143,14 @@ struct estimator_fixture {
         ns::phy::distributed_modulator mod(rxp.phy, 100);
         ns::channel::tx_contribution tx;
         const ns::dsp::cvec waveform = mod.modulate_packet(bits);
-        tx.waveform = waveform;
+        tx.waveform = std::span<const ns::dsp::cplx>(waveform);
         tx.snr_db = snr_db;
         tx.frequency_offset_hz = tone_hz;
         ns::channel::channel_config config;
-        const cvec stream =
-            ns::channel::combine({tx}, tx.waveform.size(), rxp.phy, config, gen);
+        ns::channel::channel_workspace chan_ws;
+        const cvec stream = ns::channel::combine(
+            std::span<const ns::channel::tx_contribution>(&tx, 1),
+            tx.waveform.size(), rxp.phy, config, gen, chan_ws);
         return rx.decode(stream, 0);
     }
 };
@@ -190,14 +193,16 @@ TEST(estimators, estimates_work_concurrently) {
         ns::phy::distributed_modulator mod(rxp.phy, d == 0 ? 100 : 300);
         ns::channel::tx_contribution tx;
         waveforms.push_back(mod.modulate_packet(bits));
-        tx.waveform = waveforms.back();
+        tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
         tx.snr_db = snrs[d];
         tx.frequency_offset_hz = tones[d];
         txs.push_back(std::move(tx));
     }
     ns::channel::channel_config config;
+    ns::channel::channel_workspace chan_ws;
     const cvec stream =
-        ns::channel::combine(txs, txs[0].waveform.size(), rxp.phy, config, gen);
+        ns::channel::combine(std::span<const ns::channel::tx_contribution>(txs),
+                             txs[0].waveform.size(), rxp.phy, config, gen, chan_ws);
     const auto result = rx.decode(stream, 0);
     ASSERT_TRUE(result.reports[0].detected);
     ASSERT_TRUE(result.reports[1].detected);
@@ -220,12 +225,14 @@ TEST(estimators, timing_jitter_appears_as_tone_offset) {
     ns::phy::distributed_modulator mod(fx.rxp.phy, 100);
     ns::channel::tx_contribution tx;
     const ns::dsp::cvec waveform = mod.modulate_packet(bits);
-    tx.waveform = waveform;
+    tx.waveform = std::span<const ns::dsp::cplx>(waveform);
     tx.snr_db = 10.0;
     tx.timing_offset_s = 1e-6;  // 0.5 bins == 488.3 Hz equivalent tone
     ns::channel::channel_config config;
-    const cvec stream =
-        ns::channel::combine({tx}, tx.waveform.size(), fx.rxp.phy, config, gen);
+    ns::channel::channel_workspace chan_ws;
+    const cvec stream = ns::channel::combine(
+        std::span<const ns::channel::tx_contribution>(&tx, 1),
+        tx.waveform.size(), fx.rxp.phy, config, gen, chan_ws);
     const auto result = rx.decode(stream, 0);
     ASSERT_TRUE(result.reports[0].detected);
     EXPECT_NEAR(std::abs(result.reports[0].estimated_tone_offset_hz), 488.3, 30.0);

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <tuple>
 
 #include "netscatter/channel/awgn.hpp"
@@ -105,7 +106,7 @@ TEST_P(impaired_decoding, skip2_tolerates_sub_bin_residuals) {
         ns::phy::distributed_modulator mod(rxp.phy, shift);
         ns::channel::tx_contribution tx;
         waveforms.push_back(mod.modulate_packet(bits));
-        tx.waveform = waveforms.back();
+        tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
         tx.snr_db = 5.0;
         tx.timing_offset_s = gen.uniform(-0.8e-6, 0.8e-6);   // < 0.4 bin
         tx.frequency_offset_hz = gen.uniform(-90.0, 90.0);   // < 0.1 bin
@@ -115,8 +116,10 @@ TEST_P(impaired_decoding, skip2_tolerates_sub_bin_residuals) {
     const std::size_t samples =
         (rxp.frame.preamble_symbols + rxp.frame.payload_plus_crc_bits()) *
         rxp.phy.samples_per_symbol();
-    const cvec stream =
-        ns::channel::combine(contributions, samples, rxp.phy, config, gen);
+    ns::channel::channel_workspace chan_ws;
+    const cvec stream = ns::channel::combine(
+        std::span<const ns::channel::tx_contribution>(contributions), samples,
+        rxp.phy, config, gen, chan_ws);
     const auto result = rx.decode(stream, 0);
     for (std::size_t d = 0; d < shifts.size(); ++d) {
         EXPECT_TRUE(result.reports[d].crc_ok) << "seed " << seed << " device " << d;
@@ -217,11 +220,14 @@ TEST(properties, single_device_ber_monotone_in_snr) {
             ns::phy::distributed_modulator mod(rxp.phy, 100);
             ns::channel::tx_contribution tx;
             const cvec waveform = mod.modulate_packet(frame_bits);
-            tx.waveform = waveform;
+            tx.waveform = std::span<const ns::dsp::cplx>(waveform);
             tx.snr_db = snr;
             ns::channel::channel_config config;
             const std::size_t samples = tx.waveform.size();
-            const cvec stream = ns::channel::combine({tx}, samples, rxp.phy, config, gen);
+            ns::channel::channel_workspace chan_ws;
+            const cvec stream = ns::channel::combine(
+                std::span<const ns::channel::tx_contribution>(&tx, 1), samples,
+                rxp.phy, config, gen, chan_ws);
             const auto result = rx.decode(stream, 0);
             bits += frame_bits.size();
             if (result.reports[0].detected) {

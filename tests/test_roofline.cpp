@@ -100,7 +100,7 @@ TEST(roofline_model, kernel_window_elems_counts_packets_kernels_window) {
 
     ns::obs::metrics_registry registry;
     ns::channel::channel_workspace workspace;
-    workspace.metrics = &registry;
+    workspace.obs.metrics = &registry;
     ns::util::rng gen(7);
     ns::channel::combine_symbol_domain(packets, phy, chan, sd, gen, workspace);
 

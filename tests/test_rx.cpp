@@ -2,7 +2,9 @@
 // detection, concurrent decoding, thresholding, CRC.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <span>
 
 #include "netscatter/channel/awgn.hpp"
 #include "netscatter/channel/superposition.hpp"
@@ -53,15 +55,17 @@ concurrent_setup make_concurrent(const receiver_params& rxp,
         ns::phy::distributed_modulator mod(rxp.phy, shifts[d]);
         ns::channel::tx_contribution tx;
         waveforms.push_back(mod.modulate_packet(bits));
-        tx.waveform = waveforms.back();
+        tx.waveform = std::span<const ns::dsp::cplx>(waveforms.back());
         tx.snr_db = snrs_db[d];
         tx.sample_delay = lead_in;
         contributions.push_back(std::move(tx));
     }
     ns::channel::channel_config config;
-    setup.stream = ns::channel::combine(contributions, packet_samples + lead_in +
-                                                           rxp.phy.samples_per_symbol(),
-                                        rxp.phy, config, gen);
+    ns::channel::channel_workspace chan_ws;
+    setup.stream = ns::channel::combine(
+        std::span<const ns::channel::tx_contribution>(contributions),
+        packet_samples + lead_in + rxp.phy.samples_per_symbol(), rxp.phy, config,
+        gen, chan_ws);
     return setup;
 }
 
@@ -217,11 +221,13 @@ TEST(receiver, payload_zero_and_one_runs) {
         ns::phy::distributed_modulator mod(rxp.phy, 128);
         ns::channel::tx_contribution tx;
         const ns::dsp::cvec waveform = mod.modulate_packet(bits);
-        tx.waveform = waveform;
+        tx.waveform = std::span<const ns::dsp::cplx>(waveform);
         tx.snr_db = 5.0;
         ns::channel::channel_config config;
-        const cvec stream =
-            ns::channel::combine({tx}, tx.waveform.size(), rxp.phy, config, gen);
+        ns::channel::channel_workspace chan_ws;
+        const cvec stream = ns::channel::combine(
+            std::span<const ns::channel::tx_contribution>(&tx, 1),
+            tx.waveform.size(), rxp.phy, config, gen, chan_ws);
         const decode_result result = rx.decode(stream, 0);
         EXPECT_TRUE(result.reports[0].crc_ok) << "payload value " << value;
     }
@@ -245,15 +251,18 @@ TEST(receiver, timing_jitter_within_skip_tolerated) {
     ns::channel::tx_contribution a, b;
     const ns::dsp::cvec wave_a = mod_a.modulate_packet(bits_a);
     const ns::dsp::cvec wave_b = mod_b.modulate_packet(bits_b);
-    a.waveform = wave_a;
+    a.waveform = std::span<const ns::dsp::cplx>(wave_a);
     a.snr_db = 5.0;
     a.timing_offset_s = 0.8e-6;  // 0.4 bins
-    b.waveform = wave_b;
+    b.waveform = std::span<const ns::dsp::cplx>(wave_b);
     b.snr_db = 5.0;
     b.timing_offset_s = -0.8e-6;
     ns::channel::channel_config config;
+    const std::array<ns::channel::tx_contribution, 2> txs{a, b};
+    ns::channel::channel_workspace chan_ws;
     const cvec stream =
-        ns::channel::combine({a, b}, a.waveform.size(), rxp.phy, config, gen);
+        ns::channel::combine(std::span<const ns::channel::tx_contribution>(txs),
+                             a.waveform.size(), rxp.phy, config, gen, chan_ws);
     const decode_result result = rx.decode(stream, 0);
     EXPECT_TRUE(result.reports[0].crc_ok);
     EXPECT_TRUE(result.reports[1].crc_ok);

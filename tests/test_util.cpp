@@ -86,6 +86,45 @@ TEST(rng, gaussian_moments) {
     EXPECT_NEAR(stats.variance(), 1.0, 0.03);
 }
 
+TEST(rng, gaussian_tail_mass) {
+    // The ziggurat's base layer hands |x| > r = 3.4426 to a dedicated
+    // exponential-rejection tail sampler; make sure that branch runs and
+    // produces the right mass. P(|X| > r) ~ 5.8e-4, so 400k draws
+    // expect ~233 tail samples (Poisson sd ~15).
+    rng gen(23);
+    const double r = 3.442619855899;
+    int beyond_r = 0;
+    double extreme = 0.0;
+    for (int i = 0; i < 400000; ++i) {
+        const double x = gen.gaussian();
+        if (std::abs(x) > r) ++beyond_r;
+        extreme = std::max(extreme, std::abs(x));
+    }
+    EXPECT_GT(beyond_r, 130);
+    EXPECT_LT(beyond_r, 350);
+    EXPECT_GT(extreme, r);  // the tail sampler reaches past the layers
+    EXPECT_LT(extreme, 6.5);
+}
+
+TEST(rng, gaussian_symmetric_and_kurtosis) {
+    // Third and fourth standardized moments: skewness 0, kurtosis 3 —
+    // the moments a wrong layer table or a biased sign bit would bend.
+    rng gen(29);
+    double m3 = 0.0, m4 = 0.0, m2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = gen.gaussian();
+        m2 += x * x;
+        m3 += x * x * x;
+        m4 += x * x * x * x;
+    }
+    m2 /= n;
+    m3 /= n;
+    m4 /= n;
+    EXPECT_NEAR(m3 / std::pow(m2, 1.5), 0.0, 0.05);
+    EXPECT_NEAR(m4 / (m2 * m2), 3.0, 0.15);
+}
+
 TEST(rng, gaussian_mean_stddev_parameters) {
     rng gen(17);
     running_stats stats;
