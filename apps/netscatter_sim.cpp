@@ -293,6 +293,45 @@ void write_json(const ns::scenario::scenario_result& result,
     // (sums of the round.*_s phase histograms).
     report.set_scalar("synth_wall_s", result.sim.synth_wall_s);
     report.set_scalar("decode_wall_s", result.sim.decode_wall_s);
+    // Fault/recovery scalars appear only when the spec injects faults:
+    // a fault-free run's JSON stays byte-for-byte what it was before the
+    // fault layer existed.
+    const bool faults_on = result.spec.faults.enabled();
+    if (faults_on) {
+        report.set_scalar("fault_query_losses",
+                          static_cast<double>(result.sim.total_query_losses));
+        report.set_scalar("fault_ack_losses",
+                          static_cast<double>(result.sim.total_ack_losses));
+        report.set_scalar("fault_ack_timeouts",
+                          static_cast<double>(result.sim.total_ack_timeouts));
+        report.set_scalar("fault_reboots",
+                          static_cast<double>(result.sim.total_reboots));
+        report.set_scalar("fault_down_events",
+                          static_cast<double>(result.sim.total_down_events));
+        report.set_scalar("fault_lease_evictions",
+                          static_cast<double>(result.sim.total_lease_evictions));
+        report.set_scalar("fault_desyncs",
+                          static_cast<double>(result.sim.total_desyncs));
+        report.set_scalar("fault_resyncs",
+                          static_cast<double>(result.sim.total_resyncs));
+        report.set_scalar("fault_recoveries",
+                          static_cast<double>(result.sim.total_recoveries));
+        report.set_scalar("fault_orphan_tx",
+                          static_cast<double>(result.sim.total_orphan_tx));
+        report.set_scalar(
+            "fault_orphan_collisions",
+            static_cast<double>(result.sim.total_orphan_collisions));
+        report.set_scalar("fault_blackout_rounds",
+                          static_cast<double>(result.sim.total_blackout_rounds));
+        report.set_scalar("fault_devices_down_at_end",
+                          static_cast<double>(result.sim.devices_down_at_end));
+        report.set_scalar(
+            "fault_recovery_ratio",
+            result.sim.total_down_events == 0
+                ? 1.0
+                : static_cast<double>(result.sim.total_recoveries) /
+                      static_cast<double>(result.sim.total_down_events));
+    }
 
     const double payload_bits =
         static_cast<double>(result.spec.sim.frame.payload_bits);
@@ -322,26 +361,45 @@ void write_json(const ns::scenario::scenario_result& result,
         // The merged series concatenates replicas; index each point by
         // (replica, round) so consumers never stitch independent
         // timelines together.
-        report.add_point(
-            {{"replica", static_cast<double>(i / rounds_per_replica)},
-             {"round", static_cast<double>(i % rounds_per_replica)},
-             {"active", static_cast<double>(round.active)},
-             {"scheduled_group", static_cast<double>(round.scheduled_group)},
-             {"scheduled", static_cast<double>(round.scheduled)},
-             {"transmitting", static_cast<double>(round.transmitting)},
-             {"delivered", static_cast<double>(round.delivered)},
-             {"skipped", static_cast<double>(round.skipped)},
-             {"idle", static_cast<double>(round.idle)},
-             {"joins", static_cast<double>(round.joins)},
-             {"leaves", static_cast<double>(round.leaves)},
-             {"realloc_events", static_cast<double>(round.realloc_events)},
-             {"regroups", static_cast<double>(round.regroups)},
-             {"cross_tx", static_cast<double>(round.cross_tx)},
-             {"cross_collisions", static_cast<double>(round.cross_collisions)},
-             {"query_time_s", query_time_s},
-             {"reassoc_latency_rounds", reassoc_latency},
-             {"throughput_bps", throughput},
-             {"loss_rate", loss}});
+        std::vector<std::pair<std::string, bench::json_value>> point = {
+            {"replica", static_cast<double>(i / rounds_per_replica)},
+            {"round", static_cast<double>(i % rounds_per_replica)},
+            {"active", static_cast<double>(round.active)},
+            {"scheduled_group", static_cast<double>(round.scheduled_group)},
+            {"scheduled", static_cast<double>(round.scheduled)},
+            {"transmitting", static_cast<double>(round.transmitting)},
+            {"delivered", static_cast<double>(round.delivered)},
+            {"skipped", static_cast<double>(round.skipped)},
+            {"idle", static_cast<double>(round.idle)},
+            {"joins", static_cast<double>(round.joins)},
+            {"leaves", static_cast<double>(round.leaves)},
+            {"realloc_events", static_cast<double>(round.realloc_events)},
+            {"regroups", static_cast<double>(round.regroups)},
+            {"cross_tx", static_cast<double>(round.cross_tx)},
+            {"cross_collisions", static_cast<double>(round.cross_collisions)},
+            {"query_time_s", query_time_s},
+            {"reassoc_latency_rounds", reassoc_latency},
+            {"throughput_bps", throughput},
+            {"loss_rate", loss}};
+        if (faults_on) {
+            point.push_back(
+                {"query_losses", static_cast<double>(round.query_losses)});
+            point.push_back(
+                {"ack_losses", static_cast<double>(round.ack_losses)});
+            point.push_back({"reboots", static_cast<double>(round.reboots)});
+            point.push_back(
+                {"down_events", static_cast<double>(round.down_events)});
+            point.push_back({"lease_evictions",
+                             static_cast<double>(round.lease_evictions)});
+            point.push_back({"desyncs", static_cast<double>(round.desyncs)});
+            point.push_back({"resyncs", static_cast<double>(round.resyncs)});
+            point.push_back(
+                {"recoveries", static_cast<double>(round.recoveries)});
+            point.push_back(
+                {"orphan_tx", static_cast<double>(round.orphan_tx)});
+            point.push_back({"blackout", round.blackout ? 1.0 : 0.0});
+        }
+        report.add_point(std::move(point));
     }
     // Per-group breakdown (§3.3.3), keyed by scheduling slot and merged
     // across replicas by group id. Counters span the whole run (all
@@ -462,6 +520,28 @@ void write_metrics_json(const ns::scenario::scenario_result& result,
         if (strip && ns::obs::is_host_metric_name(counter.name)) continue;
         report.add_point({{"name", counter.name},
                           {"value", static_cast<double>(counter.value)}});
+    }
+    if (result.spec.faults.enabled()) {
+        // Derived recovery-quality points in the same {name, value} shape
+        // the counters use, so check_bench_regression.py gates them with
+        // the one --key name --metric value invocation. Both are pure
+        // functions of (spec, seed): safe to pin at --tolerance 0.
+        double recovery_p95 = 0.0;
+        for (const auto& hist : metrics.histograms) {
+            if (hist.name == "fault.recovery_rounds") {
+                recovery_p95 = hist.percentile(95.0);
+                break;
+            }
+        }
+        report.add_point(
+            {{"name", "fault.recovery_rounds.p95"}, {"value", recovery_p95}});
+        report.add_point(
+            {{"name", "fault.recovery_ratio"},
+             {"value",
+              result.sim.total_down_events == 0
+                  ? 1.0
+                  : static_cast<double>(result.sim.total_recoveries) /
+                        static_cast<double>(result.sim.total_down_events)}});
     }
     for (const auto& gauge : metrics.gauges) {
         if (strip && ns::obs::is_host_metric_name(gauge.name)) continue;

@@ -1,0 +1,80 @@
+#include "netscatter/faults/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "netscatter/engine/mc_runner.hpp"
+#include "netscatter/util/error.hpp"
+
+namespace ns::faults {
+
+namespace {
+
+bool is_probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+/// Stream tags keeping the injector's split_seed children disjoint from
+/// each other (arbitrary distinct constants).
+constexpr std::uint64_t round_rng_stream = 0x0fa1;
+constexpr std::uint64_t query_loss_stream = 0x0fa2;
+
+}  // namespace
+
+void fault_spec::validate() const {
+    ns::util::require(is_probability(query_loss),
+                      "fault_spec: query_loss must be in [0, 1]");
+    ns::util::require(query_loss_rssi_slope >= 0.0,
+                      "fault_spec: query_loss_rssi_slope must be >= 0");
+    ns::util::require(is_probability(ack_loss),
+                      "fault_spec: ack_loss must be in [0, 1]");
+    ns::util::require(reboot_rate_per_round >= 0.0,
+                      "fault_spec: reboot_rate_per_round must be >= 0");
+    ns::util::require(is_probability(blackout_probability),
+                      "fault_spec: blackout_probability must be in [0, 1]");
+    if (blackout_probability > 0.0) {
+        ns::util::require(blackout_rounds >= 1,
+                          "fault_spec: blackout_rounds must be >= 1 when "
+                          "blackouts are enabled");
+    }
+    if (ack_loss > 0.0) {
+        ns::util::require(ack_retry_limit >= 1,
+                          "fault_spec: ack_retry_limit must be >= 1 when "
+                          "ACK loss is enabled");
+    }
+}
+
+fault_injector::fault_injector(const fault_spec& spec, std::uint64_t seed)
+    : spec_(spec), base_seed_(seed), round_rng_(seed) {
+    spec_.validate();
+}
+
+void fault_injector::begin_round(std::size_t round) {
+    const auto r = static_cast<std::uint64_t>(round);
+    round_seed_ = ns::engine::split_seed(base_seed_, query_loss_stream, r);
+    round_rng_ = ns::util::rng(ns::engine::split_seed(base_seed_, round_rng_stream, r));
+    // Consume the previous round's blackout window, then (outside a
+    // blackout) draw this round's onset. The onset round is the first
+    // blacked-out round and each window lasts exactly blackout_rounds.
+    if (blackout_remaining_ > 0) --blackout_remaining_;
+    if (blackout_remaining_ == 0 && spec_.blackout_probability > 0.0 &&
+        round_rng_.bernoulli(spec_.blackout_probability)) {
+        blackout_remaining_ = spec_.blackout_rounds;
+    }
+}
+
+bool fault_injector::query_lost(std::uint32_t device_id,
+                                double query_rssi_dbm) const {
+    double p = spec_.query_loss;
+    if (spec_.query_loss_rssi_slope > 0.0 &&
+        query_rssi_dbm < spec_.query_loss_ref_rssi_dbm) {
+        p += spec_.query_loss_rssi_slope *
+             (spec_.query_loss_ref_rssi_dbm - query_rssi_dbm);
+    }
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    // Stateless uniform in [0, 1): hash (round seed, device id) through
+    // the same splitmix chain split_seed uses, take the top 53 bits.
+    const std::uint64_t h = ns::engine::split_seed(round_seed_, device_id, 1);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < p;
+}
+
+}  // namespace ns::faults

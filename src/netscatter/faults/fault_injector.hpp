@@ -1,0 +1,76 @@
+// Deterministic control-plane fault injector.
+//
+// One injector serves one simulator replica. All draws derive from the
+// replica's fault seed through the same split_seed chain the Monte-Carlo
+// runner uses, in two flavours:
+//
+//   * per-(round, device) query loss is STATELESS — a pure hash of
+//     (round seed, device id) mapped to [0, 1) — so the loss schedule is
+//     independent of iteration order and identical wherever it is
+//     consulted (the regroup pass and the device loop agree on whether a
+//     device heard a given round's query);
+//   * round-scoped draws (ACK losses, reboot counts, victim picks,
+//     blackout onsets) come from a per-round generator reseeded from
+//     split_seed(base, round, ...) at begin_round(), consumed in the
+//     replica's serial loop order.
+//
+// Replicas are the parallel unit and each replica's round loop is
+// serial (intra-round threads only fan out symbol blocks), so every
+// fault schedule is bit-identical at any --threads / --round-threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "netscatter/faults/fault_spec.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace ns::faults {
+
+/// Per-replica fault schedule generator. begin_round() must be called
+/// once per round, in round order.
+class fault_injector {
+public:
+    /// `seed` is the replica's fault stream base (the simulator splits
+    /// it off its config seed). Validates `spec`.
+    fault_injector(const fault_spec& spec, std::uint64_t seed);
+
+    /// Starts a round: reseeds the round-scoped generator and advances
+    /// the blackout state machine.
+    void begin_round(std::size_t round);
+
+    /// Whether the current round is inside an AP blackout window.
+    bool blackout() const { return blackout_remaining_ > 0; }
+
+    /// Whether `device_id` misses this round's downlink query.
+    /// Stateless per (round, device): any number of calls, in any order,
+    /// return the same answer for the same round. `query_rssi_dbm` is
+    /// the device's downlink RSSI for the RSSI-coupled loss term.
+    bool query_lost(std::uint32_t device_id, double query_rssi_dbm) const;
+
+    /// Draws one association-ACK transmission loss (round stream).
+    bool ack_lost() { return round_rng_.bernoulli(spec_.ack_loss); }
+
+    /// Number of device reboots this round (round stream, Poisson).
+    std::size_t reboots() {
+        return static_cast<std::size_t>(
+            round_rng_.poisson(spec_.reboot_rate_per_round));
+    }
+
+    /// Uniform victim index in [0, n) (round stream). Requires n >= 1.
+    std::size_t pick(std::size_t n) {
+        return static_cast<std::size_t>(
+            round_rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+
+    const fault_spec& spec() const { return spec_; }
+
+private:
+    fault_spec spec_;
+    std::uint64_t base_seed_;
+    std::uint64_t round_seed_ = 0;   ///< query-loss hash key of this round
+    ns::util::rng round_rng_;        ///< round-scoped sequential draws
+    std::size_t blackout_remaining_ = 0;
+};
+
+}  // namespace ns::faults

@@ -1,0 +1,91 @@
+// Control-plane fault model (declarative).
+//
+// Every control exchange the simulator runs — downlink queries,
+// association ACKs, the regroup/ordering broadcasts — is perfect unless
+// a fault_spec says otherwise. The spec describes the failure processes
+// the paper's protocol is designed to survive (§3.3.3–§3.3.4): lossy
+// downlink queries (iid or RSSI-coupled), lost association ACKs (the
+// repeat-response-until-ACK path), device reboots/brownouts that lose
+// shift + group state, stale-schedule desync after a missed regroup
+// query, and whole-AP blackout windows — plus the recovery knobs the AP
+// and devices use to converge back: membership leases, device-side
+// missed-query counters, and a bounded ACK-replay window.
+//
+// All rates default to zero: a default fault_spec is inert (enabled()
+// is false), the simulator constructs no injector, draws no random
+// numbers and changes no behaviour — zero-fault runs stay bit-identical
+// to a build without this subsystem.
+#pragma once
+
+#include <cstddef>
+
+namespace ns::faults {
+
+/// Declarative fault + recovery configuration. Plain aggregate so it
+/// rides inside sim_config / scenario_spec like every other knob.
+struct fault_spec {
+    // --- Injection processes -------------------------------------------
+    /// Per-device, per-round probability the downlink query is lost (the
+    /// device hears nothing: it neither transmits nor learns schedule
+    /// changes that round). Drawn statelessly per (round, device) from
+    /// the split_seed stream, so the loss schedule is a pure function of
+    /// the seed — identical at any thread count and call order.
+    double query_loss = 0.0;
+    /// RSSI coupling of the query loss: extra loss probability per dB of
+    /// downlink RSSI below query_loss_ref_rssi_dbm (weak links miss more
+    /// queries). 0 keeps the loss iid.
+    double query_loss_rssi_slope = 0.0;
+    /// Reference downlink RSSI for the slope term; at or above it only
+    /// the iid floor applies.
+    double query_loss_ref_rssi_dbm = -30.0;
+
+    /// Probability each association-ACK transmission is lost at the AP.
+    /// A lost ACK makes the AP repeat the piggybacked response on the
+    /// next query (§3.3.4), delaying the handshake one round per loss.
+    double ack_loss = 0.0;
+
+    /// Mean device reboots (brownouts) per round, Poisson. A rebooted
+    /// device loses its shift and group state, falls silent, and must
+    /// rejoin through the slotted-Aloha association path; the AP keeps
+    /// its stale table entry until the membership lease evicts it or the
+    /// device's re-association request arrives.
+    double reboot_rate_per_round = 0.0;
+
+    /// Per-round probability a whole-AP blackout begins (when one is not
+    /// already in progress). During a blackout no query is transmitted:
+    /// no device transmits, association handshakes stall (grants are
+    /// deferred), and scheduled devices count the missing queries toward
+    /// their missed-query limit.
+    double blackout_probability = 0.0;
+    /// Rounds each blackout lasts.
+    std::size_t blackout_rounds = 2;
+
+    // --- Recovery knobs -------------------------------------------------
+    /// Membership lease (AP side): a device silent for this many
+    /// consecutive scheduled rounds is evicted — its table entry is
+    /// dropped and its cyclic shift reclaimed through the allocator for
+    /// reuse. 0 disables leases (stale entries linger forever).
+    std::size_t lease_rounds = 0;
+    /// Device side: after this many consecutive missed queries the
+    /// device assumes it lost the schedule and re-initiates association
+    /// (§3.3.4). 0 disables the counter.
+    std::size_t missed_query_limit = 0;
+    /// AP side: how many rounds the AP replays an un-ACKed association
+    /// response before abandoning the handshake (the joiner must then
+    /// re-request). Bounded backoff on the §3.3.4 repeat path.
+    std::size_t ack_retry_limit = 8;
+
+    /// Whether any fault process is active. When false the simulator
+    /// builds no injector and every fault/recovery code path is skipped.
+    bool enabled() const {
+        return query_loss > 0.0 || ack_loss > 0.0 ||
+               reboot_rate_per_round > 0.0 || blackout_probability > 0.0;
+    }
+
+    /// Throws ns::util::invalid_argument when a field is outside its
+    /// domain (probabilities outside [0, 1], negative rates, a zero
+    /// blackout duration with a non-zero blackout probability, ...).
+    void validate() const;
+};
+
+}  // namespace ns::faults

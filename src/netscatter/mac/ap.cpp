@@ -51,7 +51,20 @@ association_response access_point::handle_association_request(
 
 void access_point::handle_association_ack(std::uint32_t device_id) {
     auto it = table_.find(device_id);
-    ns::util::require(it != table_.end(), "handle_association_ack: unknown device");
+    if (it == table_.end()) {
+        // A stale or corrupted ACK (e.g. replayed after the device was
+        // evicted): count and ignore. If it matches the pending replay's
+        // device the response is still cleared — that handshake is over
+        // from the device's side, so repeating the response forever
+        // would burn every future query's piggyback slot.
+        ++unknown_acks_;
+        if (pending_device_ == device_id) {
+            pending_response_.reset();
+            pending_device_.reset();
+        }
+        return;
+    }
+    if (it->second.acked) ++duplicate_acks_;
     it->second.acked = true;
     if (pending_device_ == device_id) {
         pending_response_.reset();

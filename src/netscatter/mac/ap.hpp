@@ -48,7 +48,18 @@ public:
     association_response handle_association_request(const association_request& request);
 
     /// Marks a pending device as fully associated after its ACK.
+    ///
+    /// Robust to control-plane noise: an ACK for a device the table does
+    /// not hold (a stale retransmission after eviction, or corruption of
+    /// the id field) and a duplicate ACK for an already-acked member are
+    /// counted no-ops — see unknown_acks() / duplicate_acks() — never
+    /// errors, since a lossy channel can always replay or orphan an ACK.
     void handle_association_ack(std::uint32_t device_id);
+
+    /// ACKs received for devices absent from the table.
+    std::size_t unknown_acks() const { return unknown_acks_; }
+    /// ACKs received for devices that had already completed association.
+    std::size_t duplicate_acks() const { return duplicate_acks_; }
 
     /// Builds the next query. When a full reassignment is pending the
     /// query carries the 1728-bit ordering field (Config 2-style).
@@ -86,6 +97,8 @@ private:
     std::optional<std::uint32_t> pending_device_;
     bool reassignment_pending_ = false;
     std::size_t full_reassignments_ = 0;
+    std::size_t unknown_acks_ = 0;
+    std::size_t duplicate_acks_ = 0;
     std::uint8_t next_network_id_ = 0;
 };
 

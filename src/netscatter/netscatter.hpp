@@ -45,6 +45,9 @@
 #include "netscatter/device/impedance.hpp"
 #include "netscatter/device/power_budget.hpp"
 
+#include "netscatter/faults/fault_injector.hpp"
+#include "netscatter/faults/fault_spec.hpp"
+
 #include "netscatter/mac/allocator.hpp"
 #include "netscatter/mac/aloha.hpp"
 #include "netscatter/mac/ap.hpp"

@@ -71,6 +71,30 @@ void churn_process::admit(std::uint32_t id, std::size_t request_round,
     ++total_joins_;
 }
 
+void churn_process::force_rejoin(std::uint32_t id, std::size_t round) {
+    ns::util::require(static_cast<std::size_t>(id) < universe_,
+                      "churn: force_rejoin id outside the universe");
+    if (active_[id]) {
+        // The device lost its association out-of-band (the churn process
+        // didn't emit a leave): reconcile the membership view.
+        active_[id] = false;
+        --active_count_;
+    }
+    if (pending_[id]) return;  // already waiting for a slot
+    pending_[id] = true;
+    ++total_requests_;
+    if (spec_.association == association_mode::slotted_aloha) {
+        const bool low = !low_region_.empty() && low_region_[id];
+        request_round_[id] = round;
+        contention_.add(id,
+                        low ? ns::device::snr_region::low
+                            : ns::device::snr_region::high,
+                        rng_.fork());
+    } else {
+        queue_.emplace_back(id, round);
+    }
+}
+
 churn_events churn_process::step(std::size_t round) {
     churn_events events;
 

@@ -54,6 +54,14 @@ public:
     /// Advances one round.
     churn_events step(std::size_t round);
 
+    /// Protocol-recovery entry point: `id` lost its association (reboot,
+    /// lease eviction, missed-query trip, abandoned handshake) and must
+    /// rejoin through the normal admission path. Marks the device
+    /// inactive in the churn view and re-enters it as a join request at
+    /// `round` — through the Aloha contention pool or the FIFO queue like
+    /// any other joiner. Idempotent while the device is already waiting.
+    void force_rejoin(std::uint32_t id, std::size_t round);
+
     std::size_t total_join_requests() const { return total_requests_; }
     std::size_t total_joins() const { return total_joins_; }
     std::size_t total_leaves() const { return total_leaves_; }

@@ -82,7 +82,12 @@ scenario_driver::scenario_driver(const scenario_spec& spec,
     : spec_(spec),
       has_churn_(spec.churn.join_rate_per_round > 0.0 ||
                  spec.churn.leave_rate_per_round > 0.0 ||
-                 spec.churn.initial_active < dep.devices().size()),
+                 spec.churn.initial_active < dep.devices().size() ||
+                 // Faults need the churn admission path live even in an
+                 // otherwise-static population: rebooted/evicted devices
+                 // rejoin through it (checked on both the spec-level
+                 // field and an already-copied sim.faults).
+                 spec.faults.enabled() || spec.sim.faults.enabled()),
       traffic_(spec.traffic, dep.devices().size(),
                ns::engine::split_seed(seed, 1, 0)),
       churn_(spec.churn, dep.devices().size(),
@@ -138,6 +143,14 @@ ns::sim::round_plan scenario_driver::plan_round(std::size_t round) {
         plan.cochannel.assign(packets.begin(), packets.end());
     }
     return plan;
+}
+
+void scenario_driver::on_member_lost(std::size_t round, std::uint32_t device_id,
+                                     ns::sim::member_loss_reason reason) {
+    (void)reason;  // every loss kind recovers through the same admission path
+    if (!has_churn_) return;
+    churn_.force_rejoin(device_id, round);
+    stats_.join_requests = churn_.total_join_requests();
 }
 
 bool scenario_driver::offers_traffic(std::size_t round, std::uint32_t device_id) {

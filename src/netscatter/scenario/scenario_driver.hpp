@@ -62,6 +62,11 @@ public:
     std::optional<std::vector<std::uint32_t>> initial_active() override;
     ns::sim::round_plan plan_round(std::size_t round) override;
     bool offers_traffic(std::size_t round, std::uint32_t device_id) override;
+    /// Protocol recovery: a device the simulator declared down (reboot,
+    /// lease eviction, missed-query trip, abandoned handshake) re-enters
+    /// the churn admission path and contends for a slot like any joiner.
+    void on_member_lost(std::size_t round, std::uint32_t device_id,
+                        ns::sim::member_loss_reason reason) override;
 
     const driver_stats& stats() const { return stats_; }
 

@@ -328,6 +328,65 @@ std::vector<scenario_spec> build_registry() {
         scenarios.push_back(spec);
     }
 
+    {
+        // The robustness headline: the grouped 1k hall with a lossy
+        // control plane. Queries drop (worse at low RSSI), ACKs drop,
+        // devices brown out and lose their shift + group state, and the
+        // recovery machinery — AP ACK retries, membership leases
+        // reclaiming silent shifts, device-side missed-query counters
+        // forcing re-association through Aloha — has to keep the
+        // schedule converging.
+        scenario_spec spec;
+        spec.name = "lossy-control-1k";
+        spec.description =
+            "1000-tag grouped hall with lossy queries/ACKs and device "
+            "reboots; leases + re-association recover the schedule";
+        spec.geometry.preset = geometry_preset::warehouse_aisle;
+        spec.geometry.num_devices = 1000;
+        spec.churn.join_rate_per_round = 0.5;
+        spec.churn.leave_rate_per_round = 0.5;
+        spec.churn.initial_active = 250;
+        spec.churn.association = association_mode::slotted_aloha;
+        spec.faults.query_loss = 0.25;
+        spec.faults.query_loss_rssi_slope = 0.005;
+        spec.faults.ack_loss = 0.25;
+        spec.faults.reboot_rate_per_round = 1.0;
+        spec.faults.lease_rounds = 4;
+        spec.faults.missed_query_limit = 3;
+        spec.faults.ack_retry_limit = 4;
+        spec.sim = base_sim(20, 31);
+        spec.sim.grouping.enabled = true;
+        spec.sim.grouping.group_capacity = 250;
+        spec.sim.grouping.policy = ns::sim::regroup_policy::periodic;
+        spec.sim.grouping.regroup_period_rounds = 8;
+        scenarios.push_back(spec);
+    }
+    {
+        // Whole-AP blackouts: the carrier vanishes for multi-round
+        // stretches, every device misses the query, and the floor has to
+        // come back without a thundering herd — missed-query counters
+        // trip re-association while leases sweep out the casualties.
+        scenario_spec spec;
+        spec.name = "blackout-recovery";
+        spec.description =
+            "256-device office through multi-round AP blackouts; "
+            "missed-query counters and leases restore membership";
+        spec.geometry.preset = geometry_preset::office;
+        spec.geometry.num_devices = 256;
+        spec.churn.join_rate_per_round = 0.25;
+        spec.churn.leave_rate_per_round = 0.25;
+        spec.churn.initial_active = 192;
+        spec.churn.association = association_mode::slotted_aloha;
+        spec.faults.query_loss = 0.05;
+        spec.faults.blackout_probability = 0.15;
+        spec.faults.blackout_rounds = 3;
+        spec.faults.reboot_rate_per_round = 0.2;
+        spec.faults.lease_rounds = 6;
+        spec.faults.missed_query_limit = 4;
+        spec.sim = base_sim(24, 32);
+        scenarios.push_back(spec);
+    }
+
     return scenarios;
 }
 

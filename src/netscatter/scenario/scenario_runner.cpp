@@ -34,6 +34,7 @@ bool carries_config2_query(const ns::sim::round_outcome& round) {
 scenario_result run_scenario(const scenario_spec& spec, run_options options) {
     ns::util::require(spec.replicas >= 1, "scenario: replicas must be >= 1");
     spec.sim.validate();
+    spec.faults.validate();
     const auto start = std::chrono::steady_clock::now();
 
     const ns::sim::deployment_params dep_params = resolve_geometry(spec.geometry);
@@ -58,6 +59,9 @@ scenario_result run_scenario(const scenario_spec& spec, run_options options) {
                 spec, dep, ns::engine::split_seed(spec.sim.seed, 0xd21f, r));
             ns::sim::sim_config config = spec.sim;
             config.seed = ns::engine::split_seed(spec.sim.seed, 0x51a1, r);
+            // Spec-level fault processes ride into the simulator; with
+            // both all-zero (the default) nothing changes downstream.
+            if (spec.faults.enabled()) config.faults = spec.faults;
             // Each replica's spans land on their own Perfetto track, so a
             // parallel run renders as stacked per-replica timelines.
             config.obs.trace_track = static_cast<std::uint32_t>(r);

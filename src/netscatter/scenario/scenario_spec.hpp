@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "netscatter/faults/fault_spec.hpp"
 #include "netscatter/sim/deployment.hpp"
 #include "netscatter/sim/network_sim.hpp"
 
@@ -164,6 +165,12 @@ struct scenario_spec {
     mobility_spec mobility{};
     interference_spec interference{};
     cochannel_spec cochannel{};
+    /// Control-plane fault injection + recovery (faults/fault_spec.hpp):
+    /// lossy queries, lost ACKs, reboots, blackouts, and the lease /
+    /// missed-query / ACK-retry recovery knobs. The runner copies it into
+    /// sim.faults; all-zero (the default) leaves every scenario
+    /// bit-identical to a fault-free build.
+    ns::faults::fault_spec faults{};
     /// Simulator knobs. `sim.rounds` is the per-replica round count and
     /// `sim.seed` the base seed every replica/model stream splits from.
     ns::sim::sim_config sim{};

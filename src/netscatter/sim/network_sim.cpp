@@ -6,6 +6,7 @@
 #include <span>
 
 #include "netscatter/channel/superposition.hpp"
+#include "netscatter/engine/mc_runner.hpp"
 #include "netscatter/util/bits.hpp"
 #include "netscatter/util/error.hpp"
 #include "netscatter/util/stats.hpp"
@@ -50,6 +51,7 @@ void sim_config::validate() const {
                               "sim_config: load_trigger_misfits must be >= 1");
         }
     }
+    faults.validate();
 }
 
 void sim_result::merge(const sim_result& other) {
@@ -72,6 +74,19 @@ void sim_result::merge(const sim_result& other) {
     total_cross_tx += other.total_cross_tx;
     total_cross_collisions += other.total_cross_collisions;
     total_cross_collided_delivered += other.total_cross_collided_delivered;
+    total_query_losses += other.total_query_losses;
+    total_ack_losses += other.total_ack_losses;
+    total_ack_timeouts += other.total_ack_timeouts;
+    total_reboots += other.total_reboots;
+    total_down_events += other.total_down_events;
+    total_lease_evictions += other.total_lease_evictions;
+    total_desyncs += other.total_desyncs;
+    total_resyncs += other.total_resyncs;
+    total_recoveries += other.total_recoveries;
+    total_orphan_tx += other.total_orphan_tx;
+    total_orphan_collisions += other.total_orphan_collisions;
+    total_blackout_rounds += other.total_blackout_rounds;
+    devices_down_at_end += other.devices_down_at_end;
     fast_path_rounds += other.fast_path_rounds;
     synth_wall_s += other.synth_wall_s;
     decode_wall_s += other.decode_wall_s;
@@ -167,6 +182,13 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
                                         .skip = config.skip,
                                         .frame = config.frame}) {
     config_.validate();
+    if (config_.faults.enabled()) {
+        // Dedicated fault seed stream, split off the replica seed with
+        // its own tag so enabling faults never perturbs the channel /
+        // traffic draws of the shared rng_ chain.
+        fault_injector_.emplace(config_.faults,
+                                ns::engine::split_seed(config_.seed, 0xfa17, 0));
+    }
     const auto& placed = dep.devices();
     const ns::device::device_params dev_params = make_device_params(config_);
     const double noise_floor = dep.noise_floor_dbm(config_.phy.bandwidth_hz);
@@ -286,6 +308,30 @@ network_simulator::network_simulator(const deployment& dep, sim_config config,
         probes_.alloc_steady_rounds = metrics_.get_counter("alloc.steady_rounds");
         probes_.active_devices = metrics_.get_gauge("sim.active_devices");
         probes_.num_groups = metrics_.get_gauge("sim.num_groups");
+        if (config_.faults.enabled()) {
+            // fault.* instruments exist only when a fault process is
+            // active, so fault-free runs publish the exact metric set
+            // they always have (snapshot bit-identity).
+            probes_.fault_query_losses = metrics_.get_counter("fault.query_losses");
+            probes_.fault_ack_losses = metrics_.get_counter("fault.ack_losses");
+            probes_.fault_ack_timeouts = metrics_.get_counter("fault.ack_timeouts");
+            probes_.fault_reboots = metrics_.get_counter("fault.reboots");
+            probes_.fault_down_events = metrics_.get_counter("fault.down_events");
+            probes_.fault_lease_evictions =
+                metrics_.get_counter("fault.lease_evictions");
+            probes_.fault_desyncs = metrics_.get_counter("fault.desyncs");
+            probes_.fault_resyncs = metrics_.get_counter("fault.resyncs");
+            probes_.fault_recoveries = metrics_.get_counter("fault.recoveries");
+            probes_.fault_orphan_tx = metrics_.get_counter("fault.orphan_tx");
+            probes_.fault_orphan_collisions =
+                metrics_.get_counter("fault.orphan_collisions");
+            probes_.fault_blackout_rounds =
+                metrics_.get_counter("fault.blackout_rounds");
+            probes_.fault_recovery_rounds =
+                metrics_.get_histogram("fault.recovery_rounds");
+            probes_.fault_resync_rounds =
+                metrics_.get_histogram("fault.resync_rounds");
+        }
         chan_ws_.obs.metrics = &metrics_;
         receiver_.set_metrics(&metrics_);
         if (config_.obs.perf) {
@@ -398,7 +444,7 @@ void network_simulator::partition_into_groups(
     if (group_acc_.size() < group_spans_.size()) group_acc_.resize(group_spans_.size());
 }
 
-void network_simulator::regroup(round_outcome& outcome) {
+void network_simulator::regroup(round_outcome& outcome, std::size_t round) {
     std::vector<ns::mac::device_power> powers;
     powers.reserve(active_count_);
     for (const std::size_t i : active_slots_) {
@@ -407,10 +453,36 @@ void network_simulator::regroup(round_outcome& outcome) {
                           slot.placement.uplink_rx_dbm + slot.device.current_gain_db()});
     }
     partition_into_groups(powers);
-    // Every active device takes its freshly-allocated shift.
+    // Every active device takes its freshly-allocated shift — if it hears
+    // the ordering query. A device that misses it keeps transmitting on
+    // the shift it last learned (§3.3.3 stale-schedule desync) until the
+    // next regroup broadcast it hears resynchronizes it, or the lease
+    // evicts it as silent. The stateless query-loss hash guarantees the
+    // device loop sees the same heard/missed answer this round.
     for (const std::size_t i : active_slots_) {
-        associate_slot(i, allocation_.at(slots_[i].placement.id),
-                       slots_[i].placement.query_rssi_dbm);
+        device_slot& slot = slots_[i];
+        const std::uint32_t old_shift =
+            slot.desynced ? slot.stale_shift : slot.device.cyclic_shift();
+        const std::uint32_t new_shift = allocation_.at(slot.placement.id);
+        associate_slot(i, new_shift, slot.placement.query_rssi_dbm);
+        if (!fault_injector_ || slot.down) continue;
+        const bool heard = !fault_injector_->query_lost(
+            slot.placement.id, slot.placement.query_rssi_dbm);
+        if (heard) {
+            if (slot.desynced) {
+                ++outcome.resyncs;
+                if (probes_.fault_resync_rounds != nullptr) {
+                    probes_.fault_resync_rounds->record(
+                        static_cast<double>(round - slot.desync_round));
+                }
+                slot.desynced = false;
+            }
+        } else if (!slot.desynced && new_shift != old_shift) {
+            slot.desynced = true;
+            slot.stale_shift = old_shift;
+            slot.desync_round = round;
+            ++outcome.desyncs;
+        }
     }
     misfits_since_regroup_ = 0;
     outcome.realloc_events += powers.size();
@@ -506,7 +578,100 @@ bool network_simulator::admit_grouped(std::size_t slot_index, double join_power,
     return true;
 }
 
-void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& outcome) {
+void network_simulator::deactivate_slot(std::size_t slot_index) {
+    device_slot& slot = slots_[slot_index];
+    slot.active = false;
+    mark_inactive(slot_index);
+    allocation_.erase(slot.placement.id);
+    if (slot.group != device_slot::no_group) {
+        // The span stays stretched until the next regroup re-tightens
+        // it — the AP only learns the true spread when it repartitions.
+        --group_spans_[slot.group].members;
+        slot.group = device_slot::no_group;
+    }
+    --active_count_;
+    membership_dirty_ = true;
+}
+
+void network_simulator::go_down(std::size_t slot_index, std::size_t round,
+                                member_loss_reason reason, round_outcome& outcome) {
+    device_slot& slot = slots_[slot_index];
+    if (slot.down) return;  // an episode is already in progress
+    slot.down = true;
+    slot.down_round = round;
+    slot.desynced = false;
+    slot.missed_queries = 0;
+    ++outcome.down_events;
+    if (hooks_) hooks_->on_member_lost(round, slot.placement.id, reason);
+}
+
+void network_simulator::apply_ack_faults(std::vector<std::uint32_t>& joins,
+                                         std::size_t round, round_outcome& outcome) {
+    // Each granted join needs its association ACK through; every loss
+    // delays the handshake one round (the AP replays the piggybacked
+    // response, §3.3.4) up to the bounded retry window.
+    std::size_t kept = 0;
+    for (const std::uint32_t id : joins) {
+        std::size_t losses = 0;
+        while (losses < config_.faults.ack_retry_limit &&
+               fault_injector_->ack_lost()) {
+            ++losses;
+        }
+        outcome.ack_losses += losses;
+        if (losses >= config_.faults.ack_retry_limit) {
+            // Every replay lost: the AP abandons the handshake and the
+            // joiner must contend again through the Aloha path.
+            ++outcome.ack_timeouts;
+            const auto it = slot_index_.find(id);
+            if (it != slot_index_.end()) {
+                go_down(it->second, round, member_loss_reason::ack_timeout,
+                        outcome);
+            }
+        } else if (losses > 0) {
+            pending_acks_.push_back({id, round + losses});
+        } else {
+            joins[kept++] = id;
+        }
+    }
+    joins.resize(kept);
+    // Handshakes whose replayed response finally lands this round.
+    std::size_t kept_pending = 0;
+    for (const auto& pending : pending_acks_) {
+        if (pending.second <= round) {
+            joins.push_back(pending.first);
+        } else {
+            pending_acks_[kept_pending++] = pending;
+        }
+    }
+    pending_acks_.resize(kept_pending);
+}
+
+void network_simulator::apply_lease(std::optional<std::size_t> scheduled_group,
+                                    std::size_t round, round_outcome& outcome) {
+    if (config_.faults.lease_rounds == 0) return;
+    // Collect first: deactivate_slot mutates active_slots_ mid-walk.
+    fault_scratch_.clear();
+    for (const std::size_t i : active_slots_) {
+        const device_slot& slot = slots_[i];
+        if (scheduled_group && slot.group != *scheduled_group) continue;
+        if (slot.silent_rounds >= config_.faults.lease_rounds) {
+            fault_scratch_.push_back(i);
+        }
+    }
+    for (const std::size_t i : fault_scratch_) {
+        deactivate_slot(i);
+        slots_[i].silent_rounds = 0;
+        ++outcome.lease_evictions;
+        // A live device evicted here is disassociated without knowing it
+        // — from its side this starts a down episode it must rejoin from.
+        // For a zombie (already down) the episode simply continues; the
+        // eviction is what reclaims its shift for reuse.
+        go_down(i, round, member_loss_reason::lease_eviction, outcome);
+    }
+}
+
+void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& outcome,
+                                         std::size_t round, bool blackout) {
     // Mobility first: joins below must see this round's link budget.
     for (const link_update& update : plan.link_updates) {
         const auto it = slot_index_.find(update.device_id);
@@ -521,24 +686,43 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
     for (std::uint32_t id : plan.leaves) {
         const auto it = slot_index_.find(id);
         if (it == slot_index_.end() || !slots_[it->second].active) continue;
-        device_slot& left = slots_[it->second];
-        left.active = false;
-        mark_inactive(it->second);
-        allocation_.erase(id);
-        if (left.group != device_slot::no_group) {
-            // The span stays stretched until the next regroup re-tightens
-            // it — the AP only learns the true spread when it repartitions.
-            --group_spans_[left.group].members;
-            left.group = device_slot::no_group;
-        }
-        --active_count_;
+        deactivate_slot(it->second);
         ++outcome.leaves;
-        membership_dirty_ = true;
     }
 
-    for (std::uint32_t id : plan.joins) {
+    // Fault plumbing of the join stream: a blacked-out AP transmits no
+    // grants (joins are parked until it returns), and with ACK loss on,
+    // completed contentions still need the handshake's ACK through.
+    const std::vector<std::uint32_t>* joins = &plan.joins;
+    if (fault_injector_) {
+        join_scratch_.assign(plan.joins.begin(), plan.joins.end());
+        if (blackout) {
+            deferred_joins_.insert(deferred_joins_.end(), join_scratch_.begin(),
+                                   join_scratch_.end());
+            join_scratch_.clear();
+        } else {
+            if (!deferred_joins_.empty()) {
+                join_scratch_.insert(join_scratch_.begin(), deferred_joins_.begin(),
+                                     deferred_joins_.end());
+                deferred_joins_.clear();
+            }
+            if (config_.faults.ack_loss > 0.0) {
+                apply_ack_faults(join_scratch_, round, outcome);
+            }
+        }
+        joins = &join_scratch_;
+    }
+
+    for (std::uint32_t id : *joins) {
         const auto it = slot_index_.find(id);
-        if (it == slot_index_.end() || slots_[it->second].active) continue;
+        if (it == slot_index_.end()) continue;
+        if (slots_[it->second].active) {
+            if (!slots_[it->second].down) continue;
+            // §3.3.4 re-association of a device the AP still lists as a
+            // member: drop the stale entry (reclaiming its old shift)
+            // and re-admit it like any joiner.
+            deactivate_slot(it->second);
+        }
         if (!grouped() && active_count_ >= allocator_.num_data_slots()) {
             ++outcome.rejected_joins;
             continue;
@@ -587,6 +771,19 @@ void network_simulator::apply_round_plan(const round_plan& plan, round_outcome& 
         ++active_count_;
         ++outcome.joins;
         membership_dirty_ = true;
+        if (slot.down) {
+            // The re-association completed: the down episode ends and its
+            // length (in rounds) is the protocol's recovery latency.
+            ++outcome.recoveries;
+            if (probes_.fault_recovery_rounds != nullptr) {
+                probes_.fault_recovery_rounds->record(
+                    static_cast<double>(round - slot.down_round));
+            }
+            slot.down = false;
+            slot.desynced = false;
+            slot.missed_queries = 0;
+            slot.silent_rounds = 0;
+        }
     }
 }
 
@@ -610,12 +807,42 @@ sim_result network_simulator::run() {
                                        round_arg);
 
         round_outcome outcome;
+        bool round_blackout = false;
+        if (fault_injector_) {
+            // Advance the fault schedule. Every draw below derives from
+            // the replica's fault seed stream, so the schedule is a pure
+            // function of (spec, replica) at any thread count.
+            fault_injector_->begin_round(round);
+            round_blackout = fault_injector_->blackout();
+            outcome.blackout = round_blackout;
+        }
         round_plan plan;
         {
             ns::obs::trace_span span("plan", &trace_, probes_.plan, round_arg);
             ns::obs::perf_scope perf(&perf_group_, &probes_.perf_plan);
             if (hooks_) plan = hooks_->plan_round(round);
-            apply_round_plan(plan, outcome);
+            apply_round_plan(plan, outcome, round, round_blackout);
+            if (fault_injector_ && config_.faults.reboot_rate_per_round > 0.0) {
+                // Brownouts strike uniformly among the live members; a
+                // victim loses its shift + group state and must rejoin
+                // through the Aloha path while the AP's entry lingers.
+                std::size_t reboots = fault_injector_->reboots();
+                if (reboots > 0) {
+                    fault_scratch_.clear();
+                    for (const std::size_t i : active_slots_) {
+                        if (!slots_[i].down) fault_scratch_.push_back(i);
+                    }
+                    for (; reboots > 0 && !fault_scratch_.empty(); --reboots) {
+                        const std::size_t pick =
+                            fault_injector_->pick(fault_scratch_.size());
+                        const std::size_t victim = fault_scratch_[pick];
+                        fault_scratch_[pick] = fault_scratch_.back();
+                        fault_scratch_.pop_back();
+                        go_down(victim, round, member_loss_reason::reboot, outcome);
+                        ++outcome.reboots;
+                    }
+                }
+            }
         }
 
         // Pick this round's synthesis domain (§3.2 fast path). Multipath
@@ -655,7 +882,13 @@ sim_result network_simulator::run() {
                 const bool load_due =
                     grouping.policy == regroup_policy::load_triggered &&
                     misfits_since_regroup_ >= grouping.load_trigger_misfits;
-                if (periodic_due || load_due) regroup(outcome);
+                // A blacked-out AP broadcasts no ordering query: a due
+                // regroup waits for the next round it is back on the air
+                // (load_triggered re-fires on the persisted misfit count;
+                // a periodic edge that falls inside a blackout is skipped).
+                if ((periodic_due || load_due) && !round_blackout) {
+                    regroup(outcome, round);
+                }
             }
 
             // One group transmits per query, round-robin (§3.3.3); the
@@ -718,6 +951,48 @@ sim_result network_simulator::run() {
             if (grouped()) ++outcome.scheduled;
             const double query_rssi = slot.placement.query_rssi_dbm + fade_db;
 
+            if (fault_injector_) {
+                if (slot.down) {
+                    // Zombie: the AP still schedules this device but the
+                    // rebooted/evicted radio answers nothing. Its silence
+                    // accrues toward the lease (paused during a blackout,
+                    // when the AP itself transmitted no query).
+                    if (!round_blackout) ++slot.silent_rounds;
+                    continue;
+                }
+                if (round_blackout) {
+                    // No query on the air at all: every scheduled device
+                    // counts a missed query toward re-association, but
+                    // the AP cannot hold their silence against them.
+                    ++slot.missed_queries;
+                    if (config_.faults.missed_query_limit > 0 &&
+                        slot.missed_queries >= config_.faults.missed_query_limit) {
+                        go_down(slot_idx, round,
+                                member_loss_reason::missed_queries, outcome);
+                    }
+                    continue;
+                }
+                // The stateless per-(round, device) draw — keyed on the
+                // unfaded downlink RSSI so regroup() saw the same answer.
+                if (fault_injector_->query_lost(slot.placement.id,
+                                                slot.placement.query_rssi_dbm)) {
+                    ++outcome.query_losses;
+                    ++slot.missed_queries;
+                    ++slot.silent_rounds;
+                    if (config_.faults.missed_query_limit > 0 &&
+                        slot.missed_queries >= config_.faults.missed_query_limit) {
+                        go_down(slot_idx, round,
+                                member_loss_reason::missed_queries, outcome);
+                    }
+                    continue;
+                }
+                slot.missed_queries = 0;
+                // Provisional: the AP hears nothing unless the device
+                // responds on its assigned shift below (a desynced
+                // device's stale-shift response does not count).
+                ++slot.silent_rounds;
+            }
+
             if (hooks_ && !hooks_->offers_traffic(round, slot.placement.id)) {
                 ++outcome.idle;
                 continue;
@@ -752,6 +1027,20 @@ sim_result network_simulator::run() {
                     ++outcome.realloc_events;
                     membership_dirty_ = true;
                     ++outcome.skipped;
+                    if (fault_injector_) {
+                        // The request reaches the AP in the reserved
+                        // association slots: not silence. It also hands
+                        // the device a fresh shift, ending any desync.
+                        slot.silent_rounds = 0;
+                        if (slot.desynced) {
+                            ++outcome.resyncs;
+                            if (probes_.fault_resync_rounds != nullptr) {
+                                probes_.fault_resync_rounds->record(
+                                    static_cast<double>(round - slot.desync_round));
+                            }
+                            slot.desynced = false;
+                        }
+                    }
                     continue;
                 }
                 if (intent.action == ns::device::device_action::skip) {
@@ -771,14 +1060,26 @@ sim_result network_simulator::run() {
                     config_.model_cfo ? slot.device.static_frequency_offset_hz() : 0.0;
             }
 
+            // A desynced device answers on the shift it last learned —
+            // the schedule moved on without it (§3.3.3 desync).
+            const std::uint32_t tx_shift =
+                (fault_injector_ && slot.desynced) ? slot.stale_shift
+                                                   : intent.cyclic_shift;
+
             // Build this device's frame bits into the flat per-round
             // store (one fixed-width 0/1 row per transmitter).
             rng_.fill_bits(config_.frame.payload_bits, payload_scratch_);
             ns::phy::build_frame_bits_into(config_.frame, payload_scratch_,
                                            frame_scratch_);
-            sent_row_of_shift_[intent.cyclic_shift] =
+            if (fault_injector_ && sent_row_of_shift_[tx_shift] >= 0) {
+                // A stale-schedule transmitter landed on a shift another
+                // device already answered on this round: the earlier row
+                // is buried under the collision and will score as orphan.
+                ++outcome.orphan_collisions;
+            }
+            sent_row_of_shift_[tx_shift] =
                 static_cast<std::int32_t>(tx_row_shift_.size());
-            tx_row_shift_.push_back(intent.cyclic_shift);
+            tx_row_shift_.push_back(tx_shift);
             for (const bool bit : frame_scratch_) {
                 frame_bits_store_.push_back(bit ? 1 : 0);
             }
@@ -801,7 +1102,7 @@ sim_result network_simulator::run() {
                 // bits span is attached after the loop (the flat store
                 // may still grow while transmitters are collected).
                 ns::channel::packet_contribution packet;
-                packet.cyclic_shift = intent.cyclic_shift;
+                packet.cyclic_shift = tx_shift;
                 packet.snr_db = uplink_dbm - noise_floor;
                 packet.timing_offset_s = timing_offset_s;
                 packet.frequency_offset_hz = frequency_offset_hz;
@@ -809,7 +1110,10 @@ sim_result network_simulator::run() {
                 packet_contribs_.push_back(packet);
             } else {
                 if (!slot.modulator) {
-                    slot.modulator.emplace(config_.phy, slot.device.cyclic_shift());
+                    // At the transmit shift, which is the stale one while
+                    // desynced (associate_slot / resync reset the cache,
+                    // so it can never linger across a shift change).
+                    slot.modulator.emplace(config_.phy, tx_shift);
                 }
                 ns::dsp::cvec& packet_buffer = chan_ws_.packet_pool.acquire();
                 slot.modulator->modulate_packet_into(frame_scratch_, packet_buffer);
@@ -822,6 +1126,24 @@ sim_result network_simulator::run() {
                 contributions_.push_back(tx);
             }
             ++outcome.transmitting;
+            if (fault_injector_ && !slot.desynced) {
+                // The AP decoded activity on this device's assigned
+                // shift: its lease is refreshed. A stale-shift response
+                // does NOT refresh it — from the AP's view the assigned
+                // slot stayed empty, which is exactly how a desynced
+                // device eventually gets lease-evicted and recovered.
+                slot.silent_rounds = 0;
+            }
+        }
+
+        // Membership lease: evict the scheduled members whose silence
+        // just crossed the lease, reclaiming their shifts through the
+        // allocator. Skipped during a blackout (the AP asked nothing).
+        if (fault_injector_ && !round_blackout) {
+            apply_lease(grouped() && !group_spans_.empty()
+                            ? std::optional<std::size_t>(scheduled_group)
+                            : std::nullopt,
+                        round, outcome);
         }
 
         // Re-associations may have moved shifts; refresh before decoding.
@@ -930,9 +1252,13 @@ sim_result network_simulator::run() {
             receiver_.decode_into(received, 0, decoded_, decode_ws_);
         }
 
+        row_scored_.assign(fault_injector_ ? tx_row_shift_.size() : 0, 0);
         for (const auto& report : decoded_.reports) {
             const std::int32_t row = sent_row_of_shift_[report.cyclic_shift];
             if (row < 0) continue;  // device did not transmit
+            if (!row_scored_.empty()) {
+                row_scored_[static_cast<std::size_t>(row)] = 1;
+            }
             const std::span<const std::uint8_t> sent(
                 frame_bits_store_.data() +
                     static_cast<std::size_t>(row) * frame_bits,
@@ -953,6 +1279,18 @@ sim_result network_simulator::run() {
                 outcome.bits_sent += sent.size();
                 outcome.bit_errors += ns::util::count_ones(sent);
             }
+        }
+        // Orphaned transmissions: rows no decode report consumed. A
+        // desynced device's stale shift is outside the registered
+        // schedule (or buried under a same-shift collision), so the AP
+        // never even looks there — every bit it sent is lost.
+        for (std::size_t row = 0; row < row_scored_.size(); ++row) {
+            if (row_scored_[row] != 0) continue;
+            ++outcome.orphan_tx;
+            const std::span<const std::uint8_t> sent(
+                frame_bits_store_.data() + row * frame_bits, frame_bits);
+            outcome.bits_sent += sent.size();
+            outcome.bit_errors += ns::util::count_ones(sent);
         }
         phase_perf.reset();
         phase_span.reset();  // close the decode span (scoring included)
@@ -984,6 +1322,18 @@ sim_result network_simulator::run() {
         result.total_cross_tx += outcome.cross_tx;
         result.total_cross_collisions += outcome.cross_collisions;
         result.total_cross_collided_delivered += outcome.cross_collided_delivered;
+        result.total_query_losses += outcome.query_losses;
+        result.total_ack_losses += outcome.ack_losses;
+        result.total_ack_timeouts += outcome.ack_timeouts;
+        result.total_reboots += outcome.reboots;
+        result.total_down_events += outcome.down_events;
+        result.total_lease_evictions += outcome.lease_evictions;
+        result.total_desyncs += outcome.desyncs;
+        result.total_resyncs += outcome.resyncs;
+        result.total_recoveries += outcome.recoveries;
+        result.total_orphan_tx += outcome.orphan_tx;
+        result.total_orphan_collisions += outcome.orphan_collisions;
+        if (outcome.blackout) ++result.total_blackout_rounds;
 
         if (probes_.rounds != nullptr) {
             probes_.rounds->add(1);
@@ -995,6 +1345,20 @@ sim_result network_simulator::run() {
             probes_.cross_collisions->add(outcome.cross_collisions);
             probes_.active_devices->set(static_cast<double>(active_count_));
             probes_.num_groups->set(static_cast<double>(group_spans_.size()));
+            if (probes_.fault_query_losses != nullptr) {
+                probes_.fault_query_losses->add(outcome.query_losses);
+                probes_.fault_ack_losses->add(outcome.ack_losses);
+                probes_.fault_ack_timeouts->add(outcome.ack_timeouts);
+                probes_.fault_reboots->add(outcome.reboots);
+                probes_.fault_down_events->add(outcome.down_events);
+                probes_.fault_lease_evictions->add(outcome.lease_evictions);
+                probes_.fault_desyncs->add(outcome.desyncs);
+                probes_.fault_resyncs->add(outcome.resyncs);
+                probes_.fault_recoveries->add(outcome.recoveries);
+                probes_.fault_orphan_tx->add(outcome.orphan_tx);
+                probes_.fault_orphan_collisions->add(outcome.orphan_collisions);
+                if (outcome.blackout) probes_.fault_blackout_rounds->add(1);
+            }
             // Per-round allocation delta (thread-local, so the numbers
             // are this replica's own regardless of pool concurrency).
             // Rounds inside the warmup window grow workspace capacity by
@@ -1010,6 +1374,14 @@ sim_result network_simulator::run() {
                 probes_.alloc_steady_bytes->add(allocs_now.bytes - allocs_before.bytes);
                 probes_.alloc_steady_rounds->add(1);
             }
+        }
+    }
+
+    if (fault_injector_) {
+        // Down episodes still open when the run ended. Closes the books:
+        // total_down_events == total_recoveries + devices_down_at_end.
+        for (const device_slot& slot : slots_) {
+            if (slot.down) ++result.devices_down_at_end;
         }
     }
 

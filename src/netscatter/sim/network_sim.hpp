@@ -19,6 +19,8 @@
 #include "netscatter/channel/superposition.hpp"
 #include "netscatter/device/backscatter_device.hpp"
 #include "netscatter/engine/thread_pool.hpp"
+#include "netscatter/faults/fault_injector.hpp"
+#include "netscatter/faults/fault_spec.hpp"
 #include "netscatter/mac/allocator.hpp"
 #include "netscatter/mac/scheduler.hpp"
 #include "netscatter/obs/metrics.hpp"
@@ -124,6 +126,11 @@ struct sim_config {
     /// §3.3.3 group scheduling (off by default: one concurrency group).
     grouping_config grouping{};
 
+    /// Control-plane fault injection + recovery (faults/fault_spec.hpp).
+    /// All-zero by default: no injector is built, no draws happen and
+    /// results are bit-identical to a fault-free build.
+    ns::faults::fault_spec faults{};
+
     std::size_t rounds = 10;
     std::uint64_t seed = 1;
 
@@ -185,6 +192,23 @@ struct round_outcome {
     std::size_t cross_collisions = 0;  ///< own transmitters whose slot
                                        ///< guard region a foreign peak hit
     std::size_t cross_collided_delivered = 0;  ///< collided yet delivered
+
+    // Control-plane faults + recovery (all zero with faults off).
+    std::size_t query_losses = 0;     ///< downlink queries lost this round
+    std::size_t ack_losses = 0;       ///< association-ACK transmissions lost
+    std::size_t ack_timeouts = 0;     ///< handshakes abandoned (retry cap)
+    std::size_t reboots = 0;          ///< devices rebooted this round
+    std::size_t down_events = 0;      ///< devices that lost association
+                                      ///< (reboot, missed-query trip, eviction)
+    std::size_t lease_evictions = 0;  ///< silent members evicted by the lease
+    std::size_t desyncs = 0;          ///< devices that missed a regroup and
+                                      ///< kept a stale shift
+    std::size_t resyncs = 0;          ///< stale devices that re-heard a query
+    std::size_t recoveries = 0;       ///< down devices re-associated
+    std::size_t orphan_tx = 0;        ///< transmissions no decode report
+                                      ///< consumed (stale/unregistered shift)
+    std::size_t orphan_collisions = 0;///< same-shift transmitter pairs
+    bool blackout = false;            ///< this round fell in an AP blackout
 };
 
 /// Per-group accumulators of a grouped run (§3.3.3), keyed by group id
@@ -230,6 +254,22 @@ struct sim_result {
     std::size_t total_cross_tx = 0;
     std::size_t total_cross_collisions = 0;
     std::size_t total_cross_collided_delivered = 0;
+    // Fault/recovery totals (zero with faults off).
+    std::size_t total_query_losses = 0;
+    std::size_t total_ack_losses = 0;
+    std::size_t total_ack_timeouts = 0;
+    std::size_t total_reboots = 0;
+    std::size_t total_down_events = 0;
+    std::size_t total_lease_evictions = 0;
+    std::size_t total_desyncs = 0;
+    std::size_t total_resyncs = 0;
+    std::size_t total_recoveries = 0;
+    std::size_t total_orphan_tx = 0;
+    std::size_t total_orphan_collisions = 0;
+    std::size_t total_blackout_rounds = 0;
+    /// Devices still disassociated (down, awaiting rejoin) when the run
+    /// ended; total_down_events == total_recoveries + devices_down_at_end.
+    std::size_t devices_down_at_end = 0;
 
     /// Rounds served by the symbol-domain fast path (== rounds.size()
     /// under phy_fidelity::symbol, 0 under ::sample).
@@ -360,11 +400,31 @@ private:
         /// change (partition, grouped admit, leave).
         static constexpr std::size_t no_group = static_cast<std::size_t>(-1);
         std::size_t group = no_group;
+
+        // --- Fault/recovery state (inert with faults off) --------------
+        /// Device lost its association (reboot, missed-query trip or
+        /// lease eviction) and is rejoining through the Aloha path. While
+        /// the AP's table entry lingers (`active` still true) the device
+        /// is a zombie: scheduled but silent.
+        bool down = false;
+        /// Round the current down episode began (recovery latency base).
+        std::size_t down_round = 0;
+        /// Device missed a regroup query: it keeps transmitting on
+        /// `stale_shift` while the AP's schedule moved on (§3.3.3 desync).
+        bool desynced = false;
+        std::uint32_t stale_shift = 0;
+        std::size_t desync_round = 0;
+        /// Consecutive queries the device failed to hear (device side).
+        std::uint32_t missed_queries = 0;
+        /// Consecutive scheduled rounds the AP heard nothing (lease).
+        std::uint32_t silent_rounds = 0;
     };
 
     /// Applies a scenario's round plan: link updates, leaves, then joins
-    /// (incremental allocation with full-reassignment fallback).
-    void apply_round_plan(const round_plan& plan, round_outcome& outcome);
+    /// (incremental allocation with full-reassignment fallback). `round`
+    /// timestamps fault recovery events; `blackout` defers joins.
+    void apply_round_plan(const round_plan& plan, round_outcome& outcome,
+                          std::size_t round, bool blackout);
     /// Admits one joining device (grouped path): best-fit group via
     /// group_scheduler::admit, opening a fresh group on misfit, then
     /// incremental shift allocation within the group with a group-local
@@ -373,8 +433,10 @@ private:
     bool admit_grouped(std::size_t slot_index, double join_power,
                        round_outcome& outcome);
     /// Recomputes the whole partition from the current active powers and
-    /// reallocates every group's shifts (§3.3.3 adaptive control).
-    void regroup(round_outcome& outcome);
+    /// reallocates every group's shifts (§3.3.3 adaptive control). With
+    /// faults on, devices that miss `round`'s query keep their old shift
+    /// (stale-schedule desync).
+    void regroup(round_outcome& outcome, std::size_t round);
     /// Associates the device in `slot_index` on `shift` with the
     /// association-time gain rule, using `baseline_rssi_dbm` as the
     /// device's fresh downlink baseline.
@@ -401,6 +463,24 @@ private:
     void mark_active(std::size_t slot_index);
     void mark_inactive(std::size_t slot_index);
 
+    // --- Fault injection / protocol recovery (faults/) -----------------
+    /// Drops `slot_index` from the AP's tables: deactivates the slot,
+    /// reclaims its cyclic shift through the allocator and shrinks its
+    /// group. The shared leave/eviction path.
+    void deactivate_slot(std::size_t slot_index);
+    /// Marks the device disassociated (reboot / missed-query trip /
+    /// lease eviction): it falls silent and must rejoin via the Aloha
+    /// path. Notifies the hooks so the scenario's churn re-queues it.
+    void go_down(std::size_t slot_index, std::size_t round,
+                 member_loss_reason reason, round_outcome& outcome);
+    /// Diverts ACK-delayed joiners out of `joins` into pending_acks_ and
+    /// reinserts the ones whose handshake completes this round.
+    void apply_ack_faults(std::vector<std::uint32_t>& joins,
+                          std::size_t round, round_outcome& outcome);
+    /// Membership-lease sweep over this round's scheduled slots.
+    void apply_lease(std::optional<std::size_t> scheduled_group,
+                     std::size_t round, round_outcome& outcome);
+
     const deployment* deployment_;
     sim_config config_;
     round_hooks* hooks_ = nullptr;
@@ -417,6 +497,20 @@ private:
     ns::mac::shift_allocator allocator_;
     std::size_t active_count_ = 0;
     bool membership_dirty_ = false;
+    /// Fault schedule generator (config.faults.enabled() only; nullopt
+    /// keeps every fault path compiled out of the hot loop's behaviour).
+    std::optional<ns::faults::fault_injector> fault_injector_;
+    /// Joins the AP could not serve during a blackout; replayed on the
+    /// first round the AP is back.
+    std::vector<std::uint32_t> deferred_joins_;
+    /// Handshakes stalled by lost ACKs: (device id, round the replayed
+    /// response finally gets through).
+    std::vector<std::pair<std::uint32_t, std::size_t>> pending_acks_;
+    /// Mutable copy of a plan's joins while the fault layer reorders /
+    /// defers / times out handshakes (plan itself is const).
+    std::vector<std::uint32_t> join_scratch_;
+    /// Slot-index staging of the lease sweep and reboot victim draws.
+    std::vector<std::size_t> fault_scratch_;
     // --- §3.3.3 group scheduling state (empty when grouping is off) ---
     std::vector<ns::mac::group_span> group_spans_;
     std::vector<group_metrics> group_acc_;  ///< per-group accumulators
@@ -451,6 +545,22 @@ private:
         ns::obs::counter* alloc_steady_rounds = nullptr;
         ns::obs::gauge* active_devices = nullptr;
         ns::obs::gauge* num_groups = nullptr;
+        // fault.* instruments, fetched only when config.faults.enabled()
+        // so fault-free runs publish an unchanged metrics set.
+        ns::obs::counter* fault_query_losses = nullptr;
+        ns::obs::counter* fault_ack_losses = nullptr;
+        ns::obs::counter* fault_ack_timeouts = nullptr;
+        ns::obs::counter* fault_reboots = nullptr;
+        ns::obs::counter* fault_down_events = nullptr;
+        ns::obs::counter* fault_lease_evictions = nullptr;
+        ns::obs::counter* fault_desyncs = nullptr;
+        ns::obs::counter* fault_resyncs = nullptr;
+        ns::obs::counter* fault_recoveries = nullptr;
+        ns::obs::counter* fault_orphan_tx = nullptr;
+        ns::obs::counter* fault_orphan_collisions = nullptr;
+        ns::obs::counter* fault_blackout_rounds = nullptr;
+        ns::obs::histogram* fault_recovery_rounds = nullptr;
+        ns::obs::histogram* fault_resync_rounds = nullptr;
         // Hardware-counter attribution destinations, one per round-loop
         // phase (perf.<phase>.cycles / .instructions / ...). Unwired
         // (null) unless obs.perf is set AND the group opened, so the
@@ -495,6 +605,10 @@ private:
     /// Cross-network collision marks, one per transmitter row this round
     /// (empty when the round had no co-channel packets).
     std::vector<std::uint8_t> row_collided_;
+    /// Rows a decode report consumed this round (faults only): the
+    /// complement is the orphaned transmissions — stale or collided
+    /// shifts the schedule no longer decodes.
+    std::vector<std::uint8_t> row_scored_;
     /// Modulators for co-channel packets on the sample path, keyed by
     /// foreign cyclic shift (the fast path never materializes them).
     std::unordered_map<std::uint32_t, ns::phy::distributed_modulator>

@@ -55,6 +55,14 @@ struct round_plan {
     std::vector<ns::channel::packet_contribution> cochannel;
 };
 
+/// Why a device lost its association mid-run (control-plane faults).
+enum class member_loss_reason {
+    reboot,          ///< brownout/reboot: device lost shift + group state
+    missed_queries,  ///< device-side missed-query counter tripped
+    lease_eviction,  ///< AP-side membership lease evicted a silent device
+    ack_timeout,     ///< association handshake abandoned (ACK retry cap)
+};
+
 /// Hook interface the simulator consults every round. All methods have
 /// neutral defaults, so a default-constructed hooks object reproduces
 /// the static, saturated simulator exactly.
@@ -81,6 +89,19 @@ public:
         (void)round;
         (void)device_id;
         return true;
+    }
+
+    /// Fault notification: `device_id` lost its association in `round`
+    /// (see member_loss_reason) and must rejoin through the association
+    /// path. A scenario driver re-queues the device with its churn
+    /// process so the rejoin contends like any other association request;
+    /// the default ignores the loss (the device stays gone until the
+    /// scenario happens to re-join it).
+    virtual void on_member_lost(std::size_t round, std::uint32_t device_id,
+                                member_loss_reason reason) {
+        (void)round;
+        (void)device_id;
+        (void)reason;
     }
 };
 

@@ -283,9 +283,55 @@ TEST(ap, association_flow_assigns_and_acks) {
     EXPECT_TRUE(ap.devices().at(7).acked);
 }
 
-TEST(ap, ack_for_unknown_device_throws) {
+TEST(ap, ack_for_unknown_device_is_counted_noop) {
+    // A lossy control channel can replay an ACK after the sender was
+    // evicted, or corrupt the id field: the AP must absorb it, not abort.
     access_point ap(default_alloc(2, 0));
-    EXPECT_THROW(ap.handle_association_ack(99), ns::util::invalid_argument);
+    ap.handle_association_ack(99);
+    EXPECT_EQ(ap.unknown_acks(), 1u);
+    EXPECT_EQ(ap.duplicate_acks(), 0u);
+    EXPECT_TRUE(ap.devices().empty());
+    // The table is untouched and the AP keeps functioning normally.
+    ap.handle_association_request(
+        {.device_id = 7, .region = snr_region::high, .rx_power_dbm = -100.0});
+    ap.handle_association_ack(7);
+    EXPECT_TRUE(ap.devices().at(7).acked);
+    EXPECT_EQ(ap.unknown_acks(), 1u);
+}
+
+TEST(ap, duplicate_ack_is_counted_noop) {
+    access_point ap(default_alloc(2, 0));
+    ap.handle_association_request(
+        {.device_id = 7, .region = snr_region::high, .rx_power_dbm = -100.0});
+    ap.handle_association_ack(7);
+    EXPECT_TRUE(ap.devices().at(7).acked);
+    // The device retransmits the ACK (it may have missed the next query
+    // implying receipt): same final state, one counted duplicate.
+    ap.handle_association_ack(7);
+    ap.handle_association_ack(7);
+    EXPECT_TRUE(ap.devices().at(7).acked);
+    EXPECT_EQ(ap.duplicate_acks(), 2u);
+    EXPECT_EQ(ap.unknown_acks(), 0u);
+}
+
+TEST(ap, unknown_ack_matching_pending_replay_clears_it) {
+    // The joiner ACKed and was then dropped from the table before the
+    // ACK landed (e.g. an eviction raced the handshake): the replayed
+    // response must not ride every future query forever.
+    access_point ap(default_alloc(2, 0));
+    ap.handle_association_request(
+        {.device_id = 5, .region = snr_region::high, .rx_power_dbm = -100.0});
+    EXPECT_TRUE(ap.pending_response().has_value());
+    // Simulate the table losing the entry out-of-band is not possible
+    // through the public API, so exercise the unknown-id path directly:
+    // an unknown ACK that does NOT match the pending device leaves the
+    // replay in place...
+    ap.handle_association_ack(99);
+    EXPECT_TRUE(ap.pending_response().has_value());
+    EXPECT_EQ(ap.unknown_acks(), 1u);
+    // ...while the pending device's own ACK (known here) clears it.
+    ap.handle_association_ack(5);
+    EXPECT_FALSE(ap.pending_response().has_value());
 }
 
 TEST(ap, network_ids_unique) {
@@ -449,6 +495,77 @@ TEST(aloha, contention_pool_remove_abandons_contender) {
     pool.remove(5);
     EXPECT_FALSE(pool.contains(5));
     EXPECT_TRUE(pool.empty());
+}
+
+TEST(aloha, sustained_collisions_bound_the_retry_gap) {
+    // Under 100% collision (every transmission reported collided) the
+    // window saturates at max_window and stays there — so the gap between
+    // consecutive retries is bounded by max_window rounds: the device
+    // never starves, it keeps retrying within a bounded window forever.
+    constexpr std::uint32_t kMaxWindow = 16;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        aloha_backoff backoff(2, kMaxWindow, ns::util::rng(seed));
+        int since_last_tx = 0;
+        int transmissions = 0;
+        for (int round = 0; round < 2000; ++round) {
+            if (backoff.should_transmit()) {
+                ++transmissions;
+                since_last_tx = 0;
+                backoff.on_collision();
+                EXPECT_LE(backoff.current_window(), kMaxWindow);
+            } else {
+                ++since_last_tx;
+                // A counter is always drawn in [0, window): the silence
+                // between retries can never exceed the window bound.
+                EXPECT_LT(since_last_tx, static_cast<int>(kMaxWindow));
+            }
+        }
+        // No starvation: with gaps bounded by 16 rounds, 2000 rounds must
+        // yield at least 2000/16 retries.
+        EXPECT_GE(transmissions, 2000 / static_cast<int>(kMaxWindow));
+    }
+}
+
+TEST(aloha, sustained_collision_schedule_is_seed_deterministic) {
+    // Identical seeds must replay the identical retry schedule; distinct
+    // seeds are allowed to (and here do) desynchronize.
+    auto schedule = [](std::uint64_t seed) {
+        aloha_backoff backoff(2, 32, ns::util::rng(seed));
+        std::vector<int> tx_rounds;
+        for (int round = 0; round < 500; ++round) {
+            if (backoff.should_transmit()) {
+                tx_rounds.push_back(round);
+                backoff.on_collision();
+            }
+        }
+        return tx_rounds;
+    };
+    EXPECT_EQ(schedule(42), schedule(42));
+    EXPECT_EQ(schedule(7), schedule(7));
+    EXPECT_NE(schedule(42), schedule(7));
+}
+
+TEST(aloha, contention_pool_survives_sustained_full_collision) {
+    // Two same-region contenders collide whenever their counters expire
+    // together; even when the pool sees long collision streaks neither
+    // device's window exceeds the max and both keep transmitting.
+    ns::util::rng rng(99);
+    aloha_contention pool(2, 8);
+    pool.add(1, ns::device::snr_region::high, rng.fork());
+    pool.add(2, ns::device::snr_region::high, rng.fork());
+    std::size_t total_requests = 0;
+    std::size_t rounds = 0;
+    // Grant budget 0: even lone (uncollided) requests are deferred, so
+    // nobody ever leaves the pool — sustained contention by construction.
+    for (; rounds < 512; ++rounds) {
+        const contention_round outcome = pool.step(0);
+        total_requests += outcome.requests;
+        EXPECT_TRUE(pool.contains(1));
+        EXPECT_TRUE(pool.contains(2));
+    }
+    // Bounded windows imply a minimum request rate: each contender
+    // transmits at least once per max_window=8 rounds.
+    EXPECT_GE(total_requests, 2 * rounds / 8);
 }
 
 TEST(scheduler, admit_prefers_least_stretch_and_respects_range) {

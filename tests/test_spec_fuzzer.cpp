@@ -1,0 +1,181 @@
+// Randomized scenario_spec fuzzer (seeded, deterministic).
+//
+// Generates small random-but-valid specs across the whole declarative
+// surface — geometry presets, every traffic kind, both association
+// modes, mobility, interference, grouping, and the control-plane fault
+// processes — and checks the two load-bearing contracts on each:
+// validate() accepts what the generator claims is valid, and the run is
+// bit-identical serial vs 8 worker threads. The generator is a pure
+// function of its seed, so a failure reproduces from the test log.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "netscatter/scenario/scenario_runner.hpp"
+#include "netscatter/scenario/scenario_spec.hpp"
+#include "netscatter/util/rng.hpp"
+
+namespace {
+
+using namespace ns::scenario;
+
+/// Uniform pick from a small enum domain.
+template <typename T>
+T pick(ns::util::rng& rng, std::initializer_list<T> values) {
+    const auto index = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(values.size()) - 1));
+    return *(values.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+/// One random valid spec, small enough that sixteen runs stay cheap.
+scenario_spec random_spec(std::uint64_t seed) {
+    ns::util::rng rng(seed);
+    scenario_spec spec;
+    spec.name = "fuzz-" + std::to_string(seed);
+    spec.description = "randomized spec";
+
+    spec.geometry.preset =
+        pick(rng, {geometry_preset::office, geometry_preset::warehouse_aisle,
+                   geometry_preset::open_field});
+    spec.geometry.num_devices =
+        static_cast<std::size_t>(rng.uniform_int(8, 32));
+
+    spec.traffic.kind =
+        pick(rng, {traffic_kind::saturated, traffic_kind::periodic,
+                   traffic_kind::poisson, traffic_kind::bursty});
+    spec.traffic.duty_cycle = rng.uniform(0.25, 1.0);
+    spec.traffic.period_rounds = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    spec.traffic.arrivals_per_round = rng.uniform(0.1, 1.5);
+    spec.traffic.burst_probability = rng.uniform(0.0, 0.5);
+    spec.traffic.burst_length = static_cast<std::size_t>(rng.uniform_int(1, 6));
+
+    if (rng.bernoulli(0.7)) {
+        spec.churn.join_rate_per_round = rng.uniform(0.0, 2.0);
+        spec.churn.leave_rate_per_round = rng.uniform(0.0, 2.0);
+        spec.churn.initial_active = static_cast<std::size_t>(
+            rng.uniform_int(2, static_cast<std::int64_t>(
+                                   spec.geometry.num_devices)));
+        spec.churn.association = pick(rng, {association_mode::bounded_queue,
+                                            association_mode::slotted_aloha});
+        spec.churn.aloha_initial_window =
+            static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+        spec.churn.aloha_max_window = spec.churn.aloha_initial_window *
+                                      static_cast<std::uint32_t>(
+                                          rng.uniform_int(1, 16));
+    }
+
+    if (rng.bernoulli(0.4)) {
+        spec.mobility.mobile_fraction = rng.uniform(0.0, 1.0);
+        spec.mobility.speed_mps = rng.uniform(0.5, 3.0);
+    }
+
+    spec.interference.kind =
+        pick(rng, {interference_kind::none, interference_kind::periodic_tone,
+                   interference_kind::bursty_tone, interference_kind::lora_frame});
+    spec.interference.snr_db = rng.uniform(5.0, 25.0);
+    spec.interference.period_rounds =
+        static_cast<std::size_t>(rng.uniform_int(1, 4));
+    spec.interference.burst_probability = rng.uniform(0.0, 0.6);
+
+    if (rng.bernoulli(0.4)) {
+        spec.sim.grouping.enabled = true;
+        spec.sim.grouping.group_capacity =
+            static_cast<std::size_t>(rng.uniform_int(4, 16));
+        spec.sim.grouping.policy =
+            pick(rng, {ns::sim::regroup_policy::none,
+                       ns::sim::regroup_policy::periodic,
+                       ns::sim::regroup_policy::load_triggered});
+        spec.sim.grouping.regroup_period_rounds =
+            static_cast<std::size_t>(rng.uniform_int(1, 4));
+        spec.sim.grouping.load_trigger_misfits =
+            static_cast<std::size_t>(rng.uniform_int(1, 4));
+    }
+
+    // Fault processes in every draw domain validate() accepts, including
+    // the all-zero (disabled) corner.
+    if (rng.bernoulli(0.75)) {
+        spec.faults.query_loss = rng.uniform(0.0, 0.5);
+        spec.faults.query_loss_rssi_slope = rng.uniform(0.0, 0.01);
+        spec.faults.ack_loss = rng.uniform(0.0, 0.5);
+        spec.faults.reboot_rate_per_round = rng.uniform(0.0, 1.0);
+        spec.faults.blackout_probability = rng.uniform(0.0, 0.3);
+        spec.faults.blackout_rounds =
+            static_cast<std::size_t>(rng.uniform_int(1, 3));
+        spec.faults.lease_rounds =
+            static_cast<std::size_t>(rng.uniform_int(0, 6));
+        spec.faults.missed_query_limit =
+            static_cast<std::size_t>(rng.uniform_int(0, 4));
+        spec.faults.ack_retry_limit =
+            static_cast<std::size_t>(rng.uniform_int(1, 6));
+    }
+
+    spec.sim.zero_padding = 4;
+    spec.sim.rounds = static_cast<std::size_t>(rng.uniform_int(2, 3));
+    spec.sim.seed = rng();
+    spec.replicas = 2;
+    return spec;
+}
+
+/// Comparable digest of everything determinism guarantees, fault
+/// observables included.
+std::string digest(const scenario_result& result) {
+    std::ostringstream out;
+    out.precision(17);
+    const auto& s = result.sim;
+    out << s.total_transmitting << ' ' << s.total_delivered << ' '
+        << s.total_bit_errors << ' ' << s.total_bits << ' ' << s.total_skipped
+        << ' ' << s.total_idle << ' ' << s.total_joins << ' ' << s.total_leaves
+        << ' ' << s.total_reassociations << ' ' << s.total_query_losses << ' '
+        << s.total_ack_losses << ' ' << s.total_ack_timeouts << ' '
+        << s.total_reboots << ' ' << s.total_down_events << ' '
+        << s.total_lease_evictions << ' ' << s.total_desyncs << ' '
+        << s.total_resyncs << ' ' << s.total_recoveries << ' '
+        << s.total_orphan_tx << ' ' << s.total_orphan_collisions << ' '
+        << s.total_blackout_rounds << ' ' << s.devices_down_at_end << '\n';
+    for (const auto& round : s.rounds) {
+        out << round.active << ',' << round.transmitting << ','
+            << round.delivered << ',' << round.bit_errors << ','
+            << round.joins << ',' << round.leaves << ','
+            << round.query_losses << ',' << round.down_events << ','
+            << round.recoveries << ',' << round.blackout << ';';
+    }
+    out << '\n' << result.stats.join_requests << ' ' << result.stats.offered
+        << ' ' << result.stats.gated;
+    return out.str();
+}
+
+TEST(spec_fuzzer, random_valid_specs_validate_and_run_deterministically) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const scenario_spec spec = random_spec(seed);
+        ASSERT_NO_THROW(spec.sim.validate()) << "seed " << seed;
+        ASSERT_NO_THROW(spec.faults.validate()) << "seed " << seed;
+
+        const auto serial =
+            run_scenario(spec, {.num_threads = 1, .parallel = false});
+        const auto threaded =
+            run_scenario(spec, {.num_threads = 8, .parallel = true});
+        EXPECT_EQ(digest(serial), digest(threaded)) << "seed " << seed;
+
+        // Conservation invariant on every fuzzed run: each down episode
+        // either recovered or is still open at the end.
+        EXPECT_EQ(serial.sim.total_down_events,
+                  serial.sim.total_recoveries + serial.sim.devices_down_at_end)
+            << "seed " << seed;
+    }
+}
+
+TEST(spec_fuzzer, generator_is_a_pure_function_of_its_seed) {
+    for (std::uint64_t seed : {3u, 6u}) {
+        const scenario_spec a = random_spec(seed);
+        const scenario_spec b = random_spec(seed);
+        EXPECT_EQ(a.sim.seed, b.sim.seed);
+        EXPECT_EQ(a.geometry.num_devices, b.geometry.num_devices);
+        EXPECT_EQ(a.faults.query_loss, b.faults.query_loss);
+        const auto ra = run_scenario(a);
+        const auto rb = run_scenario(b);
+        EXPECT_EQ(digest(ra), digest(rb)) << "seed " << seed;
+    }
+}
+
+}  // namespace
