@@ -1,655 +1,69 @@
 // netscatter_sim — the unified scenario CLI.
 //
-// Lists and runs the registered scenarios (scenario/scenario_registry)
-// through the deterministic scenario runner, prints the network metrics
-// as a table, and writes a bench_report-style JSON file per scenario
-// (scalars + a per-round "points" series) so CI can track every
-// workload's trajectory next to the paper-figure benches.
+// Lists and runs scenarios — registered (scenario/scenario_registry,
+// loaded from the committed specs/*.spec files) or ad-hoc (--spec FILE)
+// — through the deterministic scenario runner, prints the network
+// metrics as a table, and writes a bench_report-style JSON file per
+// scenario (scalars + a per-round "points" series) so CI can track
+// every workload's trajectory next to the paper-figure benches.
+//
+// The flag surface is the shared one (apps/cli.hpp): netscatter_sweep
+// mounts the same option set with the same meanings.
 //
 // Usage:
 //   netscatter_sim --list
 //   netscatter_sim --scenario warehouse-1k --rounds 200 --threads 8
 //                  --seed 3 --json out.json   (one line)
+//   netscatter_sim --spec specs/office-256.spec --rounds 10
+//   netscatter_sim --dump-spec office-256   (canonical serialization)
 //   netscatter_sim --all --rounds 10
-//
-// Options:
-//   --scenario NAME   run one registered scenario
-//   --all             run every registered scenario
-//   --rounds N        override the spec's per-replica round count
-//   --replicas N      override the spec's replica count
-//   --seed S          override the spec's base seed
-//   --threads N       worker threads (0 = all cores)
-//   --round-threads N intra-round symbol-sweep threads (determinism-safe)
-//   --serial          run the serial reference order (same results)
-//   --json PATH       output path (single scenario only; default
-//                     SCENARIO_<name>.json in the working directory)
-//   --metrics PATH    full metrics-registry JSON (single scenario only)
-//   --trace PATH      Chrome/Perfetto trace JSON (single scenario only)
-#include <cstdint>
-#include <cstdlib>
+#include <filesystem>
 #include <iostream>
-#include <new>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "bench/bench_report.hpp"
-#include "netscatter/engine/fft_plan.hpp"
-#include "netscatter/engine/thread_pool.hpp"
-#include "netscatter/obs/metrics.hpp"
-#include "netscatter/obs/perf_counters.hpp"
-#include "netscatter/obs/roofline.hpp"
+#include "apps/alloc_hook.hpp"
+#include "apps/cli.hpp"
+#include "apps/scenario_report.hpp"
 #include "netscatter/obs/trace.hpp"
 #include "netscatter/scenario/scenario_registry.hpp"
 #include "netscatter/scenario/scenario_runner.hpp"
-#include "netscatter/sim/timeline.hpp"
+#include "netscatter/spec/spec_codec.hpp"
 #include "netscatter/util/table.hpp"
-#include "netscatter/util/units.hpp"
-
-// Global allocation hook: every operator new in this binary is tallied
-// into the thread-local obs counters, which is what gives --metrics its
-// alloc.* values. Replacement is binary-local by design — the library
-// never forces the hook on other consumers.
-//
-// GCC cannot prove that the replaced malloc-backed operator new pairs
-// with the free() in the replaced delete when only one side of the pair
-// is inlined at a call site, so -Wmismatched-new-delete is a false
-// positive here and is silenced for the hook definitions.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-void* operator new(std::size_t size) {
-    ns::obs::record_allocation(size);
-    if (void* ptr = std::malloc(size == 0 ? 1 : size)) return ptr;
-    throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* ptr) noexcept { std::free(ptr); }
-void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
-void operator delete[](void* ptr) noexcept { std::free(ptr); }
-void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 namespace {
 
-struct cli_options {
+struct sim_options {
     bool list = false;
     bool all = false;
-    std::vector<std::string> scenarios;
-    std::optional<std::size_t> rounds;
-    std::optional<std::size_t> replicas;
-    std::optional<std::uint64_t> seed;
-    std::optional<ns::sim::phy_fidelity> fidelity;
-    std::size_t threads = 0;
-    std::optional<std::size_t> round_threads;
-    bool parallel = true;
-    bool strip_wallclock = false;
-    bool perf = false;
-    std::string json_path;
-    std::string metrics_path;
-    std::string trace_path;
+    std::vector<std::string> scenarios;   ///< registry names (--scenario)
+    std::vector<std::string> spec_files;  ///< spec file paths (--spec)
+    std::string dump_spec;                ///< --dump-spec NAME
+    ns::apps::common_options common;
 };
 
-void print_usage() {
-    std::cout
-        << "usage: netscatter_sim (--list | --scenario NAME | --all) [options]\n"
-           "  --rounds N     override per-replica rounds\n"
-           "  --replicas N   override replica count\n"
-           "  --seed S       override base seed\n"
-           "  --threads N    worker threads (0 = all cores)\n"
-           "  --round-threads N  intra-round symbol-sweep threads per\n"
-           "                 replica (default 1; results identical at any N)\n"
-           "  --serial       serial reference execution (identical results)\n"
-           "  --fidelity F   PHY channel fidelity: sample | symbol | auto\n"
-           "  --json PATH    JSON output path (single scenario only)\n"
-           "  --metrics PATH write the full metrics registry (counters,\n"
-           "                 gauges, per-phase histograms, process stats)\n"
-           "                 as JSON (single scenario only)\n"
-           "  --trace PATH   record per-round phase spans and write them\n"
-           "                 as Chrome/Perfetto trace JSON (single\n"
-           "                 scenario only; load at ui.perfetto.dev)\n"
-           "  --perf         open hardware perf counters per replica and\n"
-           "                 print per-phase cycles/instructions/IPC\n"
-           "                 (degrades to available=false where\n"
-           "                 perf_event_open is denied; never changes\n"
-           "                 simulation results)\n"
-           "  --strip-wallclock  omit every timing field from the JSON\n"
-           "                     (shared is_timing_name predicate) so\n"
-           "                     reports from different thread counts\n"
-           "                     diff clean\n";
-}
-
-std::optional<cli_options> parse(int argc, char** argv) {
-    cli_options options;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto value = [&]() -> std::optional<std::string> {
-            if (i + 1 >= argc) return std::nullopt;
-            return std::string(argv[++i]);
-        };
-        if (arg == "--list") {
-            options.list = true;
-        } else if (arg == "--all") {
-            options.all = true;
-        } else if (arg == "--scenario") {
-            const auto name = value();
-            if (!name) return std::nullopt;
-            options.scenarios.push_back(*name);
-        } else if (arg == "--rounds") {
-            const auto text = value();
-            if (!text) return std::nullopt;
-            options.rounds = static_cast<std::size_t>(std::atoll(text->c_str()));
-        } else if (arg == "--replicas") {
-            const auto text = value();
-            if (!text) return std::nullopt;
-            options.replicas = static_cast<std::size_t>(std::atoll(text->c_str()));
-        } else if (arg == "--seed") {
-            const auto text = value();
-            if (!text) return std::nullopt;
-            options.seed = static_cast<std::uint64_t>(std::atoll(text->c_str()));
-        } else if (arg == "--threads") {
-            const auto text = value();
-            if (!text) return std::nullopt;
-            options.threads = static_cast<std::size_t>(std::atoll(text->c_str()));
-        } else if (arg == "--round-threads") {
-            const auto text = value();
-            if (!text) return std::nullopt;
-            options.round_threads =
-                static_cast<std::size_t>(std::atoll(text->c_str()));
-        } else if (arg == "--fidelity") {
-            const auto text = value();
-            if (!text) return std::nullopt;
-            if (*text == "sample") {
-                options.fidelity = ns::sim::phy_fidelity::sample;
-            } else if (*text == "symbol") {
-                options.fidelity = ns::sim::phy_fidelity::symbol;
-            } else if (*text == "auto") {
-                options.fidelity = ns::sim::phy_fidelity::automatic;
-            } else {
-                std::cerr << "unknown fidelity: " << *text
-                          << " (sample | symbol | auto)\n";
-                return std::nullopt;
-            }
-        } else if (arg == "--serial") {
-            options.parallel = false;
-        } else if (arg == "--perf") {
-            options.perf = true;
-        } else if (arg == "--strip-wallclock") {
-            options.strip_wallclock = true;
-        } else if (arg == "--json") {
-            const auto path = value();
-            if (!path) return std::nullopt;
-            options.json_path = *path;
-        } else if (arg == "--metrics") {
-            const auto path = value();
-            if (!path) return std::nullopt;
-            options.metrics_path = *path;
-        } else if (arg == "--trace") {
-            const auto path = value();
-            if (!path) return std::nullopt;
-            options.trace_path = *path;
-        } else if (arg == "--help" || arg == "-h") {
-            print_usage();
-            std::exit(0);
-        } else {
-            std::cerr << "unknown option: " << arg << "\n";
-            return std::nullopt;
-        }
-    }
-    return options;
-}
-
 void list_scenarios() {
-    ns::util::text_table table("Registered scenarios",
-                               {"name", "devices", "rounds x replicas", "description"});
-    for (const auto& spec : ns::scenario::registry()) {
+    ns::util::text_table table(
+        "Registered scenarios (" + ns::spec::spec_dir() + ")",
+        {"name", "devices", "rounds x replicas", "source", "description"});
+    const auto& registry = ns::scenario::registry();
+    const auto& sources = ns::scenario::registry_sources();
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+        const auto& spec = registry[i];
+        const std::string& source = sources[i];
+        const std::string source_name =
+            source == "<builtin>"
+                ? source
+                : std::filesystem::path(source).filename().string();
         table.add_row({spec.name, std::to_string(spec.geometry.num_devices),
                        std::to_string(spec.sim.rounds) + " x " +
                            std::to_string(spec.replicas),
-                       spec.description});
+                       source_name, spec.description});
     }
     table.print(std::cout);
 }
 
-const char* fidelity_name(ns::sim::phy_fidelity fidelity) {
-    switch (fidelity) {
-        case ns::sim::phy_fidelity::sample: return "sample";
-        case ns::sim::phy_fidelity::symbol: return "symbol";
-        case ns::sim::phy_fidelity::automatic: return "auto";
-    }
-    return "auto";
-}
-
-void write_json(const ns::scenario::scenario_result& result,
-                const std::string& path, bool strip_wallclock) {
-    bench::bench_report report("scenario_" + result.spec.name);
-    // One shared predicate (ns::obs::is_timing_name) decides what
-    // "timing" means: the report writer drops every timing-named scalar
-    // and point field at write() time, so synth_wall_s, decode_wall_s
-    // and the per-round query_time_s all strip together — a new timer
-    // anywhere in the stack can never regress a determinism diff.
-    report.set_strip_timing(strip_wallclock);
-    report.set_scalar("scenario", result.spec.name);
-    report.set_scalar("description", result.spec.description);
-    report.set_scalar("num_devices",
-                      static_cast<double>(result.spec.geometry.num_devices));
-    report.set_scalar("rounds_per_replica",
-                      static_cast<double>(result.spec.sim.rounds));
-    report.set_scalar("replicas", static_cast<double>(result.replicas));
-    report.set_scalar("seed", static_cast<double>(result.spec.sim.seed));
-    report.set_scalar("round_time_s", result.round_time_s);
-    report.set_scalar("delivery_rate", result.sim.delivery_rate());
-    report.set_scalar("loss_rate", result.loss_rate());
-    report.set_scalar("ber", result.sim.ber());
-    report.set_scalar("mean_delivered_per_round",
-                      result.sim.mean_delivered_per_round());
-    report.set_scalar("throughput_bps", result.throughput_bps());
-    report.set_scalar("skip_rate", result.sim.skip_rate());
-    report.set_scalar("idle_rate", result.sim.idle_rate());
-    report.set_scalar("offered_load", result.stats.offered_load());
-    report.set_scalar("join_requests", static_cast<double>(result.stats.join_requests));
-    report.set_scalar("joins", static_cast<double>(result.sim.total_joins));
-    report.set_scalar("leaves", static_cast<double>(result.sim.total_leaves));
-    report.set_scalar("rejected_joins",
-                      static_cast<double>(result.sim.total_rejected_joins));
-    report.set_scalar("reassociations",
-                      static_cast<double>(result.sim.total_reassociations));
-    report.set_scalar("realloc_events",
-                      static_cast<double>(result.sim.total_realloc_events));
-    report.set_scalar("full_reassignments",
-                      static_cast<double>(result.sim.total_full_reassignments));
-    report.set_scalar("mean_reassoc_latency_rounds",
-                      result.stats.mean_join_latency_rounds());
-    report.set_scalar("reassoc_latency_p50_rounds",
-                      result.stats.join_wait_percentile(50.0));
-    report.set_scalar("reassoc_latency_p95_rounds",
-                      result.stats.join_wait_percentile(95.0));
-    report.set_scalar("association_tx",
-                      static_cast<double>(result.stats.association_tx));
-    report.set_scalar("association_collisions",
-                      static_cast<double>(result.stats.association_collisions));
-    report.set_scalar("interference_events",
-                      static_cast<double>(result.stats.interference_events));
-    report.set_scalar("network_id",
-                      static_cast<double>(result.spec.sim.network_id));
-    report.set_scalar("cross_tx", static_cast<double>(result.sim.total_cross_tx));
-    report.set_scalar("cross_collisions",
-                      static_cast<double>(result.sim.total_cross_collisions));
-    report.set_scalar("cross_collided_delivered",
-                      static_cast<double>(result.sim.total_cross_collided_delivered));
-    report.set_scalar("num_groups", static_cast<double>(result.num_groups));
-    report.set_scalar("regroups", static_cast<double>(result.sim.total_regroups));
-    report.set_scalar("control_overhead_s", result.control_overhead_s);
-    report.set_scalar("network_latency_s", result.network_latency_s());
-    report.set_scalar("fidelity", fidelity_name(result.spec.sim.fidelity));
-    report.set_scalar("fast_path_rounds",
-                      static_cast<double>(result.sim.fast_path_rounds));
-    report.set_scalar("wall_clock_s", result.wall_clock_s);
-    // Host-time split of the round loop (transmit-side synthesis vs
-    // receiver decode), summed over all replica rounds — registry-backed
-    // (sums of the round.*_s phase histograms).
-    report.set_scalar("synth_wall_s", result.sim.synth_wall_s);
-    report.set_scalar("decode_wall_s", result.sim.decode_wall_s);
-    // Fault/recovery scalars appear only when the spec injects faults:
-    // a fault-free run's JSON stays byte-for-byte what it was before the
-    // fault layer existed.
-    const bool faults_on = result.spec.faults.enabled();
-    if (faults_on) {
-        report.set_scalar("fault_query_losses",
-                          static_cast<double>(result.sim.total_query_losses));
-        report.set_scalar("fault_ack_losses",
-                          static_cast<double>(result.sim.total_ack_losses));
-        report.set_scalar("fault_ack_timeouts",
-                          static_cast<double>(result.sim.total_ack_timeouts));
-        report.set_scalar("fault_reboots",
-                          static_cast<double>(result.sim.total_reboots));
-        report.set_scalar("fault_down_events",
-                          static_cast<double>(result.sim.total_down_events));
-        report.set_scalar("fault_lease_evictions",
-                          static_cast<double>(result.sim.total_lease_evictions));
-        report.set_scalar("fault_desyncs",
-                          static_cast<double>(result.sim.total_desyncs));
-        report.set_scalar("fault_resyncs",
-                          static_cast<double>(result.sim.total_resyncs));
-        report.set_scalar("fault_recoveries",
-                          static_cast<double>(result.sim.total_recoveries));
-        report.set_scalar("fault_orphan_tx",
-                          static_cast<double>(result.sim.total_orphan_tx));
-        report.set_scalar(
-            "fault_orphan_collisions",
-            static_cast<double>(result.sim.total_orphan_collisions));
-        report.set_scalar("fault_blackout_rounds",
-                          static_cast<double>(result.sim.total_blackout_rounds));
-        report.set_scalar("fault_devices_down_at_end",
-                          static_cast<double>(result.sim.devices_down_at_end));
-        report.set_scalar(
-            "fault_recovery_ratio",
-            result.sim.total_down_events == 0
-                ? 1.0
-                : static_cast<double>(result.sim.total_recoveries) /
-                      static_cast<double>(result.sim.total_down_events));
-    }
-
-    const double payload_bits =
-        static_cast<double>(result.spec.sim.frame.payload_bits);
-    const std::size_t rounds_per_replica = result.spec.sim.rounds;
-    const double config1_query_s = result.config1_query_time_s;
-    const double config2_query_s = result.config2_query_time_s;
-    for (std::size_t i = 0; i < result.sim.rounds.size(); ++i) {
-        const auto& round = result.sim.rounds[i];
-        const double throughput =
-            result.round_time_s > 0.0
-                ? static_cast<double>(round.delivered) * payload_bits /
-                      result.round_time_s
-                : 0.0;
-        const double loss =
-            round.transmitting > 0
-                ? 1.0 - static_cast<double>(round.delivered) /
-                            static_cast<double>(round.transmitting)
-                : 0.0;
-        const double reassoc_latency =
-            i < result.stats.join_latency_series.size()
-                ? result.stats.join_latency_series[i]
-                : 0.0;
-        // Query-overhead timeline (the same rule control_overhead_s sums).
-        const double query_time_s = ns::scenario::carries_config2_query(round)
-                                        ? config2_query_s
-                                        : config1_query_s;
-        // The merged series concatenates replicas; index each point by
-        // (replica, round) so consumers never stitch independent
-        // timelines together.
-        std::vector<std::pair<std::string, bench::json_value>> point = {
-            {"replica", static_cast<double>(i / rounds_per_replica)},
-            {"round", static_cast<double>(i % rounds_per_replica)},
-            {"active", static_cast<double>(round.active)},
-            {"scheduled_group", static_cast<double>(round.scheduled_group)},
-            {"scheduled", static_cast<double>(round.scheduled)},
-            {"transmitting", static_cast<double>(round.transmitting)},
-            {"delivered", static_cast<double>(round.delivered)},
-            {"skipped", static_cast<double>(round.skipped)},
-            {"idle", static_cast<double>(round.idle)},
-            {"joins", static_cast<double>(round.joins)},
-            {"leaves", static_cast<double>(round.leaves)},
-            {"realloc_events", static_cast<double>(round.realloc_events)},
-            {"regroups", static_cast<double>(round.regroups)},
-            {"cross_tx", static_cast<double>(round.cross_tx)},
-            {"cross_collisions", static_cast<double>(round.cross_collisions)},
-            {"query_time_s", query_time_s},
-            {"reassoc_latency_rounds", reassoc_latency},
-            {"throughput_bps", throughput},
-            {"loss_rate", loss}};
-        if (faults_on) {
-            point.push_back(
-                {"query_losses", static_cast<double>(round.query_losses)});
-            point.push_back(
-                {"ack_losses", static_cast<double>(round.ack_losses)});
-            point.push_back({"reboots", static_cast<double>(round.reboots)});
-            point.push_back(
-                {"down_events", static_cast<double>(round.down_events)});
-            point.push_back({"lease_evictions",
-                             static_cast<double>(round.lease_evictions)});
-            point.push_back({"desyncs", static_cast<double>(round.desyncs)});
-            point.push_back({"resyncs", static_cast<double>(round.resyncs)});
-            point.push_back(
-                {"recoveries", static_cast<double>(round.recoveries)});
-            point.push_back(
-                {"orphan_tx", static_cast<double>(round.orphan_tx)});
-            point.push_back({"blackout", round.blackout ? 1.0 : 0.0});
-        }
-        report.add_point(std::move(point));
-    }
-    // Per-group breakdown (§3.3.3), keyed by scheduling slot and merged
-    // across replicas by group id. Counters span the whole run (all
-    // partitions a regroup produced); members and the power span
-    // describe the final partition.
-    for (std::size_t g = 0; g < result.sim.groups.size(); ++g) {
-        const ns::sim::group_metrics& group = result.sim.groups[g];
-        report.add_section_point(
-            "groups",
-            {{"group", static_cast<double>(g)},
-             {"members", static_cast<double>(group.members)},
-             {"scheduled_rounds", static_cast<double>(group.scheduled_rounds)},
-             {"transmitting", static_cast<double>(group.transmitting)},
-             {"delivered", static_cast<double>(group.delivered)},
-             {"delivery_rate", group.delivery_rate()},
-             {"bits_sent", static_cast<double>(group.bits_sent)},
-             {"bit_errors", static_cast<double>(group.bit_errors)},
-             {"min_power_dbm", group.min_power_dbm},
-             {"max_power_dbm", group.max_power_dbm},
-             {"dynamic_range_db", group.max_power_dbm - group.min_power_dbm}});
-    }
-    // Deterministic slice of the metrics registry: counters and gauges
-    // are pure functions of (spec, seed), so they diff clean across
-    // thread counts. Host-execution metrics (the timing histograms, the
-    // perf.* hardware counters, process-wide stats) stay out of the
-    // scenario report unconditionally — the shared is_host_metric_name
-    // predicate is what keeps this JSON bit-identical with and without
-    // --perf (use --metrics for the full registry).
-    for (const auto& counter : result.sim.metrics.counters) {
-        if (ns::obs::is_host_metric_name(counter.name)) continue;
-        report.add_section_point("metrics",
-                                 {{"name", counter.name},
-                                  {"value", static_cast<double>(counter.value)}});
-    }
-    for (const auto& gauge : result.sim.metrics.gauges) {
-        if (ns::obs::is_host_metric_name(gauge.name)) continue;
-        report.add_section_point(
-            "metrics_gauges",
-            {{"name", gauge.name}, {"last", gauge.last}, {"max", gauge.max}});
-    }
-    report.write(path);
-}
-
-/// Round-loop phases carrying perf.<phase>.* attribution (the five
-/// simulator phases plus the kernel-sum batch inside synth/superpose).
-constexpr const char* perf_phases[] = {"plan",      "grouping",   "synth",
-                                       "superpose", "decode",     "kernel_sum"};
-
-/// True when the merged snapshot says at least one replica opened its
-/// hardware counter group.
-bool perf_available(const ns::obs::metrics_snapshot& metrics) {
-    const ns::obs::gauge_sample* available = metrics.find_gauge("perf.available");
-    return available != nullptr && available->max > 0.0;
-}
-
-/// Prints the per-phase hardware-counter table for --perf, or the clean
-/// degradation message when no replica could open perf events.
-void print_perf_table(const ns::scenario::scenario_result& result) {
-    const ns::obs::metrics_snapshot& metrics = result.sim.metrics;
-    if (!perf_available(metrics)) {
-        std::cout << "perf counters (" << result.spec.name
-                  << "): available=false — perf_event_open denied "
-                     "(kernel.perf_event_paranoid, seccomp, NS_PERF_DISABLE "
-                     "or NS_OBS=OFF); simulation results are unaffected\n";
-        return;
-    }
-    ns::util::text_table table(
-        "hardware counters: " + result.spec.name,
-        {"phase", "cycles [M]", "instr [M]", "IPC", "LLC miss", "br miss/kI"});
-    for (const char* phase : perf_phases) {
-        const std::string prefix = std::string("perf.") + phase;
-        const std::uint64_t cycles = metrics.counter_value(prefix + ".cycles");
-        const std::uint64_t instructions =
-            metrics.counter_value(prefix + ".instructions");
-        if (cycles == 0 && instructions == 0) continue;
-        const std::uint64_t llc_loads =
-            metrics.counter_value(prefix + ".llc_loads");
-        const std::uint64_t llc_misses =
-            metrics.counter_value(prefix + ".llc_misses");
-        const std::uint64_t branch_misses =
-            metrics.counter_value(prefix + ".branch_misses");
-        table.add_row(
-            {phase, ns::util::format_double(static_cast<double>(cycles) / 1e6, 1),
-             ns::util::format_double(static_cast<double>(instructions) / 1e6, 1),
-             ns::util::format_double(ns::obs::perf_ipc(instructions, cycles), 2),
-             ns::util::format_double(
-                 100.0 * ns::obs::perf_miss_rate(llc_misses, llc_loads), 1) +
-                 " %",
-             ns::util::format_double(
-                 instructions == 0
-                     ? 0.0
-                     : 1e3 * static_cast<double>(branch_misses) /
-                           static_cast<double>(instructions),
-                 2)});
-    }
-    table.print(std::cout);
-}
-
-/// Writes the merged metrics registry as JSON. Counters go into the
-/// top-level "points" array as {name, value} rows — the exact shape
-/// scripts/check_bench_regression.py gates on (--key name --metric
-/// value). Gauges, histograms (with log2-bucket percentiles) and the
-/// process-wide engine stats follow as sections. With `strip`, the
-/// shared predicate drops the timing histograms and the host-execution
-/// process section so two metrics files from different thread counts
-/// diff clean.
-void write_metrics_json(const ns::scenario::scenario_result& result,
-                        const std::string& path, bool strip) {
-    bench::bench_report report("metrics_" + result.spec.name);
-    report.set_strip_timing(strip);
-    report.set_scalar("scenario", result.spec.name);
-    report.set_scalar("replicas", static_cast<double>(result.replicas));
-    report.set_scalar("seed", static_cast<double>(result.spec.sim.seed));
-    report.set_scalar("wall_clock_s", result.wall_clock_s);
-
-    const ns::obs::metrics_snapshot& metrics = result.sim.metrics;
-    for (const auto& counter : metrics.counters) {
-        if (strip && ns::obs::is_host_metric_name(counter.name)) continue;
-        report.add_point({{"name", counter.name},
-                          {"value", static_cast<double>(counter.value)}});
-    }
-    if (result.spec.faults.enabled()) {
-        // Derived recovery-quality points in the same {name, value} shape
-        // the counters use, so check_bench_regression.py gates them with
-        // the one --key name --metric value invocation. Both are pure
-        // functions of (spec, seed): safe to pin at --tolerance 0.
-        double recovery_p95 = 0.0;
-        for (const auto& hist : metrics.histograms) {
-            if (hist.name == "fault.recovery_rounds") {
-                recovery_p95 = hist.percentile(95.0);
-                break;
-            }
-        }
-        report.add_point(
-            {{"name", "fault.recovery_rounds.p95"}, {"value", recovery_p95}});
-        report.add_point(
-            {{"name", "fault.recovery_ratio"},
-             {"value",
-              result.sim.total_down_events == 0
-                  ? 1.0
-                  : static_cast<double>(result.sim.total_recoveries) /
-                        static_cast<double>(result.sim.total_down_events)}});
-    }
-    for (const auto& gauge : metrics.gauges) {
-        if (strip && ns::obs::is_host_metric_name(gauge.name)) continue;
-        report.add_section_point(
-            "gauges",
-            {{"name", gauge.name}, {"last", gauge.last}, {"max", gauge.max}});
-    }
-    for (const auto& hist : metrics.histograms) {
-        if (strip && ns::obs::is_host_metric_name(hist.name)) continue;
-        // Unsuffixed field names: units follow the histogram (seconds
-        // for the *_s phase probes, plain counts for round.allocs).
-        report.add_section_point(
-            "histograms",
-            {{"name", hist.name},
-             {"count", static_cast<double>(hist.count)},
-             {"sum", hist.sum},
-             {"min", hist.min},
-             {"max", hist.max},
-             {"mean", hist.mean()},
-             {"p50", hist.percentile(50.0)},
-             {"p95", hist.percentile(95.0)},
-             {"p99", hist.percentile(99.0)}});
-    }
-    // Roofline attribution of the kernel-accumulation loop. The model
-    // itself (elements, bytes, flops, intensity) is deterministic —
-    // derived from the phy.kernel_window_elems counter — and is emitted
-    // even under strip; the time-derived achieved rates are host facts
-    // and only appear in unstripped output.
-    const ns::obs::kernel_loop_model model =
-        ns::obs::kernel_loop_model_from(metrics);
-    if (model.window_elems > 0) {
-        std::vector<std::pair<std::string, bench::json_value>> roofline = {
-            {"window_elems", static_cast<double>(model.window_elems)},
-            {"bytes", model.bytes()},
-            {"flops", model.flops()},
-            {"arithmetic_intensity", model.arithmetic_intensity()},
-        };
-        if (!strip) {
-            const double seconds = metrics.histogram_sum("phy.kernel_sum_s");
-            roofline.push_back({"kernel_sum_wall_s", seconds});
-            roofline.push_back({"achieved_gbps", model.achieved_gbps(seconds)});
-            roofline.push_back(
-                {"achieved_gflops", model.achieved_gflops(seconds)});
-        }
-        report.add_section_point("roofline", roofline);
-    }
-    if (!strip) {
-        // Per-phase hardware counters (--perf). Same availability
-        // contract as the stdout table: a denied perf_event_open leaves
-        // the section empty apart from the available flag.
-        if (metrics.find_gauge("perf.available") != nullptr) {
-            report.set_scalar("perf_available",
-                              perf_available(metrics) ? 1.0 : 0.0);
-        }
-        for (const char* phase : perf_phases) {
-            const std::string prefix = std::string("perf.") + phase;
-            const std::uint64_t cycles =
-                metrics.counter_value(prefix + ".cycles");
-            const std::uint64_t instructions =
-                metrics.counter_value(prefix + ".instructions");
-            if (cycles == 0 && instructions == 0) continue;
-            const std::uint64_t llc_loads =
-                metrics.counter_value(prefix + ".llc_loads");
-            const std::uint64_t llc_misses =
-                metrics.counter_value(prefix + ".llc_misses");
-            report.add_section_point(
-                "perf",
-                {{"phase", phase},
-                 {"cycles", static_cast<double>(cycles)},
-                 {"instructions", static_cast<double>(instructions)},
-                 {"ipc", ns::obs::perf_ipc(instructions, cycles)},
-                 {"llc_loads", static_cast<double>(llc_loads)},
-                 {"llc_misses", static_cast<double>(llc_misses)},
-                 {"llc_miss_rate",
-                  ns::obs::perf_miss_rate(llc_misses, llc_loads)},
-                 {"branch_misses",
-                  static_cast<double>(
-                      metrics.counter_value(prefix + ".branch_misses"))}});
-        }
-        // Host-execution stats (process-wide, thread-count dependent by
-        // nature — never part of determinism comparisons).
-        const auto fft = ns::engine::fft_plan_cache::stats();
-        const auto pool = ns::engine::thread_pool::stats();
-        const ns::obs::process_usage usage = ns::obs::current_process_usage();
-        const std::vector<std::pair<const char*, std::uint64_t>> process = {
-            {"fft_cache.hits", fft.hits},
-            {"fft_cache.misses", fft.misses},
-            {"fft_cache.memo_hits", fft.memo_hits},
-            {"fft_cache.scratch_requests", fft.scratch_requests},
-            {"thread_pool.tasks_submitted", pool.tasks_submitted},
-            {"thread_pool.tasks_executed", pool.tasks_executed},
-            {"thread_pool.queue_peak", pool.queue_peak},
-            {"peak_rss_bytes", usage.peak_rss_bytes},
-            {"minor_page_faults", usage.minor_page_faults},
-            {"major_page_faults", usage.major_page_faults},
-            {"voluntary_ctx_switches", usage.voluntary_ctx_switches},
-            {"involuntary_ctx_switches", usage.involuntary_ctx_switches},
-        };
-        for (const auto& [name, value] : process) {
-            report.add_section_point(
-                "process",
-                {{"name", name}, {"value", static_cast<double>(value)}});
-        }
-    }
-    report.write(path);
-}
-
-int run(const cli_options& options) {
+int run(const sim_options& options) {
     std::vector<ns::scenario::scenario_spec> specs;
     if (options.all) {
         specs = ns::scenario::registry();
@@ -663,17 +77,18 @@ int run(const cli_options& options) {
             }
             specs.push_back(*spec);
         }
+        for (const auto& path : options.spec_files) {
+            specs.push_back(ns::spec::load_spec_file(path));
+        }
     }
-    if (specs.empty()) {
-        print_usage();
-        return 1;
-    }
-    if (!options.json_path.empty() && specs.size() > 1) {
+    if (specs.empty()) return 1;
+    if (!options.common.json_path.empty() && specs.size() > 1) {
         std::cerr << "--json applies to a single scenario; "
                      "multi-scenario runs write SCENARIO_<name>.json each\n";
         return 1;
     }
-    if ((!options.metrics_path.empty() || !options.trace_path.empty()) &&
+    if ((!options.common.metrics_path.empty() ||
+         !options.common.trace_path.empty()) &&
         specs.size() > 1) {
         std::cerr << "--metrics/--trace apply to a single scenario\n";
         return 1;
@@ -685,18 +100,13 @@ int run(const cli_options& options) {
          "joins/leaves", "realloc", "latency [rd]"});
 
     for (auto spec : specs) {
-        if (options.rounds) spec.sim.rounds = *options.rounds;
-        if (options.replicas) spec.replicas = *options.replicas;
-        if (options.seed) spec.sim.seed = *options.seed;
-        if (options.fidelity) spec.sim.fidelity = *options.fidelity;
-        if (options.round_threads) {
-            spec.sim.intra_round_threads = *options.round_threads;
-        }
-        spec.sim.obs.trace = !options.trace_path.empty();
-        spec.sim.obs.perf = options.perf;
+        options.common.apply_overrides(spec);
+        spec.sim.obs.trace = !options.common.trace_path.empty();
+        spec.sim.obs.perf = options.common.perf;
 
         const auto result = ns::scenario::run_scenario(
-            spec, {.num_threads = options.threads, .parallel = options.parallel});
+            spec, {.num_threads = options.common.threads,
+                   .parallel = options.common.parallel});
 
         table.add_row(
             {spec.name, std::to_string(spec.geometry.num_devices),
@@ -710,27 +120,29 @@ int run(const cli_options& options) {
              std::to_string(result.sim.total_realloc_events),
              ns::util::format_double(result.stats.mean_join_latency_rounds(), 2)});
 
-        if (options.perf) print_perf_table(result);
+        if (options.common.perf) ns::apps::print_perf_table(result);
 
-        const std::string path = options.json_path.empty()
+        const std::string path = options.common.json_path.empty()
                                      ? "SCENARIO_" + spec.name + ".json"
-                                     : options.json_path;
-        write_json(result, path, options.strip_wallclock);
-        if (!options.metrics_path.empty()) {
-            write_metrics_json(result, options.metrics_path,
-                               options.strip_wallclock);
+                                     : options.common.json_path;
+        ns::apps::write_scenario_json(result, path,
+                                      options.common.strip_wallclock);
+        if (!options.common.metrics_path.empty()) {
+            ns::apps::write_metrics_json(result, options.common.metrics_path,
+                                         options.common.strip_wallclock);
         }
-        if (!options.trace_path.empty()) {
+        if (!options.common.trace_path.empty()) {
             if (ns::obs::write_chrome_trace(result.sim.trace,
-                                            options.trace_path)) {
-                std::cout << "wrote " << options.trace_path << " ("
+                                            options.common.trace_path)) {
+                std::cout << "wrote " << options.common.trace_path << " ("
                           << result.sim.trace.size() << " spans";
                 if (result.sim.trace_dropped > 0) {
                     std::cout << ", " << result.sim.trace_dropped << " dropped";
                 }
                 std::cout << ")\n";
             } else {
-                std::cerr << "could not write " << options.trace_path << "\n";
+                std::cerr << "could not write " << options.common.trace_path
+                          << "\n";
                 return 1;
             }
         }
@@ -742,19 +154,69 @@ int run(const cli_options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    const auto options = parse(argc, argv);
-    if (!options) {
-        print_usage();
-        return 1;
+    sim_options options;
+    ns::apps::arg_parser parser(
+        "netscatter_sim",
+        "(--list | --scenario NAME | --spec FILE | --all) [options]");
+    parser.add_flag("--list",
+                    "list registered scenarios with their source files",
+                    [&] { options.list = true; });
+    parser.add_option("--scenario", "NAME",
+                      "run one registered scenario (repeatable)",
+                      [&](const std::string& v) {
+                          options.scenarios.push_back(v);
+                          return !v.empty();
+                      });
+    parser.add_option("--spec", "FILE",
+                      "run a scenario from a spec file (repeatable)",
+                      [&](const std::string& v) {
+                          options.spec_files.push_back(v);
+                          return !v.empty();
+                      });
+    parser.add_flag("--all", "run every registered scenario",
+                    [&] { options.all = true; });
+    parser.add_option(
+        "--dump-spec", "NAME",
+        "print the canonical spec serialization of a registered scenario "
+        "and exit (what specs/<NAME>.spec must equal byte-for-byte)",
+        [&](const std::string& v) {
+            options.dump_spec = v;
+            return !v.empty();
+        });
+    options.common.mount_override_flags(parser);
+    options.common.mount_execution_flags(parser);
+    options.common.mount_output_flags(parser);
+
+    switch (parser.parse(argc, argv)) {
+        case ns::apps::arg_parser::status::help: return 0;
+        case ns::apps::arg_parser::status::error: return 1;
+        case ns::apps::arg_parser::status::ok: break;
     }
-    if (options->list) {
-        list_scenarios();
-        return 0;
-    }
+
     try {
-        return run(*options);
+        if (options.list) {
+            list_scenarios();
+            return 0;
+        }
+        if (!options.dump_spec.empty()) {
+            const auto spec = ns::scenario::find_scenario(options.dump_spec);
+            if (!spec) {
+                std::cerr << "unknown scenario: " << options.dump_spec
+                          << " (see --list)\n";
+                return 1;
+            }
+            std::cout << ns::spec::serialize_spec(*spec);
+            return 0;
+        }
+        if (!options.all && options.scenarios.empty() &&
+            options.spec_files.empty()) {
+            std::cerr << parser.usage();
+            return 1;
+        }
+        return run(options);
     } catch (const std::exception& error) {
-        // Out-of-domain option values (e.g. --rounds 0) surface here as
+        // Bad spec files and out-of-domain option values (e.g.
+        // --rounds 0 via a spec) surface here as spec_error /
         // sim_config::validate() contract violations.
         std::cerr << "netscatter_sim: " << error.what() << "\n";
         return 1;

@@ -3,7 +3,9 @@
 
 Reads the JSON files the benches and `netscatter_sim --metrics` emit
 (the bench_report flat schema: top-level scalars, a "points" array,
-named section arrays) and writes:
+named section arrays) — plus any .csv input (e.g. netscatter_sweep's
+aggregate SWEEP_*.csv, ingested as a generic point series) — and
+writes:
 
   * a markdown report (--output, default PERF_REPORT.md): per-file
     scalar tables, the hardware-counter phase attribution ("perf"
@@ -35,13 +37,36 @@ import json
 import sys
 
 
+def load_csv_report(path):
+    """A .csv input (e.g. netscatter_sweep's SWEEP_*.csv aggregate)
+    becomes a synthetic report: one generic "points" series, numeric
+    cells parsed as numbers."""
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    points = []
+    for row in rows:
+        point = {}
+        for key, value in row.items():
+            if key is None or value is None:
+                continue
+            try:
+                point[key] = float(value)
+            except ValueError:
+                point[key] = value
+        points.append(point)
+    return {"bench": path, "points": points}
+
+
 def load_reports(paths):
     reports = []
     for path in sorted(paths):
         try:
-            with open(path) as handle:
-                data = json.load(handle)
-        except (OSError, json.JSONDecodeError) as error:
+            if path.endswith(".csv"):
+                data = load_csv_report(path)
+            else:
+                with open(path) as handle:
+                    data = json.load(handle)
+        except (OSError, json.JSONDecodeError, csv.Error) as error:
             print(f"perf_report: cannot read {path}: {error}", file=sys.stderr)
             return None
         if not isinstance(data, dict):

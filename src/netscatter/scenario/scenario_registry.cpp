@@ -1,5 +1,12 @@
 #include "netscatter/scenario/scenario_registry.hpp"
 
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "netscatter/spec/spec_codec.hpp"
+
 namespace ns::scenario {
 
 namespace {
@@ -390,9 +397,60 @@ std::vector<scenario_spec> build_registry() {
     return scenarios;
 }
 
+/// The registry plus where each entry came from.
+struct loaded_registry {
+    std::vector<scenario_spec> specs;
+    std::vector<std::string> sources;
+};
+
+loaded_registry load_registry() {
+    loaded_registry reg;
+    const std::string dir = ns::spec::spec_dir();
+    std::error_code ec;
+    std::vector<std::filesystem::path> files;
+    if (std::filesystem::is_directory(dir, ec)) {
+        for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+            if (entry.path().extension() == ".spec") {
+                files.push_back(entry.path());
+            }
+        }
+        std::sort(files.begin(), files.end());
+    }
+    if (files.empty()) {
+        // No committed spec files reachable (installed binary, stripped
+        // checkout): serve the compiled-in table.
+        reg.specs = build_registry();
+        reg.sources.assign(reg.specs.size(), "<builtin>");
+        return reg;
+    }
+    for (const auto& file : files) {
+        scenario_spec spec = ns::spec::load_spec_file(file.string());
+        // File name == scenario name keeps --list, find_scenario and the
+        // CI drift gate all talking about the same thing.
+        if (spec.name != file.stem().string()) {
+            throw ns::spec::spec_error(
+                file.string() + ": scenario name '" + spec.name +
+                "' does not match the file name '" + file.stem().string() +
+                "'");
+        }
+        reg.specs.push_back(std::move(spec));
+        reg.sources.push_back(file.string());
+    }
+    return reg;
+}
+
+const loaded_registry& loaded() {
+    static const loaded_registry reg = load_registry();
+    return reg;
+}
+
 }  // namespace
 
-const std::vector<scenario_spec>& registry() {
+const std::vector<scenario_spec>& registry() { return loaded().specs; }
+
+const std::vector<std::string>& registry_sources() { return loaded().sources; }
+
+const std::vector<scenario_spec>& builtin_registry() {
     static const std::vector<scenario_spec> scenarios = build_registry();
     return scenarios;
 }

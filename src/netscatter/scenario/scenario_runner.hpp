@@ -64,6 +64,27 @@ struct scenario_result {
 /// query_time_s series both follow this rule.
 bool carries_config2_query(const ns::sim::round_outcome& round);
 
+/// Outcome of one Monte-Carlo replica — the unit of parallel
+/// decomposition run_scenario and the sweep engine both fan out over
+/// mc_runner.
+struct replica_result {
+    ns::sim::sim_result sim;
+    driver_stats stats;
+};
+
+/// Runs replica `r` of `spec`: a pure function of (spec, r) — it builds
+/// its own deployment, driver and simulator on split seeds, so replicas
+/// of different specs can interleave freely on one worker pool.
+replica_result run_scenario_replica(const scenario_spec& spec, std::size_t r);
+
+/// Merges per-replica outcomes (must be in replica order) into a
+/// scenario_result, deriving the timing/overhead summary fields.
+/// `wall_clock_s` is the caller-measured host time (excluded from
+/// determinism).
+scenario_result merge_scenario_replicas(const scenario_spec& spec,
+                                        std::vector<replica_result> replicas,
+                                        double wall_clock_s);
+
 /// Runs `spec` and returns the merged result. Deterministic in
 /// (spec, options.parallel ? any thread count : serial) — i.e. the same
 /// spec gives bit-identical results for every execution policy.

@@ -1,0 +1,110 @@
+#include "netscatter/spec/spec_doc.hpp"
+
+#include <cctype>
+#include <utility>
+
+namespace ns::spec {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.front()))) {
+        text.remove_prefix(1);
+    }
+    while (!text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.back()))) {
+        text.remove_suffix(1);
+    }
+    return text;
+}
+
+bool valid_key_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+std::string spec_where(const std::string& source, std::size_t line) {
+    if (line == 0) return source + ": ";
+    return source + ":" + std::to_string(line) + ": ";
+}
+
+void spec_fail(const std::string& source, std::size_t line,
+               const std::string& message) {
+    throw spec_error(spec_where(source, line) + message);
+}
+
+spec_doc parse_spec_text(std::string_view text, std::string source) {
+    spec_doc doc;
+    doc.source = std::move(source);
+    std::size_t line_no = 0;
+    while (!text.empty()) {
+        ++line_no;
+        const std::size_t eol = text.find('\n');
+        std::string_view line = text.substr(0, eol);
+        text.remove_prefix(eol == std::string_view::npos ? text.size()
+                                                         : eol + 1);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+        const std::string_view stripped = trim(line);
+        if (stripped.empty() || stripped.front() == '#') continue;
+
+        const std::size_t eq = stripped.find('=');
+        if (eq == std::string_view::npos) {
+            spec_fail(doc.source, line_no,
+                      "malformed line: expected 'key = value'");
+        }
+        const std::string_view key = trim(stripped.substr(0, eq));
+        if (key.empty()) {
+            spec_fail(doc.source, line_no, "malformed line: empty key");
+        }
+        for (char c : key) {
+            if (!valid_key_char(c)) {
+                spec_fail(doc.source, line_no,
+                          "malformed key '" + std::string(key) +
+                              "': keys are dotted identifiers "
+                              "([A-Za-z0-9_.]+)");
+            }
+        }
+
+        std::string_view rest = trim(stripped.substr(eq + 1));
+        std::string value;
+        if (!rest.empty() && rest.front() == '"') {
+            // Quoted string: scan to the closing quote, honouring
+            // backslash escapes; anything after must be a comment.
+            std::size_t i = 1;
+            for (; i < rest.size(); ++i) {
+                if (rest[i] == '\\') {
+                    ++i;
+                    continue;
+                }
+                if (rest[i] == '"') break;
+            }
+            if (i >= rest.size()) {
+                spec_fail(doc.source, line_no, "unterminated string value");
+            }
+            value = std::string(rest.substr(0, i + 1));
+            const std::string_view tail = trim(rest.substr(i + 1));
+            if (!tail.empty() && tail.front() != '#') {
+                spec_fail(doc.source, line_no,
+                          "unexpected text after string value: '" +
+                              std::string(tail) + "'");
+            }
+        } else {
+            // Bare token: a trailing comment starts at the first '#'.
+            const std::size_t hash = rest.find('#');
+            if (hash != std::string_view::npos) rest = trim(rest.substr(0, hash));
+            if (rest.empty()) {
+                spec_fail(doc.source, line_no,
+                          "malformed line: missing value after '='");
+            }
+            value = std::string(rest);
+        }
+        doc.entries.push_back(
+            {std::string(key), std::move(value), line_no});
+    }
+    return doc;
+}
+
+}  // namespace ns::spec

@@ -1,0 +1,59 @@
+// Line-level parser for the TOML-like scenario spec format.
+//
+// A spec file is a flat sequence of `key = value` lines: keys are
+// dotted identifiers (`geometry.num_devices`), values are numbers,
+// booleans, bare enum identifiers or quoted strings, `#` starts a
+// comment (outside quotes) and blank lines separate groups. This layer
+// only tokenizes — it knows nothing about scenario fields. The codec
+// (spec_codec.hpp) interprets the entries against the field table.
+//
+// Every diagnostic carries `<source>:<line>:` so a bad file points at
+// the offending line, not just at itself.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netscatter/util/error.hpp"
+
+namespace ns::spec {
+
+/// Parse/validation failure. The message always starts with a
+/// `<source>:<line>:` (or `<source>:`) location prefix.
+class spec_error : public ns::util::error {
+  public:
+    using ns::util::error::error;
+};
+
+/// Formats the `<source>:<line>: ` prefix; line 0 means "no specific
+/// line" (cross-field checks, CLI override contexts) and omits the
+/// line number.
+std::string spec_where(const std::string& source, std::size_t line);
+
+/// Throws spec_error with a located message.
+[[noreturn]] void spec_fail(const std::string& source, std::size_t line,
+                            const std::string& message);
+
+/// One `key = value` line. `value` is the raw trimmed token: quoted
+/// strings keep their quotes (the codec decodes them), everything else
+/// is the bare text with trailing comments stripped.
+struct spec_entry {
+    std::string key;
+    std::string value;
+    std::size_t line = 0;
+};
+
+/// A tokenized spec file.
+struct spec_doc {
+    std::string source;  ///< file name (or synthetic context) for errors
+    std::vector<spec_entry> entries;
+};
+
+/// Tokenizes `text` into entries. Throws spec_error on malformed lines
+/// (missing `=`, empty key or value, bad key characters, unterminated
+/// string, trailing garbage after a quoted value).
+spec_doc parse_spec_text(std::string_view text, std::string source);
+
+}  // namespace ns::spec

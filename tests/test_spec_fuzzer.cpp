@@ -14,6 +14,7 @@
 
 #include "netscatter/scenario/scenario_runner.hpp"
 #include "netscatter/scenario/scenario_spec.hpp"
+#include "netscatter/spec/spec_codec.hpp"
 #include "netscatter/util/rng.hpp"
 
 namespace {
@@ -162,6 +163,117 @@ TEST(spec_fuzzer, random_valid_specs_validate_and_run_deterministically) {
         EXPECT_EQ(serial.sim.total_down_events,
                   serial.sim.total_recoveries + serial.sim.devices_down_at_end)
             << "seed " << seed;
+    }
+}
+
+/// A random spec across the ENTIRE declarative surface — every field
+/// the codec serializes, optionals randomly present or absent — for the
+/// serialize→parse→serialize fixed-point property. These specs never
+/// run (some draws would be absurdly slow); they only round-trip.
+scenario_spec random_full_spec(std::uint64_t seed) {
+    ns::util::rng rng(seed);
+    scenario_spec spec = random_spec(seed);  // the runnable core surface
+    spec.description = "full surface \"quoted\"\ttab seed " +
+                       std::to_string(seed);
+
+    // Geometry optionals, each present ~half the time.
+    if (rng.bernoulli(0.5)) spec.geometry.floor_width_m = rng.uniform(10.0, 80.0);
+    if (rng.bernoulli(0.5)) spec.geometry.floor_depth_m = rng.uniform(10.0, 80.0);
+    if (rng.bernoulli(0.5)) {
+        spec.geometry.rooms_x = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    }
+    if (rng.bernoulli(0.5)) {
+        spec.geometry.rooms_y = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    }
+    if (rng.bernoulli(0.5)) spec.geometry.ap_tx_dbm = rng.uniform(0.0, 30.0);
+    if (rng.bernoulli(0.5)) {
+        spec.geometry.pathloss_exponent = rng.uniform(1.8, 4.0);
+    }
+    if (rng.bernoulli(0.5)) spec.geometry.wall_loss_db = rng.uniform(0.0, 12.0);
+    if (rng.bernoulli(0.5)) spec.geometry.min_distance_m = rng.uniform(0.5, 3.0);
+    if (rng.bernoulli(0.5)) {
+        spec.geometry.shadowing_sigma_db = rng.uniform(0.0, 8.0);
+    }
+
+    spec.churn.association_grants_per_round =
+        static_cast<std::size_t>(rng.uniform_int(1, 3));
+    spec.mobility.round_period_s = rng.uniform(0.01, 0.2);
+    spec.mobility.carrier_hz = rng.uniform(800e6, 950e6);
+    spec.interference.tone_hz = rng.uniform(-200e3, 200e3);
+
+    if (rng.bernoulli(0.5)) {
+        spec.cochannel.enabled = true;
+        spec.cochannel.network_id =
+            static_cast<std::uint32_t>(rng.uniform_int(1, 7));
+        spec.cochannel.num_devices =
+            static_cast<std::size_t>(rng.uniform_int(8, 64));
+        spec.cochannel.duty_cycle = rng.uniform(0.1, 1.0);
+        spec.cochannel.group_capacity =
+            static_cast<std::size_t>(rng.uniform_int(8, 256));
+        spec.cochannel.min_snr_db = rng.uniform(-10.0, 0.0);
+        spec.cochannel.max_snr_db =
+            spec.cochannel.min_snr_db + rng.uniform(0.0, 15.0);
+        spec.cochannel.max_round_offset_s = rng.uniform(0.0, 1e-4);
+        spec.cochannel.carrier_offset_hz = rng.uniform(0.0, 400.0);
+    }
+
+    spec.sim.phy.bandwidth_hz = rng.uniform(125e3, 500e3);
+    spec.sim.phy.spreading_factor =
+        static_cast<std::size_t>(rng.uniform_int(7, 12));
+    spec.sim.frame.preamble_symbols =
+        static_cast<std::size_t>(rng.uniform_int(1, 8));
+    spec.sim.frame.payload_bits =
+        static_cast<std::size_t>(rng.uniform_int(8, 256));
+    spec.sim.frame.crc_bits = static_cast<std::size_t>(rng.uniform_int(0, 16));
+    spec.sim.skip = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    spec.sim.detection_factor = rng.uniform(1.0, 4.0);
+    spec.sim.power_aware_allocation = rng.bernoulli(0.5);
+    spec.sim.power_adaptation = rng.bernoulli(0.5);
+    spec.sim.model_timing_jitter = rng.bernoulli(0.5);
+    spec.sim.model_cfo = rng.bernoulli(0.5);
+    spec.sim.fidelity =
+        pick(rng, {ns::sim::phy_fidelity::sample, ns::sim::phy_fidelity::symbol,
+                   ns::sim::phy_fidelity::automatic});
+    spec.sim.symbol_kernel_radius_bins =
+        static_cast<std::size_t>(rng.uniform_int(1, 6));
+    spec.sim.model_multipath = rng.bernoulli(0.5);
+    spec.sim.multipath.delay_spread_s = rng.uniform(1e-7, 5e-6);
+    spec.sim.multipath.num_taps =
+        static_cast<std::size_t>(rng.uniform_int(0, 8));
+    spec.sim.multipath.rician_k_db = rng.uniform(-5.0, 15.0);
+    spec.sim.multipath_rho = rng.uniform(0.0, 0.99);
+    spec.sim.network_id = static_cast<std::uint32_t>(rng.uniform_int(0, 7));
+    spec.sim.fading_sigma_db = rng.uniform(0.0, 6.0);
+    spec.sim.fading_rho = rng.uniform(0.0, 0.99);
+    spec.sim.intra_round_threads =
+        static_cast<std::size_t>(rng.uniform_int(1, 4));
+    spec.sim.delay_model.mean_us = rng.uniform(0.0, 10.0);
+    spec.sim.delay_model.sigma_us = rng.uniform(0.0, 3.0);
+    spec.sim.delay_model.max_us = rng.uniform(0.0, 30.0);
+    spec.sim.crystal.tolerance_ppm = rng.uniform(0.0, 40.0);
+    spec.sim.crystal.operating_frequency_hz = rng.uniform(800e6, 950e6);
+    spec.sim.crystal.drift_sigma_hz = rng.uniform(0.0, 5.0);
+    spec.sim.obs.metrics = rng.bernoulli(0.5);
+    spec.sim.obs.trace_max_events =
+        static_cast<std::size_t>(rng.uniform_int(1, 1 << 16));
+    spec.sim.obs.alloc_warmup_rounds =
+        static_cast<std::size_t>(rng.uniform_int(0, 4));
+    if (rng.bernoulli(0.3)) {
+        spec.churn.initial_active = static_cast<std::size_t>(-1);  // "all"
+    }
+    return spec;
+}
+
+TEST(spec_fuzzer, serialize_parse_serialize_is_a_fixed_point_on_random_specs) {
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        const scenario_spec spec = random_full_spec(seed);
+        const std::string once = ns::spec::serialize_spec(spec);
+        ns::scenario::scenario_spec parsed;
+        ASSERT_NO_THROW(parsed = ns::spec::parse_spec_text_as_scenario(
+                            once, "fuzz-" + std::to_string(seed)))
+            << "seed " << seed << "\n" << once;
+        const std::string twice = ns::spec::serialize_spec(parsed);
+        EXPECT_EQ(once, twice) << "seed " << seed;
     }
 }
 
